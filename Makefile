@@ -1,0 +1,25 @@
+# Convenience targets (pure-Python project; no compilation involved)
+
+.PHONY: install test bench examples artifacts api-docs all
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for f in examples/*.py; do \
+		echo "== $$f"; python $$f > /dev/null && echo OK || exit 1; \
+	done
+
+# regenerate every paper artifact into benchmarks/results/
+artifacts: bench
+
+api-docs:
+	python docs/gen_api.py
+
+all: test bench examples

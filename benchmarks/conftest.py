@@ -1,0 +1,45 @@
+"""Shared benchmark fixtures and the results recorder.
+
+Every benchmark regenerates one paper artifact (table/figure) or one
+ablation; beyond pytest-benchmark's wall-clock numbers, each writes its
+paper-style table to ``benchmarks/results/<name>.txt`` so the output
+survives pytest's capture (see EXPERIMENTS.md for the recorded runs).
+
+Scaling: the paper runs 100x100 matmul on silicon; the pure-Python
+simulator executes ~3-5M instr/s, so defaults are scaled down
+(overheads are ratios and survive scaling).  Set
+``REPRO_PAPER_SCALE=1`` for the full-size run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+PAPER_SCALE = bool(int(os.environ.get("REPRO_PAPER_SCALE", "0")))
+
+#: matmul size / repetitions used by the table-1 reproduction.
+#: Paper scale uses the full 100x100 matrix (the paper's size) with a
+#: few repetitions — a single cell then simulates ~10^8 instructions
+#: (plan for ~10 minutes of wall clock for the whole table).
+MATMUL_N = 100 if PAPER_SCALE else 12
+MATMUL_REPS = 3 if PAPER_SCALE else 20
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record(results_dir):
+    def _record(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text)
+        print(f"\n{text}")
+
+    return _record

@@ -1,0 +1,71 @@
+"""Ablation: the dead-register allocation optimisation (§4.3).
+
+"When instrumentation needs registers, we attempt to use dead registers
+... If such registers are available, spilling the contents can be
+avoided."  Same mutatee, same BB-count instrumentation, one knob:
+``use_dead_registers``.  Reported: registers spilled, trampoline size,
+and simulated-cycle overhead — the isolated contribution of the
+optimisation that explains the paper's x86-vs-RISC-V table shape.
+"""
+
+from __future__ import annotations
+
+from conftest import MATMUL_N, MATMUL_REPS
+from repro.api import open_binary
+from repro.minicc import compile_source, matmul_source
+from repro.sim import P550, StopReason
+from repro.tools import count_basic_blocks
+
+
+def _measure(program, use_dead_registers):
+    b = open_binary(compile_source(program) if isinstance(program, str)
+                    else program)
+    b._patcher.use_dead_registers = use_dead_registers
+    count_basic_blocks(b, "multiply")
+    res = b.commit()
+    m, ev = b.run_instrumented(timing=P550)
+    assert ev.reason is StopReason.EXITED
+    return res.stats, m
+
+
+def test_dead_register_ablation(benchmark, record):
+    program = compile_source(matmul_source(MATMUL_N, MATMUL_REPS))
+
+    benchmark.pedantic(
+        lambda: _measure(compile_source(matmul_source(6, 2)), True),
+        rounds=3, iterations=1)
+
+    base = open_binary(program)
+    m0, ev0 = base.run_instrumented(timing=P550)
+    assert ev0.reason is StopReason.EXITED
+
+    stats_on, m_on = _measure(program, True)
+    stats_off, m_off = _measure(program, False)
+
+    ov_on = 100.0 * (m_on.ucycles - m0.ucycles) / m0.ucycles
+    ov_off = 100.0 * (m_off.ucycles - m0.ucycles) / m0.ucycles
+
+    rows = [
+        "Ablation: dead-register allocation (BB-count on multiply, "
+        f"{MATMUL_N}x{MATMUL_N} x{MATMUL_REPS})",
+        "",
+        f"{'':24}{'dead-reg ON':>14}{'dead-reg OFF':>14}",
+        f"{'registers spilled':24}{stats_on.spilled_regs:>14}"
+        f"{stats_off.spilled_regs:>14}",
+        f"{'dead registers used':24}{stats_on.dead_regs_used:>14}"
+        f"{stats_off.dead_regs_used:>14}",
+        f"{'trampoline bytes':24}{stats_on.trampoline_bytes:>14}"
+        f"{stats_off.trampoline_bytes:>14}",
+        f"{'cycle overhead':24}{ov_on:>13.1f}%{ov_off:>13.1f}%",
+        "",
+        f"optimisation saves {ov_off - ov_on:.1f} percentage points of "
+        "overhead",
+        "(the paper credits this for RISC-V's 15.3% vs x86's 66.9%)",
+    ]
+    record("ablation_deadreg", "\n".join(rows))
+
+    assert stats_on.spilled_regs < stats_off.spilled_regs
+    assert stats_on.trampoline_bytes < stats_off.trampoline_bytes
+    assert ov_on < ov_off
+    # outputs agree
+    assert bytes(m_on.stdout).split()[1] == bytes(m_off.stdout).split()[1]

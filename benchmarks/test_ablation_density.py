@@ -1,0 +1,75 @@
+"""Ablation: overhead vs. instrumentation density.
+
+The paper's table has two densities (1 point, 11 points).  This sweep
+fills in the curve: overhead as a function of how many of the hot
+function's blocks carry a counter — confirming overhead is dominated by
+*executed* instrumentation (inner-loop blocks) rather than by the point
+count itself, for both engines (dead-reg on/off).
+"""
+
+from __future__ import annotations
+
+from repro.api import open_binary
+from repro.codegen import IncrementVar
+from repro.minicc import compile_source, matmul_source
+from repro.patch import PointType
+from repro.sim import P550, StopReason
+
+N, REPS = 10, 8
+
+
+def _run_with_density(program, k: int, use_dead_registers: bool):
+    """Instrument the first k blocks (by address) of multiply."""
+    b = open_binary(program)
+    b._patcher.use_dead_registers = use_dead_registers
+    mult = b.function("multiply")
+    pts = b.points(mult, PointType.BLOCK_ENTRY)[:k]
+    if pts:
+        c = b.allocate_variable("c")
+        b.insert(pts, IncrementVar(c))
+    m, ev = b.run_instrumented(timing=P550)
+    assert ev.reason is StopReason.EXITED
+    return m
+
+
+def test_density_sweep(benchmark, record):
+    program = compile_source(matmul_source(N, REPS))
+    benchmark.pedantic(
+        lambda: _run_with_density(program, 4, True), rounds=3,
+        iterations=1)
+
+    b0 = open_binary(program)
+    n_blocks = len(b0.points(b0.function("multiply"),
+                             PointType.BLOCK_ENTRY))
+    base = _run_with_density(program, 0, True).ucycles
+
+    rows = [
+        f"Ablation: overhead vs instrumentation density "
+        f"(matmul {N}x{N} x{REPS}; multiply has {n_blocks} blocks)",
+        "",
+        f"{'points':>8} {'overhead (dead-reg ON)':>24} "
+        f"{'overhead (OFF)':>16}",
+    ]
+    prev_on = -1.0
+    densities = sorted({1, n_blocks // 3, 2 * n_blocks // 3, n_blocks})
+    results = {}
+    for k in densities:
+        on = _run_with_density(program, k, True).ucycles
+        off = _run_with_density(program, k, False).ucycles
+        ov_on = 100.0 * (on - base) / base
+        ov_off = 100.0 * (off - base) / base
+        results[k] = (ov_on, ov_off)
+        rows.append(f"{k:>8} {ov_on:>23.1f}% {ov_off:>15.1f}%")
+        assert ov_on >= prev_on - 0.01  # monotone in density
+        assert ov_off >= ov_on - 0.01   # spilling never cheaper
+        prev_on = ov_on
+    rows += [
+        "",
+        "overhead grows with executed instrumentation; the dead-reg",
+        "engine stays below the spill-always engine at every density",
+        "(the paper's table is the 1-point and all-points rows).",
+    ]
+    record("ablation_density", "\n".join(rows))
+
+    full_on, full_off = results[n_blocks]
+    assert full_off > full_on

@@ -1,0 +1,86 @@
+"""Ablation: interprocedural (summary-based) liveness vs the
+intraprocedural baseline.
+
+Dyninst's liveness can use callee summaries to prove more registers
+dead at call-adjacent instrumentation points.  This benchmark counts
+the dead registers each analysis finds at every block entry of a
+call-heavy workload and measures the instrumentation-overhead effect.
+"""
+
+from __future__ import annotations
+
+from repro.api import open_binary
+from repro.codegen import IncrementVar
+from repro.dataflow import analyze_interprocedural, analyze_liveness
+from repro.minicc import compile_source, fib_source
+from repro.patch import Patcher, PointType
+from repro.sim import P550, StopReason
+from repro.symtab import Symtab
+from repro.parse import parse_binary
+
+N = 14
+
+
+def _dead_counts(co):
+    intra_total = sharp_total = points = 0
+    ip = analyze_interprocedural(co)
+    for fn in co.functions.values():
+        intra = analyze_liveness(fn)
+        sharp = ip.result_for(fn)
+        for block in fn.blocks.values():
+            if not block.insns:
+                continue
+            points += 1
+            intra_total += len(intra.dead_before(block.start))
+            sharp_total += len(sharp.dead_before(block.start))
+    return points, intra_total, sharp_total
+
+
+def _overhead(program, interproc):
+    base = open_binary(program)
+    m0, _ = base.run_instrumented(timing=P550)
+    b = open_binary(program)
+    b._patcher = Patcher(b.symtab, b.cfg,
+                         interprocedural_liveness=interproc)
+    c = b.allocate_variable("bb")
+    for fn in b.functions():
+        if fn.name in ("fib", "main"):
+            for pt in b.points(fn, PointType.BLOCK_ENTRY):
+                b.insert(pt, IncrementVar(c))
+    m1, ev = b.run_instrumented(timing=P550)
+    assert ev.reason is StopReason.EXITED
+    return 100.0 * (m1.ucycles - m0.ucycles) / m0.ucycles
+
+
+def test_interprocedural_liveness_ablation(benchmark, record):
+    program = compile_source(fib_source(N))
+    co = parse_binary(Symtab.from_program(program))
+
+    points, intra, sharp = benchmark(lambda: _dead_counts(co))
+
+    ov_intra = _overhead(program, False)
+    ov_sharp = _overhead(program, True)
+
+    rows = [
+        f"Ablation: interprocedural liveness (fib({N}), call-heavy)",
+        "",
+        f"  block-entry points analysed     : {points}",
+        f"  dead regs found (intraproc)     : {intra} "
+        f"({intra / points:.1f}/point)",
+        f"  dead regs found (interproc)     : {sharp} "
+        f"({sharp / points:.1f}/point)",
+        f"  extra dead registers            : {sharp - intra} "
+        f"(+{100 * (sharp - intra) / max(intra, 1):.0f}%)",
+        "",
+        f"  BB-count overhead, intraproc    : {ov_intra:.1f}%",
+        f"  BB-count overhead, interproc    : {ov_sharp:.1f}%",
+        "",
+        "  callee summaries free argument registers at call sites;",
+        "  the demand fixpoint keeps pass-through registers safe",
+        "  (validated adversarially in tests/test_interproc_liveness.py).",
+    ]
+    record("ablation_interproc", "\n".join(rows))
+
+    assert sharp >= intra
+    # the sharpened engine must never be slower
+    assert ov_sharp <= ov_intra + 0.5

@@ -1,0 +1,128 @@
+"""Ablation: the springboard efficiency ladder (§3.1.2).
+
+The paper: "Dyninst will try to choose the most efficient jump sequence
+in each case, ultimately resorting to the inefficient 2-byte trap
+instructions in the worst case."  This benchmark instruments the same
+mutatee with the patch area placed progressively farther away (and with
+a compressed-entry mutatee for 2-byte slots), reporting which rung each
+configuration lands on and what it costs in simulated cycles per
+instrumented call.
+"""
+
+from __future__ import annotations
+
+from repro.api import open_binary
+from repro.codegen import IncrementVar
+from repro.minicc import compile_source, fib_source
+from repro.patch import PointType
+from repro.riscv import assemble
+from repro.sim import Machine, StopReason
+from repro.symtab import Symtab
+
+N = 10
+CALLS = 177  # 2*fib(11)-1
+
+
+def _run_with_patch_base(patch_base):
+    b = open_binary(compile_source(fib_source(N)))
+    if patch_base is not None:
+        from repro.patch import Patcher
+
+        b._patcher = Patcher(b.symtab, b.cfg, patch_base=patch_base)
+    c = b.allocate_variable("c")
+    b.insert(b.points("fib", PointType.FUNC_ENTRY), IncrementVar(c))
+    res = b.commit()
+    m, ev = b.run_instrumented()
+    assert ev.reason is StopReason.EXITED
+    assert m.mem.read_int(c.address, 8) == CALLS
+    return res.stats, m
+
+
+def _baseline_cycles():
+    b = open_binary(compile_source(fib_source(N)))
+    m, ev = b.run_instrumented()
+    assert ev.reason is StopReason.EXITED
+    return m.ucycles
+
+
+def _tiny_slot_trap_case():
+    """A 2-byte compressed instruction point with a far patch area: the
+    paper's worst case (compressed trap)."""
+    src = """
+.globl _start
+.type _start, @function
+_start:
+  li a0, 200
+loop:
+  c.addi a0, -1
+  bnez a0, loop
+  li a7, 93
+  ecall
+"""
+    p = assemble(src)
+    st = Symtab.from_program(p)
+    from repro.parse import parse_binary
+    from repro.patch import Patcher, instruction_point
+
+    co = parse_binary(st)
+    fn = co.function_containing(p.entry)
+    patcher = Patcher(st, co, patch_base=0x1_0000 + (16 << 20))
+    c = patcher.allocate_var("hits")
+    patcher.insert(instruction_point(fn, p.symbols["loop"].address),
+                   IncrementVar(c))
+    res = patcher.commit()
+    m = Machine()
+    st.load_into(m)
+    res.apply_to_machine(m)
+    ev = m.run(max_steps=1_000_000)
+    assert ev.reason is StopReason.EXITED
+    assert m.mem.read_int(c.address, 8) == 200
+    return res.stats, m
+
+
+def test_springboard_ladder(benchmark, record):
+    benchmark.pedantic(lambda: _run_with_patch_base(None),
+                       rounds=3, iterations=1)
+
+    base_cycles = _baseline_cycles()
+    rows = [f"Ablation: springboard ladder (fib({N}) entry counter, "
+            f"{CALLS} executions)",
+            "",
+            f"{'patch area':>22} {'rung':>12} {'cycles/point-exec':>18}"]
+
+    # near: jal rung
+    stats_near, m_near = _run_with_patch_base(None)
+    per_near = (m_near.ucycles - base_cycles) / 64 / CALLS
+    rows.append(f"{'near (default)':>22} "
+                f"{max(stats_near.springboards, key=stats_near.springboards.get):>12} "
+                f"{per_near:>18.1f}")
+    assert stats_near.springboards.get("jal", 0) >= 1
+
+    # far: auipc+jalr rung
+    stats_far, m_far = _run_with_patch_base(0x1_0000 + (16 << 20))
+    per_far = (m_far.ucycles - base_cycles) / 64 / CALLS
+    rows.append(f"{'+16MiB':>22} "
+                f"{max(stats_far.springboards, key=stats_far.springboards.get):>12} "
+                f"{per_far:>18.1f}")
+    assert stats_far.springboards.get("auipc+jalr", 0) \
+        + stats_far.springboards.get("trap", 0) >= 1
+
+    # worst case: compressed 2-byte slot, far target -> trap
+    stats_trap, m_trap = _tiny_slot_trap_case()
+    rows.append(f"{'2-byte slot, +16MiB':>22} {'trap':>12} "
+                f"{'(see below)':>18}")
+    assert stats_trap.springboards.get("trap", 0) >= 1
+    assert stats_trap.trap_sites >= 1
+
+    rows += [
+        "",
+        f"jal rung cost/exec      : {per_near:6.1f} cycles",
+        f"far rung cost/exec      : {per_far:6.1f} cycles "
+        f"(x{per_far / per_near:.2f} vs jal)",
+        "trap rung engages the runtime on every execution — the",
+        "'inefficient 2-byte trap' worst case of 3.1.2.",
+    ]
+    record("ablation_springboard", "\n".join(rows))
+
+    # the ladder must be ordered: far costs more than near
+    assert per_far > per_near

@@ -1,0 +1,85 @@
+"""Reproduction of Figure 2: the Dyninst component graph.
+
+Figure 2 is an architecture diagram — its executable form is the
+*import* graph of this package.  The benchmark extracts the actual
+inter-component dependencies from the source and checks them against
+the paper's arrows (information flows from the analysis toolkits toward
+instrumentation, never backward).  A detailed structural test lives in
+tests/test_architecture.py; this benchmark regenerates the figure as a
+text/DOT artifact.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).parent.parent / "src" / "repro"
+
+#: the paper's components mapped to our packages
+COMPONENTS = [
+    "symtab", "instruction", "parse", "dataflow", "codegen", "patch",
+    "proccontrol", "stackwalk",
+]
+
+#: Figure 2's use-relationships: component -> components it may use
+#: (plus substrates riscv/elf/sim/semantics, allowed everywhere).
+ALLOWED = {
+    "symtab": set(),
+    "instruction": set(),
+    "parse": {"instruction", "symtab", "dataflow"},
+    "dataflow": {"instruction", "parse"},
+    "codegen": {"dataflow", "instruction"},
+    "patch": {"codegen", "dataflow", "parse", "instruction", "symtab"},
+    "proccontrol": {"instruction", "symtab"},
+    "stackwalk": {"dataflow", "parse", "proccontrol", "instruction"},
+}
+
+SUBSTRATES = {"riscv", "elf", "sim", "semantics", "minicc", "api",
+              "tools"}
+
+
+def component_imports() -> dict[str, set[str]]:
+    """component -> set of repro components it imports."""
+    out: dict[str, set[str]] = {c: set() for c in COMPONENTS}
+    for comp in COMPONENTS:
+        for py in (SRC / comp).rglob("*.py"):
+            tree = ast.parse(py.read_text())
+            for node in ast.walk(tree):
+                if isinstance(node, ast.ImportFrom) and node.module:
+                    mod = node.module
+                    if node.level > 0:  # relative: resolve package names
+                        parts = mod.split(".")
+                        if node.level >= 2 and parts:
+                            target = parts[0]
+                        else:
+                            continue
+                    elif mod.startswith("repro."):
+                        target = mod.split(".")[1]
+                    else:
+                        continue
+                    if target in COMPONENTS and target != comp:
+                        out[comp].add(target)
+    return out
+
+
+def test_figure2_component_graph(benchmark, record):
+    imports = benchmark(component_imports)
+
+    rows = ["Figure 2: component use-relationships (extracted from "
+            "imports)", ""]
+    for comp in COMPONENTS:
+        uses = sorted(imports[comp])
+        rows.append(f"  {comp:12} -> {', '.join(uses) if uses else '(substrates only)'}")
+    rows.append("")
+    rows.append("digraph components {")
+    for comp in COMPONENTS:
+        for dep in sorted(imports[comp]):
+            rows.append(f'  "{comp}" -> "{dep}";')
+    rows.append("}")
+    record("fig2_components", "\n".join(rows))
+
+    for comp, uses in imports.items():
+        illegal = uses - ALLOWED[comp]
+        assert not illegal, (
+            f"{comp} uses {sorted(illegal)} — not an arrow in Figure 2")

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Analysis-only example: extract and print a program's call graph.
+
+No instrumentation at all — just SymtabAPI + ParseAPI (including
+tail-call classification, §3.2.3) feeding the call-graph tool, with DOT
+output for graphviz.
+
+Run:  python examples/callgraph_dump.py
+"""
+
+from repro.api import open_binary
+from repro.minicc import Options, compile_source, tailcall_source
+from repro.tools import build_callgraph
+
+
+def main() -> None:
+    binary = open_binary(compile_source(
+        tailcall_source(50), Options(tail_calls=True)))
+    graph = build_callgraph(binary.cfg)
+
+    print("call graph (-> direct call, ~> tail call):")
+    for fn in sorted(binary.cfg.functions.values(), key=lambda f: f.name):
+        for callee in sorted(graph.calls.get(fn.name, ())):
+            print(f"  {fn.name} -> {callee}")
+        for callee in sorted(graph.tail_calls.get(fn.name, ())):
+            print(f"  {fn.name} ~> {callee}")
+
+    print(f"\nreachable from main: "
+          f"{', '.join(sorted(graph.reachable_from('main')))}")
+
+    assert "even_step" in graph.tail_calls.get("odd_step", set())
+    assert "odd_step" in graph.tail_calls.get("even_step", set())
+
+    print("\nDOT output:\n")
+    print(graph.to_dot())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""A mini-debugger: ProcControlAPI + StackwalkerAPI (the STAT-style
+debugging scenario from the paper's §2).
+
+Creates a stopped process, plants a breakpoint in a recursive function,
+and at every stop walks and prints the call stack — using the sp-height
+frame stepper, since RISC-V code generally has no frame pointer
+(§3.2.7).  Also demonstrates breakpoint-emulated single-stepping
+(§3.2.6: RISC-V ptrace has no hardware single-step).
+
+Run:  python examples/debugger.py
+"""
+
+from repro.minicc import compile_source, fib_source
+from repro.parse import parse_binary
+from repro.proccontrol import EventType, Process
+from repro.stackwalk import StackWalker
+from repro.symtab import Symtab
+
+
+def main() -> None:
+    program = compile_source(fib_source(6))
+    symtab = Symtab.from_program(program)
+    cfg = parse_binary(symtab)
+
+    proc = Process.create(symtab)
+    fib = cfg.function_by_name("fib")
+    proc.insert_breakpoint(fib.entry)
+    walker = StackWalker(proc, cfg)
+
+    deepest: list = []
+    hits = 0
+    while True:
+        event = proc.continue_to_event()
+        if event.type is EventType.EXITED:
+            print(f"\nmutatee exited with code {event.exit_code} "
+                  f"after {hits} breakpoint stops")
+            break
+        hits += 1
+        frames = walker.walk()
+        if len(frames) > len(deepest):
+            deepest = frames
+
+    print(f"\ndeepest stack observed ({len(deepest)} frames):")
+    print(walker.format(deepest))
+
+    # single-step demo on a fresh process
+    print("\nbreakpoint-emulated single-step through _start:")
+    proc2 = Process.create(symtab)
+    for _ in range(3):
+        ev = proc2.step()
+        print(f"  stepped to {proc2.pc:#x} ({ev.type.value})")
+
+
+if __name__ == "__main__":
+    main()

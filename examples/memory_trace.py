@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Memory-access tracing — §1's literal example: "if you wanted to trace
+... every memory access, or even every stack memory reference, you can
+easily create a modified version of your executable".
+
+Every load/store in the kernel is instrumented with an effective-
+address-recording snippet; afterwards the trace is classified into
+stack vs global accesses and summarised as an access-pattern report.
+
+Run:  python examples/memory_trace.py
+"""
+
+from collections import Counter
+
+from repro.api import open_binary
+from repro.minicc import compile_source
+from repro.sim import STACK_TOP
+from repro.tools import trace_memory
+
+SOURCE = """
+long table[16];
+
+long sum_strided(long stride) {
+    long s = 0;
+    for (long i = 0; i < 16; i = i + stride) {
+        s = s + table[i];
+    }
+    return s;
+}
+
+long main(void) {
+    for (long i = 0; i < 16; i = i + 1) { table[i] = i; }
+    long a = sum_strided(1);
+    long b = sum_strided(4);
+    print_long(a + b);
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    binary = open_binary(compile_source(SOURCE))
+    handle = trace_memory(binary, ["sum_strided"])
+    machine, event = binary.run_instrumented()
+    print(f"mutatee exited ({event.exit_code}); "
+          f"stdout: {bytes(machine.stdout).decode().strip()}")
+
+    events = handle.read(machine)
+    table_base = binary.symtab.symbol("table").address
+    kinds = Counter()
+    strides = Counter()
+    last_table_addr = None
+    for ev in events:
+        if ev.address >= STACK_TOP - (16 << 20):
+            kinds["stack"] += 1
+        elif table_base <= ev.address < table_base + 128:
+            kinds["global (table)"] += 1
+            if last_table_addr is not None:
+                strides[ev.address - last_table_addr] += 1
+            last_table_addr = ev.address
+        else:
+            kinds["other"] += 1
+
+    print(f"\n{len(events)} memory accesses traced in sum_strided:")
+    for kind, n in kinds.most_common():
+        print(f"  {kind:16} {n:6}")
+    print("\nobserved strides between consecutive table accesses:")
+    for stride, n in strides.most_common(4):
+        print(f"  {stride:+5d} bytes  x{n}")
+    assert kinds["global (table)"] == 16 + 4  # stride 1 + stride 4 passes
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Static binary rewriting — Figure 1's left-hand flow.
+
+Compiles a mutatee to an ELF file on disk, opens the *file* (not the
+in-memory program), instruments every basic block of `main`, writes the
+instrumented executable back to disk, and finally loads and runs the
+rewritten file to prove it works and carries its counters.
+
+Run:  python examples/static_rewriter.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.api import load_rewritten, open_binary
+from repro.minicc import compile_to_elf, switch_source
+from repro.sim import Machine
+from repro.tools import count_basic_blocks
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="pydyninst-"))
+    original = workdir / "dispatch"
+    instrumented = workdir / "dispatch.inst"
+
+    original.write_bytes(compile_to_elf(switch_source(40)))
+    print(f"wrote mutatee          : {original} "
+          f"({original.stat().st_size} bytes)")
+
+    binary = open_binary(original.read_bytes())
+    print(f"ISA from .riscv.attributes: {binary.isa.arch_string()} "
+          f"(source: {binary.symtab.isa_source})")
+    handle = count_basic_blocks(binary, "dispatch")
+
+    instrumented.write_bytes(binary.rewrite())
+    print(f"wrote instrumented file: {instrumented} "
+          f"({instrumented.stat().st_size} bytes)")
+
+    machine = Machine()
+    load_rewritten(machine, instrumented.read_bytes())
+    event = machine.run(max_steps=5_000_000)
+    print(f"\nrewritten binary ran: {event.reason.value}, "
+          f"stdout: {bytes(machine.stdout).decode().strip()!r}")
+    print(f"block executions recorded in .dyninst.data: "
+          f"{handle.read(machine)}")
+    assert handle.read(machine) > 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""pydyninst-riscv: a Dyninst-style binary analysis and instrumentation
+toolkit for RV64GC, in pure Python.
+
+Reproduction of "Dyninst on the RISC-V" (He et al., SC Workshops '25).
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+
+Toolkit layout (mirrors the paper's Figure 2):
+
+- :mod:`repro.symtab`       — SymtabAPI (binary structure, extensions)
+- :mod:`repro.instruction`  — InstructionAPI (decoded operands, categories)
+- :mod:`repro.parse`        — ParseAPI (CFG construction)
+- :mod:`repro.dataflow`     — DataflowAPI (liveness, slicing, stack height)
+- :mod:`repro.codegen`      — CodeGenAPI (snippet AST -> machine code)
+- :mod:`repro.patch`        — PatchAPI (snippet insertion, rewriting)
+- :mod:`repro.proccontrol`  — ProcControlAPI (debugger-style process control)
+- :mod:`repro.stackwalk`    — StackwalkerAPI (call-stack walking)
+
+Substrates: :mod:`repro.riscv` (ISA), :mod:`repro.elf` (object format),
+:mod:`repro.sim` (RV64GC simulator standing in for hardware),
+:mod:`repro.minicc` (small C compiler standing in for GCC),
+:mod:`repro.semantics` (SAIL-pipeline instruction semantics).
+
+The high-level entry point is :mod:`repro.api` (a BPatch analogue).
+"""
+
+__version__ = "0.1.0"

@@ -1,0 +1,9 @@
+"""High-level toolkit facade (the BPatch analogue)."""
+
+from .bpatch import (
+    ApiError, BinaryEdit, attach, load_rewritten, one_time_code,
+    open_binary,
+)
+
+__all__ = ["ApiError", "BinaryEdit", "attach", "load_rewritten",
+           "one_time_code", "open_binary"]

@@ -1,0 +1,240 @@
+"""The high-level toolkit facade (Dyninst's BPatch layer).
+
+One import gives tools the whole stack with the paper's Figure 1 flows:
+
+* **static rewriting** — :func:`open_binary` -> :class:`BinaryEdit` ->
+  instrument -> :meth:`BinaryEdit.rewrite` -> new executable;
+* **dynamic, create** — :meth:`BinaryEdit.create_process` (stopped at
+  entry) -> instrument -> run;
+* **dynamic, attach** — :func:`attach` to a running simulator machine ->
+  instrument -> resume.
+
+Tools written against this layer contain no RISC-V specifics: points and
+snippets are the machine-independent abstractions of §2.2.
+"""
+
+from __future__ import annotations
+
+from ..codegen.snippets import Snippet, Variable
+from ..parse.cfg import Function
+from ..parse.parser import CodeObject, parse_binary
+from ..patch.patcher import Patcher, PatchResult
+from ..patch.points import Point, PointType, points_for
+from ..patch.rewriter import load_instrumented, rewrite
+from ..proccontrol.process import Process
+from ..riscv.assembler import Program
+from ..sim.machine import Machine
+from ..sim.timing import P550, TimingModel
+from ..symtab.symtab import Symtab
+
+
+class ApiError(RuntimeError):
+    pass
+
+
+def open_binary(source: bytes | Program | Symtab, *,
+                gap_parsing: bool = True) -> "BinaryEdit":
+    """Open a mutatee for analysis and instrumentation.
+
+    Accepts raw ELF bytes, an assembled/compiled :class:`Program`, or an
+    existing :class:`Symtab`.
+    """
+    if isinstance(source, Symtab):
+        symtab = source
+    elif isinstance(source, Program):
+        symtab = Symtab.from_program(source)
+    elif isinstance(source, (bytes, bytearray)):
+        symtab = Symtab.from_bytes(bytes(source))
+    else:
+        raise ApiError(f"cannot open {type(source).__name__}")
+    return BinaryEdit(symtab, gap_parsing=gap_parsing)
+
+
+class BinaryEdit:
+    """An opened mutatee: analysis results plus snippet insertion."""
+
+    def __init__(self, symtab: Symtab, *, gap_parsing: bool = True,
+                 use_dead_registers: bool = True,
+                 patch_base: int | None = None):
+        self.symtab = symtab
+        self.cfg: CodeObject = parse_binary(symtab, gap_parsing=gap_parsing)
+        self._patcher = Patcher(
+            symtab, self.cfg, use_dead_registers=use_dead_registers,
+            patch_base=patch_base)
+        self._result: PatchResult | None = None
+
+    # -- analysis ----------------------------------------------------------
+
+    @property
+    def isa(self):
+        """The mutatee's ISA subset (SymtabAPI's extension discovery)."""
+        return self.symtab.isa
+
+    def functions(self) -> list[Function]:
+        return sorted(self.cfg.functions.values(), key=lambda f: f.entry)
+
+    def function(self, name: str) -> Function:
+        fn = self.cfg.function_by_name(name)
+        if fn is None:
+            raise ApiError(f"no function named {name!r}")
+        return fn
+
+    def points(self, fn: Function | str, ptype: PointType) -> list[Point]:
+        """Enumerate instrumentation points of one kind in a function."""
+        if isinstance(fn, str):
+            fn = self.function(fn)
+        return points_for(fn, ptype)
+
+    # -- instrumentation ---------------------------------------------------------
+
+    def allocate_variable(self, name: str, size: int = 8) -> Variable:
+        return self._patcher.allocate_var(name, size)
+
+    def insert(self, points: Point | list[Point], snippet: Snippet) -> None:
+        """Queue the Dyninst (P, AST) insertion."""
+        self._ensure_uncommitted()
+        self._patcher.insert(points, snippet)
+
+    def replace_function(self, old: Function | str,
+                         new: Function | str) -> None:
+        """Divert every call of *old* into *new* (Dyninst's
+        replaceFunction)."""
+        self._ensure_uncommitted()
+        if isinstance(old, str):
+            old = self.function(old)
+        if isinstance(new, str):
+            new = self.function(new)
+        self._patcher.replace_function(old, new.entry)
+
+    def replace_call(self, point: Point, new: Function | str) -> None:
+        """Retarget one call site to a different function."""
+        self._ensure_uncommitted()
+        if isinstance(new, str):
+            new = self.function(new)
+        self._patcher.replace_call(point, new.entry)
+
+    def delete_instruction(self, point: Point) -> None:
+        """Remove the instruction at *point* from the execution (combine
+        with :meth:`insert` at the same point to *modify* it)."""
+        self._ensure_uncommitted()
+        self._patcher.delete_instruction(point)
+
+    def commit(self) -> PatchResult:
+        """Build all trampolines/springboards (idempotent)."""
+        if self._result is None:
+            self._result = self._patcher.commit()
+        return self._result
+
+    def _ensure_uncommitted(self) -> None:
+        if self._result is not None:
+            raise ApiError("instrumentation already committed")
+
+    # -- the three Figure-1 flows --------------------------------------------------
+
+    def rewrite(self) -> bytes:
+        """Static binary rewriting: produce the instrumented ELF."""
+        return rewrite(self.symtab, self.commit())
+
+    def create_process(self, timing: TimingModel = P550,
+                       instrumented: bool = True) -> Process:
+        """Dynamic (create): new process stopped at entry, optionally
+        with the queued instrumentation already applied."""
+        proc = Process.create(self.symtab, timing=timing)
+        if instrumented and self._patcher._requests:
+            self.commit().apply_to_machine(proc.machine)
+        return proc
+
+    def attach_and_instrument(self, machine: Machine) -> Process:
+        """Dynamic (attach): take control of a running machine and apply
+        the queued instrumentation."""
+        proc = Process.attach(machine, self.symtab)
+        if self._patcher._requests:
+            self.commit().apply_to_machine(machine)
+        return proc
+
+    # -- convenience ------------------------------------------------------------------
+
+    def run_instrumented(self, timing: TimingModel = P550,
+                         max_steps: int | None = None):
+        """Commit, load, run; returns (machine, stop event)."""
+        m = Machine(timing)
+        self.symtab.load_into(m)
+        if self._patcher._requests:
+            self.commit().apply_to_machine(m)
+        return m, m.run(max_steps)
+
+    def read_variable(self, machine: Machine, var: Variable) -> int:
+        return machine.mem.read_int(var.address, var.size)
+
+
+def attach(machine: Machine, symtab: Symtab) -> Process:
+    """Attach to a running simulator machine (no instrumentation)."""
+    return Process.attach(machine, symtab)
+
+
+#: transient code/data area used by one_time_code (outside normal maps)
+_OTC_BASE = 0x7F00_0000
+
+
+def one_time_code(process: Process, code, *,
+                  isa=None, max_steps: int = 100_000):
+    """Execute a snippet (or evaluate an expression) in the context of a
+    stopped process, immediately — Dyninst's oneTimeCode.
+
+    The payload runs with the mutatee's current register/memory state
+    visible; the full hart state is snapshotted and restored afterwards,
+    so the mutatee cannot observe the excursion (memory writes the
+    snippet performs, of course, persist — that is the point).
+
+    When *code* is an :class:`~repro.codegen.snippets.Expr`, its value
+    is returned.
+    """
+    from ..codegen.generator import SnippetGenerator
+    from ..codegen.snippets import (
+        Expr as SnExpr, SetVar, Snippet as SnStmt, Variable,
+    )
+    from ..riscv.encoder import encode
+    from ..riscv.extensions import RV64GC
+    from ..riscv.registers import SCRATCH_CANDIDATES
+    from ..sim.machine import StopReason
+
+    m = process.machine
+    result_var = Variable("$otc_result", _OTC_BASE)
+    is_expr = isinstance(code, SnExpr)
+    snippet: SnStmt = SetVar(result_var, code) if is_expr else code
+    if not isinstance(snippet, SnStmt):
+        raise ApiError(f"one_time_code takes a Snippet or Expr, "
+                       f"got {type(code).__name__}")
+
+    gen = SnippetGenerator(isa or (process.symtab.isa if process.symtab
+                                   else RV64GC),
+                           list(SCRATCH_CANDIDATES))
+    blob = gen.generate(snippet).encode()
+    blob += encode("ebreak").to_bytes(4, "little")
+
+    # snapshot hart state
+    saved = (list(m.x), list(m.f), m.pc, dict(m.trap_redirects))
+    code_base = _OTC_BASE + 64
+    m.mem.map_region(_OTC_BASE, len(blob) + 128)
+    m.add_exec_range(code_base, code_base + len(blob))
+    m.write_mem(code_base, blob)
+    m.pc = code_base
+    try:
+        stop = m.run(max_steps=max_steps)
+        if stop.reason is not StopReason.BREAKPOINT or \
+                stop.pc != code_base + len(blob) - 4:
+            raise ApiError(f"one_time_code did not complete: {stop}")
+        if is_expr:
+            return m.mem.read_int(result_var.address, 8)
+        return None
+    finally:
+        m.x[:] = saved[0]
+        m.f[:] = saved[1]
+        m.pc = saved[2]
+        m.trap_redirects = saved[3]
+
+
+def load_rewritten(machine: Machine, elf_bytes: bytes) -> Symtab:
+    """Load a statically rewritten binary (installs trap springboard
+    redirects)."""
+    return load_instrumented(machine, elf_bytes)

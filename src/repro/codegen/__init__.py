@@ -1,0 +1,28 @@
+"""CodeGenAPI: machine-independent snippet ASTs lowered to RV64GC."""
+
+from .generator import (
+    ExtensionUnavailable, GeneratedCode, SnippetGenerator,
+    fold_constants, fold_snippet, required_scratch, snippet_calls,
+)
+from .regalloc import (
+    AllocationError, ScratchPlan, SpillArea, allocate_scratch,
+)
+from .snippets import (
+    BinExpr, CSR_CYCLE, CSR_INSTRET, CSR_TIME, CallFunc, Const, CsrExpr,
+    DataArea, Expr, If, IncrementVar, LoadExpr,
+    Nop, NotExpr, ParamExpr, RegExpr, RetValExpr, Sequence, SetReg,
+    SetVar, Snippet, SnippetError, StoreSnippet, VarExpr, Variable,
+)
+
+__all__ = [
+    "ExtensionUnavailable", "GeneratedCode", "SnippetGenerator",
+    "fold_constants", "fold_snippet", "required_scratch",
+    "snippet_calls",
+    "AllocationError", "ScratchPlan", "SpillArea", "allocate_scratch",
+    "BinExpr", "CSR_CYCLE", "CSR_INSTRET", "CSR_TIME", "CallFunc",
+    "Const", "CsrExpr", "DataArea", "Expr", "If",
+    "IncrementVar", "LoadExpr", "Nop", "NotExpr", "ParamExpr",
+    "RegExpr", "RetValExpr", "Sequence",
+    "SetReg", "SetVar", "Snippet", "SnippetError", "StoreSnippet",
+    "VarExpr", "Variable",
+]

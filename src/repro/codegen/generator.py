@@ -1,0 +1,432 @@
+"""CodeGenAPI: lower snippet ASTs to RV64GC instruction sequences
+(paper §3.2.5).
+
+Extension-aware: the generator is constructed with the mutatee's
+:class:`~repro.riscv.extensions.ISASubset` (from SymtabAPI) and refuses
+to emit instructions from extensions the target may not implement —
+``mul`` needs M, FP moves need D, and so on.  Immediates are
+materialised with the shared ``lui``/``addi``/``slli`` logic
+(:mod:`repro.riscv.materialize`).
+
+The generator works with whatever scratch registers the register
+allocator hands it (dead registers when liveness found some — the §4.3
+optimisation — or spilled ones otherwise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..riscv.encoder import encode_fields
+from ..riscv.encoding import sign_extend, to_unsigned
+from ..riscv.extensions import ISASubset
+from ..riscv.materialize import materialize_imm
+from ..riscv.opcodes import by_mnemonic
+from ..riscv.registers import Register
+from ..semantics.evaluate import _binop
+from . import snippets as S
+
+#: snippet operator -> semantics-kernel operator (RISC-V semantics,
+#: signed where the lowering is signed)
+_FOLD_OPS = {
+    "add": "add", "sub": "sub", "mul": "mul", "div": "divs",
+    "rem": "rems", "and": "and", "or": "or", "xor": "xor",
+    "shl": "sll", "shr": "srl",
+    "eq": "eq", "ne": "ne", "lt": "lts", "le": None, "gt": None,
+    "ge": "ges",
+}
+
+
+def fold_constants(expr: S.Expr) -> S.Expr:
+    """Constant-fold a snippet expression (paper §2: Dyninst will
+    "optimize the code when possible").  Folding uses the same
+    evaluation kernel as the instruction semantics, so folded and
+    lowered results agree bit-for-bit."""
+    if isinstance(expr, S.BinExpr):
+        lhs = fold_constants(expr.lhs)
+        rhs = fold_constants(expr.rhs)
+        if isinstance(lhs, S.Const) and isinstance(rhs, S.Const):
+            a = to_unsigned(lhs.value, 64)
+            b = to_unsigned(rhs.value, 64)
+            op = expr.op
+            if op == "le":
+                v = int(sign_extend(a, 64) <= sign_extend(b, 64))
+            elif op == "gt":
+                v = int(sign_extend(a, 64) > sign_extend(b, 64))
+            elif _FOLD_OPS.get(op):
+                v = _binop(_FOLD_OPS[op], a, b)
+            else:
+                return S.BinExpr(expr.op, lhs, rhs)
+            return S.Const(sign_extend(v, 64))
+        # algebraic identities that shorten the lowering
+        if isinstance(rhs, S.Const) and rhs.value == 0 and \
+                expr.op in ("add", "sub", "or", "xor", "shl", "shr"):
+            return lhs
+        if isinstance(lhs, S.Const) and lhs.value == 0 and \
+                expr.op in ("add", "or", "xor"):
+            return rhs
+        if isinstance(rhs, S.Const) and rhs.value == 1 and \
+                expr.op in ("mul", "div"):
+            return lhs
+        return S.BinExpr(expr.op, lhs, rhs)
+    if isinstance(expr, S.NotExpr):
+        inner = fold_constants(expr.operand)
+        if isinstance(inner, S.Const):
+            return S.Const(int(inner.value == 0))
+        return S.NotExpr(inner)
+    if isinstance(expr, S.LoadExpr):
+        return S.LoadExpr(fold_constants(expr.addr), expr.size,
+                          expr.signed)
+    return expr
+
+
+def fold_snippet(snippet: S.Snippet) -> S.Snippet:
+    """Apply constant folding through a snippet tree (If with a constant
+    condition drops the dead branch entirely)."""
+    if isinstance(snippet, S.SetVar):
+        return S.SetVar(snippet.var, fold_constants(snippet.value))
+    if isinstance(snippet, S.StoreSnippet):
+        return S.StoreSnippet(fold_constants(snippet.addr),
+                              fold_constants(snippet.value),
+                              snippet.size)
+    if isinstance(snippet, S.SetReg):
+        return S.SetReg(snippet.reg, fold_constants(snippet.value))
+    if isinstance(snippet, S.If):
+        cond = fold_constants(snippet.cond)
+        then = fold_snippet(snippet.then)
+        other = (fold_snippet(snippet.otherwise)
+                 if snippet.otherwise is not None else None)
+        if isinstance(cond, S.Const):
+            if cond.value:
+                return then
+            return other if other is not None else S.Nop()
+        return S.If(cond, then, other)
+    if isinstance(snippet, S.Sequence):
+        items = [fold_snippet(x) for x in snippet.items]
+        items = [x for x in items if not isinstance(x, S.Nop)]
+        if not items:
+            return S.Nop()
+        if len(items) == 1:
+            return items[0]
+        return S.Sequence(items)
+    if isinstance(snippet, S.CallFunc):
+        return S.CallFunc(snippet.target,
+                          [fold_constants(a) for a in snippet.args])
+    return snippet
+
+#: (mnemonic, fields) — one lowered instruction.
+Lowered = tuple[str, dict[str, int]]
+
+
+class ExtensionUnavailable(S.SnippetError):
+    """The snippet requires an ISA extension the mutatee lacks."""
+
+    def __init__(self, mnemonic: str, extension: str, isa: ISASubset):
+        super().__init__(
+            f"snippet needs {mnemonic!r} ({extension!r} extension) but the "
+            f"mutatee only supports {isa.arch_string()}")
+        self.extension = extension
+
+
+@dataclass
+class GeneratedCode:
+    """Lowered snippet payload."""
+
+    instructions: list[Lowered]
+
+    def encode(self) -> bytes:
+        out = bytearray()
+        for mn, fields in self.instructions:
+            out += encode_fields(by_mnemonic(mn), fields).to_bytes(
+                4, "little")
+        return bytes(out)
+
+    @property
+    def size(self) -> int:
+        return 4 * len(self.instructions)
+
+
+def _expr_depth(e: S.Expr) -> int:
+    if isinstance(e, (S.Const, S.VarExpr, S.RegExpr)):
+        return 1
+    if isinstance(e, S.LoadExpr):
+        return _expr_depth(e.addr)
+    if isinstance(e, S.NotExpr):
+        return _expr_depth(e.operand)
+    if isinstance(e, S.BinExpr):
+        return max(_expr_depth(e.lhs), 1 + _expr_depth(e.rhs))
+    return 1
+
+
+def required_scratch(snippet: S.Snippet) -> int:
+    """How many scratch registers lowering this snippet needs (drives
+    the register allocator's request)."""
+    if isinstance(snippet, S.Nop):
+        return 2
+    if isinstance(snippet, S.IncrementVar):
+        return 2 if -2048 <= snippet.step <= 2047 else 3
+    if isinstance(snippet, S.SetVar):
+        # value lands in reg 0; the address materialises in reg 1
+        return max(2, _expr_depth(snippet.value))
+    if isinstance(snippet, S.StoreSnippet):
+        return max(2, _expr_depth(snippet.value),
+                   1 + _expr_depth(snippet.addr))
+    if isinstance(snippet, S.SetReg):
+        return max(2, _expr_depth(snippet.value))
+    if isinstance(snippet, S.If):
+        n = max(2, _expr_depth(snippet.cond),
+                required_scratch(snippet.then))
+        if snippet.otherwise is not None:
+            n = max(n, required_scratch(snippet.otherwise))
+        return n
+    if isinstance(snippet, S.Sequence):
+        return max([2] + [required_scratch(x) for x in snippet.items])
+    if isinstance(snippet, S.CallFunc):
+        return max([2] + [_expr_depth(a) for a in snippet.args])
+    return 2
+
+
+def snippet_calls(snippet: S.Snippet) -> bool:
+    """Does the snippet contain a CallFunc (needs full caller-saved
+    spill in the trampoline)?"""
+    if isinstance(snippet, S.CallFunc):
+        return True
+    if isinstance(snippet, S.Sequence):
+        return any(snippet_calls(x) for x in snippet.items)
+    if isinstance(snippet, S.If):
+        return snippet_calls(snippet.then) or (
+            snippet.otherwise is not None and snippet_calls(snippet.otherwise))
+    return False
+
+
+class SnippetGenerator:
+    """Lowers one snippet with a fixed set of scratch registers.
+
+    ``sp_adjustment`` compensates register reads of sp when the payload
+    executes inside a trampoline spill frame: the mutatee's sp at the
+    instrumentation point is the live sp *plus* the spill frame size.
+    The patcher passes the active frame size; RegExpr(sp) then lowers to
+    ``addi dst, sp, adjustment`` so snippets observe the original value.
+    """
+
+    def __init__(self, isa: ISASubset, scratch: list[Register],
+                 sp_adjustment: int = 0):
+        if len(scratch) < 2:
+            raise S.SnippetError("snippet generation needs >= 2 scratch "
+                                 "registers")
+        self.isa = isa
+        self.scratch = scratch
+        self.sp_adjustment = sp_adjustment
+        self._out: list = []     # ('i', mn, fields) | ('lbl', id) |
+        #                          ('br', mn, fields, lbl)
+        self._label_n = 0
+
+    # -- public ------------------------------------------------------------
+
+    def generate(self, snippet: S.Snippet,
+                 optimize: bool = True) -> GeneratedCode:
+        self._out = []
+        self._stmt(fold_snippet(snippet) if optimize else snippet)
+        return GeneratedCode(self._resolve())
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _emit(self, mn: str, **fields: int) -> None:
+        spec = by_mnemonic(mn)
+        if not self.isa.supports(spec.extension):
+            raise ExtensionUnavailable(mn, spec.extension, self.isa)
+        self._out.append(("i", mn, fields))
+
+    def _label(self) -> int:
+        self._label_n += 1
+        return self._label_n
+
+    def _place(self, label: int) -> None:
+        self._out.append(("lbl", label))
+
+    def _branch(self, mn: str, fields: dict[str, int], label: int) -> None:
+        self._out.append(("br", mn, fields, label))
+
+    def _materialize(self, rd: int, value: int) -> None:
+        for mn, fields in materialize_imm(rd, value):
+            self._emit(mn, **fields)
+
+    def _resolve(self) -> list[Lowered]:
+        # assign offsets (every instruction is 4 bytes)
+        offsets: dict[int, int] = {}
+        pc = 0
+        for item in self._out:
+            if item[0] == "lbl":
+                offsets[item[1]] = pc
+            else:
+                pc += 4
+        out: list[Lowered] = []
+        pc = 0
+        for item in self._out:
+            if item[0] == "lbl":
+                continue
+            if item[0] == "br":
+                _, mn, fields, label = item
+                fields = dict(fields)
+                fields["imm"] = offsets[label] - pc
+                out.append((mn, fields))
+            else:
+                out.append((item[1], item[2]))
+            pc += 4
+        return out
+
+    # -- statements ----------------------------------------------------------------
+
+    def _stmt(self, s: S.Snippet) -> None:
+        if isinstance(s, S.Nop):
+            return
+        if isinstance(s, S.Sequence):
+            for item in s.items:
+                self._stmt(item)
+            return
+        if isinstance(s, S.IncrementVar):
+            self._gen_increment(s)
+            return
+        if isinstance(s, S.SetVar):
+            val = self._expr(s.value, 0)
+            addr = self._addr_of(s.var, 1)
+            self._emit("sd", rs2=val, rs1=addr, imm=0)
+            return
+        if isinstance(s, S.StoreSnippet):
+            val = self._expr(s.value, 0)
+            addr = self._expr(s.addr, 1)
+            mn = {1: "sb", 2: "sh", 4: "sw", 8: "sd"}[s.size]
+            self._emit(mn, rs2=val, rs1=addr, imm=0)
+            return
+        if isinstance(s, S.SetReg):
+            if s.reg.number in (0, 2):
+                raise S.SnippetError(
+                    f"SetReg cannot target {s.reg.abi_name} (the "
+                    f"trampoline depends on it)")
+            val = self._expr(s.value, 0)
+            self._emit("addi", rd=s.reg.number, rs1=val, imm=0)
+            return
+        if isinstance(s, S.If):
+            self._gen_if(s)
+            return
+        if isinstance(s, S.CallFunc):
+            self._gen_call(s)
+            return
+        raise S.SnippetError(f"unknown snippet node {s!r}")
+
+    def _gen_increment(self, s: S.IncrementVar) -> None:
+        """The hot path: addr-materialise, load, add, store — 5-6
+        instructions with a 2-register footprint."""
+        addr = self._addr_of(s.var, 0)
+        tmp = self._reg(1)
+        self._emit("ld", rd=tmp, rs1=addr, imm=0)
+        if -2048 <= s.step <= 2047:
+            self._emit("addi", rd=tmp, rs1=tmp, imm=s.step)
+        else:
+            step = self._reg(2)
+            self._materialize(step, s.step)
+            self._emit("add", rd=tmp, rs1=tmp, rs2=step)
+        self._emit("sd", rs2=tmp, rs1=addr, imm=0)
+
+    def _gen_if(self, s: S.If) -> None:
+        cond = self._expr(s.cond, 0)
+        else_l = self._label()
+        end_l = self._label()
+        self._branch("beq", {"rs1": cond, "rs2": 0}, else_l)
+        self._stmt(s.then)
+        if s.otherwise is not None:
+            self._branch("jal", {"rd": 0}, end_l)
+            self._place(else_l)
+            self._stmt(s.otherwise)
+            self._place(end_l)
+        else:
+            self._place(else_l)
+
+    def _gen_call(self, s: S.CallFunc) -> None:
+        if len(s.args) > 8:
+            raise S.SnippetError("CallFunc supports at most 8 arguments")
+        for i, arg in enumerate(s.args):
+            r = self._expr(arg, 0)
+            self._emit("addi", rd=10 + i, rs1=r, imm=0)
+        target = self._reg(0)
+        self._materialize(target, s.target)
+        self._emit("jalr", rd=1, rs1=target, imm=0)
+
+    # -- expressions ------------------------------------------------------------------
+
+    def _reg(self, depth: int) -> int:
+        if depth >= len(self.scratch):
+            raise S.SnippetError(
+                f"snippet expression needs more than {len(self.scratch)} "
+                f"scratch registers")
+        return self.scratch[depth].number
+
+    def _addr_of(self, var: S.Variable, depth: int) -> int:
+        r = self._reg(depth)
+        self._materialize(r, var.address)
+        return r
+
+    def _expr(self, e: S.Expr, depth: int) -> int:
+        """Evaluate into scratch[depth]; returns the register number."""
+        dst = self._reg(depth)
+        if isinstance(e, S.Const):
+            self._materialize(dst, e.value)
+            return dst
+        if isinstance(e, S.VarExpr):
+            self._materialize(dst, e.var.address)
+            mn = {1: "lbu", 2: "lhu", 4: "lwu", 8: "ld"}[e.var.size]
+            self._emit(mn, rd=dst, rs1=dst, imm=0)
+            return dst
+        if isinstance(e, S.RegExpr):
+            adj = self.sp_adjustment if e.reg.number == 2 else 0
+            self._emit("addi", rd=dst, rs1=e.reg.number, imm=adj)
+            return dst
+        if isinstance(e, S.CsrExpr):
+            self._emit("csrrs", rd=dst, csr=e.csr, rs1=0)
+            return dst
+        if isinstance(e, S.LoadExpr):
+            addr = self._expr(e.addr, depth)
+            if e.signed:
+                mn = {1: "lb", 2: "lh", 4: "lw", 8: "ld"}[e.size]
+            else:
+                mn = {1: "lbu", 2: "lhu", 4: "lwu", 8: "ld"}[e.size]
+            self._emit(mn, rd=dst, rs1=addr, imm=0)
+            return dst
+        if isinstance(e, S.NotExpr):
+            v = self._expr(e.operand, depth)
+            self._emit("sltiu", rd=dst, rs1=v, imm=1)
+            return dst
+        if isinstance(e, S.BinExpr):
+            return self._bin(e, depth, dst)
+        raise S.SnippetError(f"unknown expression node {e!r}")
+
+    def _bin(self, e: S.BinExpr, depth: int, dst: int) -> int:
+        if e.op not in S.OPS:
+            raise S.SnippetError(f"unknown operator {e.op!r}")
+        a = self._expr(e.lhs, depth)
+        b = self._expr(e.rhs, depth + 1)
+        table = {
+            "add": "add", "sub": "sub", "mul": "mul", "div": "div",
+            "rem": "rem", "and": "and", "or": "or", "xor": "xor",
+            "shl": "sll", "shr": "srl",
+        }
+        if e.op in table:
+            self._emit(table[e.op], rd=dst, rs1=a, rs2=b)
+            return dst
+        if e.op == "lt":
+            self._emit("slt", rd=dst, rs1=a, rs2=b)
+        elif e.op == "gt":
+            self._emit("slt", rd=dst, rs1=b, rs2=a)
+        elif e.op == "le":
+            self._emit("slt", rd=dst, rs1=b, rs2=a)
+            self._emit("xori", rd=dst, rs1=dst, imm=1)
+        elif e.op == "ge":
+            self._emit("slt", rd=dst, rs1=a, rs2=b)
+            self._emit("xori", rd=dst, rs1=dst, imm=1)
+        elif e.op == "eq":
+            self._emit("sub", rd=dst, rs1=a, rs2=b)
+            self._emit("sltiu", rd=dst, rs1=dst, imm=1)
+        elif e.op == "ne":
+            self._emit("sub", rd=dst, rs1=a, rs2=b)
+            self._emit("sltu", rd=dst, rs1=0, rs2=dst)
+        return dst

@@ -1,0 +1,237 @@
+"""Snippet AST: the machine-independent instrumentation language
+(paper §2: "a snippet is an abstract representation of the code to be
+inserted into the binary ... specified by a machine independent abstract
+syntax tree").
+
+Mirrors Dyninst's BPatch_snippet vocabulary: constants, variables
+(allocated in the mutatee's instrumentation data area), register and
+memory accesses, arithmetic/logical/relational operators, sequences,
+conditionals, and function calls.  Tools build these trees;
+CodeGenAPI lowers them to RV64GC (:mod:`repro.codegen.generator`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence as Seq
+
+from ..riscv.registers import Register
+
+
+@dataclass(frozen=True)
+class Variable:
+    """An 8-byte slot in the instrumentation data area."""
+
+    name: str
+    address: int
+    size: int = 8
+
+
+class SnippetError(ValueError):
+    """Raised for malformed snippet trees or lowering failures."""
+
+
+# -- expressions -----------------------------------------------------------
+
+class Expr:
+    """Base class for value-producing snippet nodes."""
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """64-bit integer constant."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class VarExpr(Expr):
+    """Read an instrumentation variable."""
+
+    var: Variable
+
+
+@dataclass(frozen=True)
+class RegExpr(Expr):
+    """Read a mutatee register (its original, pre-snippet value when the
+    patcher spilled it; otherwise the live value)."""
+
+    reg: Register
+
+
+def ParamExpr(index: int) -> "RegExpr":
+    """The i-th integer argument of the instrumented function — valid at
+    function-entry points (Dyninst's BPatch_paramExpr)."""
+    from ..riscv.registers import ARG_REGS
+
+    if not 0 <= index < len(ARG_REGS):
+        raise SnippetError(f"parameter index {index} out of range 0..7")
+    return RegExpr(ARG_REGS[index])
+
+
+def RetValExpr() -> "RegExpr":
+    """The function's integer return value — valid at function-exit
+    points (Dyninst's BPatch_retExpr)."""
+    from ..riscv.registers import A0
+
+    return RegExpr(A0)
+
+
+@dataclass(frozen=True)
+class CsrExpr(Expr):
+    """Read a control/status register (e.g. ``cycle`` = 0xC00) — lets
+    instrumentation self-time the mutatee (requires Zicsr)."""
+
+    csr: int
+
+
+#: well-known CSR addresses for snippets
+CSR_CYCLE = 0xC00
+CSR_TIME = 0xC01
+CSR_INSTRET = 0xC02
+
+
+@dataclass(frozen=True)
+class LoadExpr(Expr):
+    """Load *size* bytes from the address an expression computes."""
+
+    addr: Expr
+    size: int = 8
+    signed: bool = False
+
+
+@dataclass(frozen=True)
+class BinExpr(Expr):
+    """Binary operation.  op in OPS."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class NotExpr(Expr):
+    """Logical negation (0 -> 1, nonzero -> 0)."""
+
+    operand: Expr
+
+
+#: Supported binary operators.
+OPS = frozenset({
+    "add", "sub", "mul", "div", "rem",
+    "and", "or", "xor", "shl", "shr",
+    "eq", "ne", "lt", "le", "gt", "ge",
+})
+
+
+# -- statements ----------------------------------------------------------------
+
+class Snippet:
+    """Base class for effect-producing snippet nodes."""
+
+
+@dataclass(frozen=True)
+class Nop(Snippet):
+    """The null snippet."""
+
+
+@dataclass(frozen=True)
+class SetVar(Snippet):
+    """var = expr"""
+
+    var: Variable
+    value: Expr
+
+
+@dataclass(frozen=True)
+class IncrementVar(Snippet):
+    """var = var + step — the canonical counter snippet the paper's
+    benchmarks insert (§4.1: "simply increments a counter in memory")."""
+
+    var: Variable
+    step: int = 1
+
+
+@dataclass(frozen=True)
+class StoreSnippet(Snippet):
+    """Store *size* bytes of value to the address an expression computes."""
+
+    addr: Expr
+    value: Expr
+    size: int = 8
+
+
+@dataclass(frozen=True)
+class SetReg(Snippet):
+    """Write a mutatee register (takes effect when the trampoline
+    returns to the original code)."""
+
+    reg: Register
+    value: Expr
+
+
+@dataclass(frozen=True)
+class If(Snippet):
+    """Conditional execution."""
+
+    cond: Expr
+    then: Snippet
+    otherwise: Snippet | None = None
+
+
+@dataclass(frozen=True)
+class Sequence(Snippet):
+    """Execute snippets in order."""
+
+    items: tuple[Snippet, ...]
+
+    def __init__(self, items: Seq[Snippet]):
+        object.__setattr__(self, "items", tuple(items))
+
+
+@dataclass(frozen=True)
+class CallFunc(Snippet):
+    """Call a mutatee function with up to 8 integer arguments.
+
+    The generator saves/restores what the call clobbers; still, calling
+    into the mutatee from instrumentation is the heavyweight path (the
+    paper's benchmarks deliberately avoid it)."""
+
+    target: int
+    args: tuple[Expr, ...] = ()
+
+    def __init__(self, target: int, args: Seq[Expr] = ()):
+        object.__setattr__(self, "target", target)
+        object.__setattr__(self, "args", tuple(args))
+
+
+# -- data area -------------------------------------------------------------------
+
+class DataArea:
+    """Bump allocator for instrumentation variables in the mutatee's
+    address space."""
+
+    def __init__(self, base: int, size: int):
+        self.base = base
+        self.size = size
+        self._next = base
+        self.variables: dict[str, Variable] = {}
+
+    def allocate(self, name: str, size: int = 8,
+                 align: int = 8) -> Variable:
+        if name in self.variables:
+            raise SnippetError(f"variable {name!r} already allocated")
+        addr = (self._next + align - 1) & ~(align - 1)
+        if addr + size > self.base + self.size:
+            raise SnippetError("instrumentation data area exhausted")
+        self._next = addr + size
+        var = Variable(name, addr, size)
+        self.variables[name] = var
+        return var
+
+    def var(self, name: str) -> Variable:
+        return self.variables[name]
+
+    @property
+    def used(self) -> int:
+        return self._next - self.base

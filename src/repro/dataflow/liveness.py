@@ -1,0 +1,153 @@
+"""Register liveness analysis (DataflowAPI, paper §2.1 and §4.3).
+
+The instrumentation payoff: liveness finds *dead* registers — registers
+whose current value is never read again — which CodeGenAPI can use as
+scratch space without saving/restoring, the "allocation optimization"
+the paper credits for RISC-V's lower instrumentation overhead (§4.3).
+
+Standard backward may-liveness at block granularity with
+per-instruction refinement.  Conservative boundary conditions:
+
+* at function exits (RET/TAILCALL), return-value and callee-saved
+  registers are live-out;
+* call sites are assumed to read all argument registers and ra/sp, and
+  to clobber the caller-saved set (callee-saved values flow through);
+* unresolved indirect flow makes everything live (fail-safe).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..instruction.insn import Insn
+from ..parse.cfg import Block, EdgeType, Function
+from ..riscv.registers import (
+    ARG_REGS, CALLEE_SAVED, CALLER_SAVED, FP_ARG_REGS, FP_REGS, GP,
+    INT_REGS, RA, Register, SP, TP,
+)
+
+#: Registers assumed live at a function exit: returned values plus
+#: everything the caller expects preserved.
+EXIT_LIVE: frozenset[Register] = frozenset(
+    {INT_REGS[10], INT_REGS[11], FP_REGS[10], FP_REGS[11], RA, GP, TP}
+) | CALLEE_SAVED
+
+#: Registers a call is assumed to consume.
+CALL_USES: frozenset[Register] = frozenset(ARG_REGS) | frozenset(
+    FP_ARG_REGS) | {SP, GP, TP}
+
+#: Registers whose values do not survive a call.
+CALL_KILLS: frozenset[Register] = frozenset(
+    r for r in CALLER_SAVED if not r.is_zero
+) | frozenset(FP_REGS[0:10]) | frozenset(FP_REGS[16:18]) | frozenset(
+    FP_REGS[28:32])
+
+ALL_REGS: frozenset[Register] = frozenset(
+    r for r in INT_REGS if not r.is_zero) | frozenset(FP_REGS)
+
+
+def _block_flow(block: Block) -> tuple[frozenset, frozenset]:
+    """(use, def) summary of a block for backward liveness."""
+    use: set[Register] = set()
+    defs: set[Register] = set()
+    for insn in block.insns:
+        u, d = insn_uses_defs(insn, block)
+        use |= (u - defs)
+        defs |= d
+    return frozenset(use), frozenset(defs)
+
+
+def insn_uses_defs(insn: Insn, block: Block | None = None
+                   ) -> tuple[set[Register], set[Register]]:
+    """Per-instruction (uses, defs), with call-site augmentation when the
+    instruction terminates a call block."""
+    uses = insn.read_set()
+    defs = insn.write_set()
+    if block is not None and insn is block.last:
+        kinds = {e.kind for e in block.out_edges}
+        if EdgeType.CALL in kinds:
+            uses |= CALL_USES
+            defs |= CALL_KILLS
+        if EdgeType.TAILCALL in kinds:
+            uses |= CALL_USES
+    return uses, defs
+
+
+@dataclass
+class LivenessResult:
+    """Fixpoint solution: live-in/live-out per block, with
+    per-instruction queries."""
+
+    function: Function
+    live_in: dict[int, frozenset[Register]]
+    live_out: dict[int, frozenset[Register]]
+
+    def live_before(self, addr: int) -> frozenset[Register]:
+        """Registers live immediately before the instruction at *addr*."""
+        block = self.function.block_at(addr)
+        if block is None:
+            raise KeyError(f"{addr:#x} is not in function "
+                           f"{self.function.name!r}")
+        live = set(self.live_out.get(block.start, ALL_REGS))
+        for insn in reversed(block.insns):
+            u, d = insn_uses_defs(insn, block)
+            live -= d
+            live |= u
+            if insn.address == addr:
+                return frozenset(live)
+        raise KeyError(f"{addr:#x} not at an instruction boundary")
+
+    def dead_before(self, addr: int,
+                    candidates: tuple[Register, ...] | None = None
+                    ) -> list[Register]:
+        """Registers (from *candidates*, default: caller-saved ints) that
+        are dead at *addr* — free scratch for instrumentation."""
+        from ..riscv.registers import SCRATCH_CANDIDATES
+
+        live = self.live_before(addr)
+        pool = candidates if candidates is not None else SCRATCH_CANDIDATES
+        return [r for r in pool if r not in live]
+
+
+def analyze_liveness(fn: Function) -> LivenessResult:
+    """Solve backward may-liveness over the function's blocks."""
+    blocks = fn.blocks
+    summaries = {a: _block_flow(b) for a, b in blocks.items()}
+
+    # successor map (intraprocedural) + exit seeding
+    succs: dict[int, list[int]] = {}
+    seed: dict[int, set[Register]] = {}
+    for addr, block in blocks.items():
+        succs[addr] = fn.intraproc_successors(block)
+        s: set[Register] = set()
+        for e in block.out_edges:
+            if e.kind in (EdgeType.RET, EdgeType.TAILCALL):
+                s |= EXIT_LIVE
+            elif not e.resolved or (
+                    e.kind is EdgeType.INDIRECT and e.target is None):
+                s |= ALL_REGS  # unresolved flow: fail safe
+            elif e.kind is EdgeType.CALL and e.target is None:
+                s |= ALL_REGS
+        if not block.out_edges:
+            s |= EXIT_LIVE  # fell off the parse: conservative
+        seed[addr] = s
+
+    live_in: dict[int, frozenset[Register]] = {
+        a: frozenset() for a in blocks}
+    live_out: dict[int, frozenset[Register]] = {
+        a: frozenset() for a in blocks}
+
+    changed = True
+    while changed:
+        changed = False
+        for addr in blocks:
+            out = set(seed[addr])
+            for s in succs[addr]:
+                out |= live_in[s]
+            use, defs = summaries[addr]
+            inn = frozenset(use | (out - defs))
+            if frozenset(out) != live_out[addr] or inn != live_in[addr]:
+                live_out[addr] = frozenset(out)
+                live_in[addr] = inn
+                changed = True
+    return LivenessResult(fn, live_in, live_out)

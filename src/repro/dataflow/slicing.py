@@ -1,0 +1,185 @@
+"""Program slicing over the CFG (DataflowAPI, paper §2.1/§3.2.4).
+
+Backward slicing ("instructions that affected data") and forward slicing
+("instructions affected by data") built on reaching definitions over the
+def/use sets the semantics registry provides.
+
+Abstract locations are registers plus a single coarse ``MEM`` location
+(optional): precise enough for the paper's uses — resolving jalr targets
+(via :mod:`repro.dataflow.constprop`), understanding address formation —
+while staying sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from ..instruction.insn import Insn
+from ..parse.cfg import Function
+from ..riscv.registers import Register
+from ..semantics import (
+    reads_memory, register_defs, register_uses, writes_memory,
+)
+
+#: Abstract location: ("x"|"f", regnum) or the coarse memory location.
+AbsLoc = Hashable
+MEM: AbsLoc = ("mem", 0)
+
+
+def insn_defs(insn: Insn, include_memory: bool = False) -> set[AbsLoc]:
+    out: set[AbsLoc] = set(register_defs(insn.raw))
+    if include_memory and writes_memory(insn.raw):
+        out.add(MEM)
+    return out
+
+
+def insn_uses(insn: Insn, include_memory: bool = False) -> set[AbsLoc]:
+    out: set[AbsLoc] = set(register_uses(insn.raw))
+    if include_memory and reads_memory(insn.raw):
+        out.add(MEM)
+    return out
+
+
+def _regloc(reg: Register) -> AbsLoc:
+    return (reg.regclass.value[0] if reg.regclass.value != "int" else "x",
+            reg.number)
+
+
+@dataclass
+class SliceGraph:
+    """Def-use graph of one function: nodes are instruction addresses."""
+
+    function: Function
+    include_memory: bool = False
+    #: addr -> {(use_loc, def_addr)}: reaching definition links
+    reaching: dict[int, set[tuple[AbsLoc, int]]] = field(
+        default_factory=dict)
+    #: def_addr -> {use_addr}
+    uses_of: dict[int, set[int]] = field(default_factory=dict)
+
+    def backward_slice(self, addr: int,
+                       loc: Register | AbsLoc | None = None) -> set[int]:
+        """Addresses of instructions whose results flow into *addr*.
+
+        With *loc*, only flows into that location's use are followed;
+        otherwise all uses of the instruction.
+        """
+        if isinstance(loc, Register):
+            loc = _regloc(loc)
+        result: set[int] = set()
+        work: list[int] = []
+        for use_loc, def_addr in self.reaching.get(addr, ()):
+            if loc is None or use_loc == loc:
+                work.append(def_addr)
+        while work:
+            a = work.pop()
+            if a in result:
+                continue
+            result.add(a)
+            for _, def_addr in self.reaching.get(a, ()):
+                work.append(def_addr)
+        return result
+
+    def forward_slice(self, addr: int) -> set[int]:
+        """Addresses of instructions affected by *addr*'s definitions."""
+        result: set[int] = set()
+        work = list(self.uses_of.get(addr, ()))
+        while work:
+            a = work.pop()
+            if a in result:
+                continue
+            result.add(a)
+            work.extend(self.uses_of.get(a, ()))
+        return result
+
+
+def build_slice_graph(fn: Function,
+                      include_memory: bool = False) -> SliceGraph:
+    """Compute reaching definitions and build the def-use graph."""
+    blocks = fn.blocks
+    # Definition sites: (addr, loc)
+    block_insns = {a: b.insns for a, b in blocks.items()}
+
+    # block-level GEN/KILL over (loc -> set of def addrs)
+    gen: dict[int, dict[AbsLoc, set[int]]] = {}
+    kill_locs: dict[int, set[AbsLoc]] = {}
+    for a, insns in block_insns.items():
+        g: dict[AbsLoc, set[int]] = {}
+        for insn in insns:
+            for loc in insn_defs(insn, include_memory):
+                if loc == MEM and MEM in g:
+                    g[MEM] = g[MEM] | {insn.address}  # stores accumulate
+                else:
+                    g[loc] = {insn.address}
+        gen[a] = g
+        kill_locs[a] = {loc for loc in g if loc != MEM}
+
+    preds: dict[int, list[int]] = {a: [] for a in blocks}
+    for a, b in blocks.items():
+        for s in fn.intraproc_successors(b):
+            if s in preds:
+                preds[s].append(a)
+
+    # iterate to fixpoint: in/out are loc -> frozenset(def addrs)
+    empty: dict[AbsLoc, frozenset[int]] = {}
+    rd_in: dict[int, dict[AbsLoc, frozenset[int]]] = {
+        a: dict(empty) for a in blocks}
+    rd_out: dict[int, dict[AbsLoc, frozenset[int]]] = {
+        a: dict(empty) for a in blocks}
+
+    order = sorted(blocks)
+    changed = True
+    while changed:
+        changed = False
+        for a in order:
+            inn: dict[AbsLoc, set[int]] = {}
+            for p in preds[a]:
+                for loc, defs in rd_out[p].items():
+                    inn.setdefault(loc, set()).update(defs)
+            new_in = {loc: frozenset(v) for loc, v in inn.items()}
+            out: dict[AbsLoc, set[int]] = {
+                loc: set(v) for loc, v in new_in.items()
+                if loc not in kill_locs[a]}
+            for loc, defs in gen[a].items():
+                if loc == MEM:
+                    out.setdefault(MEM, set()).update(defs)
+                else:
+                    out[loc] = set(defs)
+            new_out = {loc: frozenset(v) for loc, v in out.items()}
+            if new_in != rd_in[a] or new_out != rd_out[a]:
+                rd_in[a] = new_in
+                rd_out[a] = new_out
+                changed = True
+
+    graph = SliceGraph(fn, include_memory)
+    for a, insns in block_insns.items():
+        current: dict[AbsLoc, set[int]] = {
+            loc: set(v) for loc, v in rd_in[a].items()}
+        for insn in insns:
+            links: set[tuple[AbsLoc, int]] = set()
+            for loc in insn_uses(insn, include_memory):
+                for d in current.get(loc, ()):
+                    links.add((loc, d))
+                    graph.uses_of.setdefault(d, set()).add(insn.address)
+            if links:
+                graph.reaching[insn.address] = links
+            for loc in insn_defs(insn, include_memory):
+                if loc == MEM:
+                    current.setdefault(MEM, set()).add(insn.address)
+                else:
+                    current[loc] = {insn.address}
+    return graph
+
+
+def backward_slice(fn: Function, addr: int,
+                   reg: Register | None = None,
+                   include_memory: bool = False) -> set[int]:
+    """One-shot backward slice (paper: used on jalr target registers)."""
+    return build_slice_graph(fn, include_memory).backward_slice(addr, reg)
+
+
+def forward_slice(fn: Function, addr: int,
+                  include_memory: bool = False) -> set[int]:
+    """One-shot forward slice."""
+    return build_slice_graph(fn, include_memory).forward_slice(addr)

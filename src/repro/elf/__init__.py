@@ -1,0 +1,24 @@
+"""ELF64 object-format substrate (reader, writer, RISC-V attributes)."""
+
+from .reader import ElfFile, Section, Segment, read_elf
+from .riscv_attrs import (
+    AttributesError, RiscvAttributes, build_attributes_section,
+    decode_uleb, encode_uleb, parse_attributes_section,
+)
+from .structs import (
+    EF_RISCV_FLOAT_ABI_DOUBLE, EF_RISCV_FLOAT_ABI_MASK,
+    EF_RISCV_FLOAT_ABI_SINGLE, EF_RISCV_RVC, EM_RISCV, ElfFormatError,
+    ElfHeader, ElfSymbol,
+)
+from .writer import ElfImage, SectionImage, image_from_program, write_elf, write_program
+
+__all__ = [
+    "ElfFile", "Section", "Segment", "read_elf",
+    "AttributesError", "RiscvAttributes", "build_attributes_section",
+    "decode_uleb", "encode_uleb", "parse_attributes_section",
+    "EF_RISCV_FLOAT_ABI_DOUBLE", "EF_RISCV_FLOAT_ABI_MASK",
+    "EF_RISCV_FLOAT_ABI_SINGLE", "EF_RISCV_RVC", "EM_RISCV",
+    "ElfFormatError", "ElfHeader", "ElfSymbol",
+    "ElfImage", "SectionImage", "image_from_program", "write_elf",
+    "write_program",
+]

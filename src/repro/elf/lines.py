@@ -1,0 +1,66 @@
+"""The ``.dyninst.lines`` debug-line section.
+
+A simplified stand-in for DWARF ``.debug_line`` (which the paper lists
+among the formats SymtabAPI abstracts): a sorted array of
+``(u64 address, u32 line)`` records mapping text addresses to source
+lines.  Optional — analysis works without it, and uses it when present
+(Dyninst's opportunistic use of debug data).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+LINES_SECTION = ".dyninst.lines"
+
+
+def build_lines_section(line_map: dict[int, int]) -> bytes:
+    out = bytearray()
+    for addr in sorted(line_map):
+        out += addr.to_bytes(8, "little")
+        out += (line_map[addr] & 0xFFFF_FFFF).to_bytes(4, "little")
+    return bytes(out)
+
+
+def parse_lines_section(blob: bytes) -> dict[int, int]:
+    out: dict[int, int] = {}
+    for off in range(0, len(blob) - 11, 12):
+        addr = int.from_bytes(blob[off:off + 8], "little")
+        line = int.from_bytes(blob[off + 8:off + 12], "little")
+        out[addr] = line
+    return out
+
+
+class LineTable:
+    """Address -> source-line queries over a line map."""
+
+    def __init__(self, line_map: dict[int, int]):
+        self._addrs = sorted(line_map)
+        self._map = dict(line_map)
+
+    def __bool__(self) -> bool:
+        return bool(self._addrs)
+
+    def line_for(self, addr: int) -> int | None:
+        """The source line of the marker at or before *addr*."""
+        hit = self.lookup(addr)
+        return hit[1] if hit else None
+
+    def lookup(self, addr: int) -> tuple[int, int] | None:
+        """(marker address, line) of the marker at or before *addr*.
+        Callers with function-boundary knowledge can reject markers that
+        bleed in from a preceding function (DWARF's end_sequence role).
+        """
+        i = bisect_right(self._addrs, addr) - 1
+        if i < 0:
+            return None
+        a = self._addrs[i]
+        return a, self._map[a]
+
+    def exact(self, addr: int) -> int | None:
+        """The line if a marker sits exactly at *addr*."""
+        return self._map.get(addr)
+
+    def addresses_for_line(self, line: int) -> list[int]:
+        """Marker addresses attributed to *line* (for line breakpoints)."""
+        return [a for a in self._addrs if self._map[a] == line]

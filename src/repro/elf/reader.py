@@ -1,0 +1,163 @@
+"""ELF64 reader: parse executables back into structured form.
+
+Accepts anything our writer produces plus the general ELF64/RISC-V shape
+(unknown sections are kept as opaque blobs, mirroring Dyninst's
+opportunistic analysis of partially understood binaries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import structs as s
+from .structs import ElfFormatError
+
+
+@dataclass
+class Section:
+    name: str
+    header: s.SectionHeader
+    data: bytes
+
+    @property
+    def addr(self) -> int:
+        return self.header.sh_addr
+
+    @property
+    def is_code(self) -> bool:
+        return bool(self.header.sh_flags & s.SHF_EXECINSTR)
+
+    @property
+    def is_alloc(self) -> bool:
+        return bool(self.header.sh_flags & s.SHF_ALLOC)
+
+
+@dataclass
+class Segment:
+    header: s.ProgramHeader
+    data: bytes
+
+    @property
+    def vaddr(self) -> int:
+        return self.header.p_vaddr
+
+    @property
+    def memsz(self) -> int:
+        return self.header.p_memsz
+
+    @property
+    def executable(self) -> bool:
+        return bool(self.header.p_flags & s.PF_X)
+
+
+@dataclass
+class ElfFile:
+    """A parsed ELF64 file."""
+
+    header: s.ElfHeader
+    sections: list[Section] = field(default_factory=list)
+    segments: list[Segment] = field(default_factory=list)
+    symbols: list[s.ElfSymbol] = field(default_factory=list)
+
+    @property
+    def entry(self) -> int:
+        return self.header.e_entry
+
+    @property
+    def e_flags(self) -> int:
+        return self.header.e_flags
+
+    @property
+    def is_riscv(self) -> bool:
+        return self.header.e_machine == s.EM_RISCV
+
+    def section(self, name: str) -> Section | None:
+        for sec in self.sections:
+            if sec.name == name:
+                return sec
+        return None
+
+    def symbols_by_name(self) -> dict[str, s.ElfSymbol]:
+        return {sym.name: sym for sym in self.symbols if sym.name}
+
+    def function_symbols(self) -> list[s.ElfSymbol]:
+        return sorted(
+            (sym for sym in self.symbols
+             if sym.type == s.STT_FUNC and sym.name),
+            key=lambda y: y.st_value,
+        )
+
+    def load_segments(self) -> list[tuple[int, bytes, int, bool]]:
+        """(vaddr, file bytes, memsz, executable) for each PT_LOAD."""
+        return [
+            (sg.vaddr, sg.data, sg.memsz, sg.executable)
+            for sg in self.segments if sg.header.p_type == s.PT_LOAD
+        ]
+
+
+def read_elf(data: bytes) -> ElfFile:
+    """Parse ELF bytes into an :class:`ElfFile`.
+
+    Malformed input raises :class:`ElfFormatError` — never a raw
+    struct/index error (binaries come from untrusted places).
+    """
+    if len(data) < s.EHDR_SIZE:
+        raise ElfFormatError("file too small for an ELF header")
+    ehdr = s.ElfHeader.unpack(data)
+
+    if ehdr.e_phnum and (
+            ehdr.e_phoff + ehdr.e_phnum * s.PHDR_SIZE > len(data)):
+        raise ElfFormatError("program header table extends past EOF")
+    if ehdr.e_shnum and (
+            ehdr.e_shoff + ehdr.e_shnum * s.SHDR_SIZE > len(data)):
+        raise ElfFormatError("section header table extends past EOF")
+    if ehdr.e_phnum > 0x10000 or ehdr.e_shnum > 0x10000:
+        raise ElfFormatError("implausible header counts")
+
+    segments: list[Segment] = []
+    for i in range(ehdr.e_phnum):
+        ph = s.ProgramHeader.unpack(data, ehdr.e_phoff + i * s.PHDR_SIZE)
+        end = ph.p_offset + ph.p_filesz
+        if end > len(data) or ph.p_offset > len(data):
+            raise ElfFormatError("program header extends past end of file")
+        segments.append(Segment(ph, data[ph.p_offset:end]))
+
+    headers: list[s.SectionHeader] = []
+    for i in range(ehdr.e_shnum):
+        headers.append(
+            s.SectionHeader.unpack(data, ehdr.e_shoff + i * s.SHDR_SIZE))
+
+    # Resolve section names.
+    shstr = b""
+    if 0 <= ehdr.e_shstrndx < len(headers):
+        h = headers[ehdr.e_shstrndx]
+        shstr = data[h.sh_offset:h.sh_offset + h.sh_size]
+    sections: list[Section] = []
+    for h in headers:
+        if shstr:
+            try:
+                h.name = s.StringTable.read(shstr, h.sh_name)
+            except ValueError:
+                h.name = ""
+        blob = (b"" if h.sh_type in (s.SHT_NULL, s.SHT_NOBITS)
+                else data[h.sh_offset:h.sh_offset + h.sh_size])
+        sections.append(Section(h.name, h, blob))
+
+    symbols: list[s.ElfSymbol] = []
+    for sec in sections:
+        if sec.header.sh_type != s.SHT_SYMTAB:
+            continue
+        strsec = (sections[sec.header.sh_link]
+                  if 0 <= sec.header.sh_link < len(sections) else None)
+        strblob = strsec.data if strsec else b""
+        count = len(sec.data) // s.SYM_SIZE
+        for i in range(count):
+            sym = s.ElfSymbol.unpack(sec.data, i * s.SYM_SIZE)
+            if strblob and sym.st_name < len(strblob):
+                try:
+                    sym.name = s.StringTable.read(strblob, sym.st_name)
+                except ValueError:
+                    sym.name = ""  # unterminated name: keep anonymous
+            symbols.append(sym)
+
+    return ElfFile(ehdr, sections, segments, symbols)

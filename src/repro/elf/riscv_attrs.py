@@ -1,0 +1,153 @@
+"""The ``.riscv.attributes`` section (paper §3.2.1).
+
+Per the RISC-V psABI, build attributes use the ARM-style format:
+
+* one byte ``'A'`` (format version)
+* one or more *vendor sub-sections*:
+  ``uint32 length`` (covering the whole sub-section) + NTBS vendor name
+  (``"riscv"``) + *sub-sub-sections*
+* each sub-sub-section: ULEB128 tag (``Tag_File`` = 1) + ``uint32 length``
+  + a list of attributes
+* each attribute: ULEB128 tag, then a ULEB128 integer (even tags) or
+  null-terminated string (odd tags).
+
+The attribute Dyninst cares about is ``Tag_RISCV_arch`` (tag 5): the
+target arch string, e.g. ``rv64imafdc_zicsr2p0`` — the complete list of
+extensions the binary was compiled for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+TAG_FILE = 1
+TAG_RISCV_STACK_ALIGN = 4
+TAG_RISCV_ARCH = 5
+TAG_RISCV_UNALIGNED_ACCESS = 6
+
+
+class AttributesError(ValueError):
+    """Malformed .riscv.attributes content."""
+
+
+def encode_uleb(value: int) -> bytes:
+    if value < 0:
+        raise ValueError("ULEB128 encodes non-negative integers")
+    out = bytearray()
+    while True:
+        b = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(b | 0x80)
+        else:
+            out.append(b)
+            return bytes(out)
+
+
+def decode_uleb(data: bytes, off: int) -> tuple[int, int]:
+    """Returns (value, next_offset)."""
+    result = 0
+    shift = 0
+    while True:
+        if off >= len(data):
+            raise AttributesError("truncated ULEB128")
+        b = data[off]
+        off += 1
+        result |= (b & 0x7F) << shift
+        if not b & 0x80:
+            return result, off
+        shift += 7
+        if shift > 63:
+            raise AttributesError("overlong ULEB128")
+
+
+@dataclass
+class RiscvAttributes:
+    """Parsed attribute values (file scope)."""
+
+    arch: str | None = None
+    stack_align: int | None = None
+    unaligned_access: int | None = None
+    #: any tags this parser does not know, kept verbatim
+    other: dict[int, int | str] = field(default_factory=dict)
+
+
+def build_attributes_section(arch: str, stack_align: int = 16) -> bytes:
+    """Serialise a .riscv.attributes section declaring *arch*."""
+    attrs = bytearray()
+    attrs += encode_uleb(TAG_RISCV_STACK_ALIGN) + encode_uleb(stack_align)
+    attrs += encode_uleb(TAG_RISCV_ARCH) + arch.encode() + b"\x00"
+
+    # File sub-sub-section: tag, uint32 length (tag byte + length field +
+    # payload), payload.
+    sub_sub = bytearray()
+    sub_sub += encode_uleb(TAG_FILE)
+    sub_sub += (len(attrs) + len(sub_sub) + 4).to_bytes(4, "little")
+    sub_sub += attrs
+
+    vendor = b"riscv\x00"
+    length = 4 + len(vendor) + len(sub_sub)
+    section = b"A" + length.to_bytes(4, "little") + vendor + bytes(sub_sub)
+    return section
+
+
+def parse_attributes_section(data: bytes) -> RiscvAttributes:
+    """Parse a .riscv.attributes section; returns file-scope attributes."""
+    if not data or data[0:1] != b"A":
+        raise AttributesError("missing attributes format byte 'A'")
+    out = RiscvAttributes()
+    off = 1
+    while off < len(data):
+        if off + 4 > len(data):
+            raise AttributesError("truncated vendor sub-section header")
+        length = int.from_bytes(data[off:off + 4], "little")
+        if length < 4 or off + length > len(data):
+            raise AttributesError("bad vendor sub-section length")
+        sub = data[off + 4:off + length]
+        off += length
+        nul = sub.find(b"\x00")
+        if nul < 0:
+            raise AttributesError("unterminated vendor name")
+        vendor = sub[:nul].decode(errors="replace")
+        if vendor != "riscv":
+            continue
+        _parse_sub_subsections(sub[nul + 1:], out)
+    return out
+
+
+def _parse_sub_subsections(data: bytes, out: RiscvAttributes) -> None:
+    off = 0
+    while off < len(data):
+        tag, off2 = decode_uleb(data, off)
+        if off2 + 4 > len(data):
+            raise AttributesError("truncated sub-sub-section")
+        length = int.from_bytes(data[off2:off2 + 4], "little")
+        end = off + length
+        if length < (off2 + 4 - off) or end > len(data):
+            raise AttributesError("bad sub-sub-section length")
+        if tag == TAG_FILE:
+            _parse_attribute_list(data[off2 + 4:end], out)
+        off = end
+
+
+def _parse_attribute_list(data: bytes, out: RiscvAttributes) -> None:
+    off = 0
+    while off < len(data):
+        tag, off = decode_uleb(data, off)
+        if tag % 2 == 1 and tag != TAG_FILE:
+            # odd tag: NTBS value
+            nul = data.find(b"\x00", off)
+            if nul < 0:
+                raise AttributesError(f"unterminated string for tag {tag}")
+            value: int | str = data[off:nul].decode(errors="replace")
+            off = nul + 1
+        else:
+            value, off = decode_uleb(data, off)
+        if tag == TAG_RISCV_ARCH:
+            out.arch = str(value)
+        elif tag == TAG_RISCV_STACK_ALIGN:
+            out.stack_align = int(value)
+        elif tag == TAG_RISCV_UNALIGNED_ACCESS:
+            out.unaligned_access = int(value)
+        else:
+            out.other[tag] = value

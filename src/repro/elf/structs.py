@@ -1,0 +1,201 @@
+"""ELF64 on-disk structures and constants (little-endian RISC-V subset).
+
+Only what a RISC-V ELF toolchain needs: file header, program headers,
+section headers, symbols — plus the RISC-V-specific ``e_flags`` bits from
+the psABI that SymtabAPI extracts (paper §3.2.1).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+ELF_MAGIC = b"\x7fELF"
+ELFCLASS64 = 2
+ELFDATA2LSB = 1
+EV_CURRENT = 1
+
+ET_EXEC = 2
+ET_DYN = 3
+EM_RISCV = 243
+
+# RISC-V psABI e_flags (paper §3.2.1)
+EF_RISCV_RVC = 0x0001
+EF_RISCV_FLOAT_ABI_SINGLE = 0x0002
+EF_RISCV_FLOAT_ABI_DOUBLE = 0x0004
+EF_RISCV_FLOAT_ABI_MASK = 0x0006
+
+PT_LOAD = 1
+PF_X = 1
+PF_W = 2
+PF_R = 4
+
+SHT_NULL = 0
+SHT_PROGBITS = 1
+SHT_SYMTAB = 2
+SHT_STRTAB = 3
+SHT_NOBITS = 8
+SHT_RISCV_ATTRIBUTES = 0x7000_0003
+
+SHF_WRITE = 0x1
+SHF_ALLOC = 0x2
+SHF_EXECINSTR = 0x4
+
+STB_LOCAL = 0
+STB_GLOBAL = 1
+STT_NOTYPE = 0
+STT_OBJECT = 1
+STT_FUNC = 2
+SHN_UNDEF = 0
+SHN_ABS = 0xFFF1
+
+_EHDR = struct.Struct("<16sHHIQQQIHHHHHH")
+_PHDR = struct.Struct("<IIQQQQQQ")
+_SHDR = struct.Struct("<IIQQQQIIQQ")
+_SYM = struct.Struct("<IBBHQQ")
+
+EHDR_SIZE = _EHDR.size      # 64
+PHDR_SIZE = _PHDR.size      # 56
+SHDR_SIZE = _SHDR.size      # 64
+SYM_SIZE = _SYM.size        # 24
+
+
+@dataclass
+class ElfHeader:
+    e_type: int = ET_EXEC
+    e_machine: int = EM_RISCV
+    e_entry: int = 0
+    e_phoff: int = 0
+    e_shoff: int = 0
+    e_flags: int = 0
+    e_phnum: int = 0
+    e_shnum: int = 0
+    e_shstrndx: int = 0
+
+    def pack(self) -> bytes:
+        ident = ELF_MAGIC + bytes([ELFCLASS64, ELFDATA2LSB, EV_CURRENT]) + b"\x00" * 9
+        return _EHDR.pack(
+            ident, self.e_type, self.e_machine, EV_CURRENT,
+            self.e_entry, self.e_phoff, self.e_shoff, self.e_flags,
+            EHDR_SIZE, PHDR_SIZE if self.e_phnum else 0, self.e_phnum,
+            SHDR_SIZE if self.e_shnum else 0, self.e_shnum, self.e_shstrndx,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "ElfHeader":
+        (ident, e_type, e_machine, _ver, e_entry, e_phoff, e_shoff,
+         e_flags, _ehsize, _phentsize, e_phnum, _shentsize, e_shnum,
+         e_shstrndx) = _EHDR.unpack_from(data, 0)
+        if ident[:4] != ELF_MAGIC:
+            raise ElfFormatError("bad ELF magic")
+        if ident[4] != ELFCLASS64 or ident[5] != ELFDATA2LSB:
+            raise ElfFormatError("only ELF64 little-endian is supported")
+        return cls(e_type, e_machine, e_entry, e_phoff, e_shoff,
+                   e_flags, e_phnum, e_shnum, e_shstrndx)
+
+
+class ElfFormatError(ValueError):
+    """Raised for malformed ELF input."""
+
+
+@dataclass
+class ProgramHeader:
+    p_type: int = PT_LOAD
+    p_flags: int = PF_R
+    p_offset: int = 0
+    p_vaddr: int = 0
+    p_filesz: int = 0
+    p_memsz: int = 0
+    p_align: int = 0x1000
+
+    def pack(self) -> bytes:
+        return _PHDR.pack(self.p_type, self.p_flags, self.p_offset,
+                          self.p_vaddr, self.p_vaddr, self.p_filesz,
+                          self.p_memsz, self.p_align)
+
+    @classmethod
+    def unpack(cls, data: bytes, off: int) -> "ProgramHeader":
+        (p_type, p_flags, p_offset, p_vaddr, _paddr, p_filesz, p_memsz,
+         p_align) = _PHDR.unpack_from(data, off)
+        return cls(p_type, p_flags, p_offset, p_vaddr, p_filesz, p_memsz,
+                   p_align)
+
+
+@dataclass
+class SectionHeader:
+    sh_name: int = 0        # offset into .shstrtab
+    sh_type: int = SHT_NULL
+    sh_flags: int = 0
+    sh_addr: int = 0
+    sh_offset: int = 0
+    sh_size: int = 0
+    sh_link: int = 0
+    sh_info: int = 0
+    sh_addralign: int = 0
+    sh_entsize: int = 0
+    name: str = field(default="", compare=False)  # resolved on read
+
+    def pack(self) -> bytes:
+        return _SHDR.pack(self.sh_name, self.sh_type, self.sh_flags,
+                          self.sh_addr, self.sh_offset, self.sh_size,
+                          self.sh_link, self.sh_info, self.sh_addralign,
+                          self.sh_entsize)
+
+    @classmethod
+    def unpack(cls, data: bytes, off: int) -> "SectionHeader":
+        return cls(*_SHDR.unpack_from(data, off))
+
+
+@dataclass
+class ElfSymbol:
+    st_name: int = 0
+    st_info: int = 0
+    st_other: int = 0
+    st_shndx: int = SHN_UNDEF
+    st_value: int = 0
+    st_size: int = 0
+    name: str = field(default="", compare=False)
+
+    @property
+    def bind(self) -> int:
+        return self.st_info >> 4
+
+    @property
+    def type(self) -> int:
+        return self.st_info & 0xF
+
+    def pack(self) -> bytes:
+        return _SYM.pack(self.st_name, self.st_info, self.st_other,
+                         self.st_shndx, self.st_value, self.st_size)
+
+    @classmethod
+    def unpack(cls, data: bytes, off: int) -> "ElfSymbol":
+        return cls(*_SYM.unpack_from(data, off))
+
+
+def make_st_info(bind: int, typ: int) -> int:
+    return (bind << 4) | (typ & 0xF)
+
+
+class StringTable:
+    """Incrementally built ELF string table."""
+
+    def __init__(self) -> None:
+        self._blob = bytearray(b"\x00")
+        self._offsets: dict[str, int] = {"": 0}
+
+    def add(self, s: str) -> int:
+        off = self._offsets.get(s)
+        if off is None:
+            off = len(self._blob)
+            self._blob += s.encode() + b"\x00"
+            self._offsets[s] = off
+        return off
+
+    def bytes(self) -> bytes:
+        return bytes(self._blob)
+
+    @staticmethod
+    def read(blob: bytes, offset: int) -> str:
+        end = blob.index(b"\x00", offset)
+        return blob[offset:end].decode()

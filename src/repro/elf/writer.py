@@ -1,0 +1,218 @@
+"""ELF64 writer: serialise a laid-out :class:`~repro.riscv.assembler.Program`
+(or raw section images) into a valid RISC-V executable.
+
+Produces the artefacts SymtabAPI consumes — ``e_flags`` extension bits,
+``.riscv.attributes``, a symbol table — so the full paper §3.2.1 logic is
+exercised end-to-end on files this toolkit writes *and* rewrites
+(PatchAPI's static rewriter reuses this writer to emit the instrumented
+binary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..riscv.assembler import Program, Symbol
+from ..riscv.extensions import ISASubset
+from . import structs as s
+from .riscv_attrs import build_attributes_section
+
+
+@dataclass
+class SectionImage:
+    """One section to be written."""
+
+    name: str
+    data: bytes
+    addr: int = 0
+    sh_type: int = s.SHT_PROGBITS
+    sh_flags: int = 0
+    mem_size: int | None = None  # > len(data) for NOBITS-backed .bss
+    align: int = 8
+
+
+@dataclass
+class ElfImage:
+    """Everything needed to serialise an executable."""
+
+    entry: int
+    sections: list[SectionImage]
+    symbols: list[Symbol] = field(default_factory=list)
+    arch: ISASubset | None = None
+    emit_attributes: bool = True
+
+    def e_flags(self) -> int:
+        flags = 0
+        if self.arch is not None:
+            if self.arch.supports("c"):
+                flags |= s.EF_RISCV_RVC
+            if self.arch.supports("d"):
+                flags |= s.EF_RISCV_FLOAT_ABI_DOUBLE
+            elif self.arch.supports("f"):
+                flags |= s.EF_RISCV_FLOAT_ABI_SINGLE
+        return flags
+
+
+def image_from_program(program: Program, *, emit_attributes: bool = True
+                       ) -> ElfImage:
+    """Build an :class:`ElfImage` from an assembled program."""
+    sections = [
+        SectionImage(".text", program.text, program.text_base,
+                     sh_flags=s.SHF_ALLOC | s.SHF_EXECINSTR, align=4),
+        SectionImage(".data", program.data, program.data_base,
+                     sh_flags=s.SHF_ALLOC | s.SHF_WRITE),
+    ]
+    if program.bss_size:
+        sections.append(SectionImage(
+            ".bss", b"", program.bss_base, sh_type=s.SHT_NOBITS,
+            sh_flags=s.SHF_ALLOC | s.SHF_WRITE, mem_size=program.bss_size))
+    if program.line_map:
+        from .lines import LINES_SECTION, build_lines_section
+
+        sections.append(SectionImage(
+            LINES_SECTION, build_lines_section(program.line_map),
+            sh_type=s.SHT_PROGBITS, align=8))
+    return ElfImage(
+        entry=program.entry,
+        sections=sections,
+        symbols=sorted(program.symbols.values(), key=lambda y: y.address),
+        arch=program.arch,
+        emit_attributes=emit_attributes,
+    )
+
+
+def write_elf(image: ElfImage) -> bytes:
+    """Serialise an :class:`ElfImage` to ELF bytes."""
+    shstr = s.StringTable()
+    strtab = s.StringTable()
+
+    sections = list(image.sections)
+    if image.emit_attributes and image.arch is not None:
+        sections.append(SectionImage(
+            ".riscv.attributes",
+            build_attributes_section(image.arch.arch_string()),
+            sh_type=s.SHT_RISCV_ATTRIBUTES, align=1))
+
+    # --- symbols --------------------------------------------------------
+    def shndx_for(addr: int) -> int:
+        for i, sec in enumerate(sections):
+            if not sec.sh_flags & s.SHF_ALLOC:
+                continue
+            size = sec.mem_size if sec.mem_size is not None else len(sec.data)
+            if sec.addr <= addr < sec.addr + max(size, 1):
+                return i + 1  # +1 for the NULL section
+        return s.SHN_ABS
+
+    syms_local: list[s.ElfSymbol] = [s.ElfSymbol()]  # index 0: undefined
+    syms_global: list[s.ElfSymbol] = []
+    for sym in image.symbols:
+        typ = {"func": s.STT_FUNC, "object": s.STT_OBJECT}.get(
+            sym.kind, s.STT_NOTYPE)
+        bind = s.STB_GLOBAL if sym.is_global else s.STB_LOCAL
+        esym = s.ElfSymbol(
+            st_name=strtab.add(sym.name),
+            st_info=s.make_st_info(bind, typ),
+            st_shndx=shndx_for(sym.address),
+            st_value=sym.address,
+            st_size=sym.size,
+        )
+        (syms_global if sym.is_global else syms_local).append(esym)
+    all_syms = syms_local + syms_global
+    symtab_data = b"".join(sym.pack() for sym in all_syms)
+
+    # --- section table assembly -----------------------------------------
+    headers: list[s.SectionHeader] = [s.SectionHeader()]  # NULL
+    blobs: list[bytes] = [b""]
+    for sec in sections:
+        headers.append(s.SectionHeader(
+            sh_name=shstr.add(sec.name),
+            sh_type=sec.sh_type,
+            sh_flags=sec.sh_flags,
+            sh_addr=sec.addr,
+            sh_size=(sec.mem_size if sec.sh_type == s.SHT_NOBITS
+                     else len(sec.data)),
+            sh_addralign=sec.align,
+        ))
+        blobs.append(b"" if sec.sh_type == s.SHT_NOBITS else sec.data)
+
+    symtab_idx = len(headers)
+    headers.append(s.SectionHeader(
+        sh_name=shstr.add(".symtab"), sh_type=s.SHT_SYMTAB,
+        sh_size=len(symtab_data), sh_link=symtab_idx + 1,
+        sh_info=len(syms_local), sh_addralign=8, sh_entsize=s.SYM_SIZE))
+    blobs.append(symtab_data)
+    headers.append(s.SectionHeader(
+        sh_name=shstr.add(".strtab"), sh_type=s.SHT_STRTAB,
+        sh_size=len(strtab.bytes()), sh_addralign=1))
+    blobs.append(strtab.bytes())
+    shstrndx = len(headers)
+    shstr_name = shstr.add(".shstrtab")
+    shstr_blob = shstr.bytes()
+    headers.append(s.SectionHeader(
+        sh_name=shstr_name, sh_type=s.SHT_STRTAB,
+        sh_size=len(shstr_blob), sh_addralign=1))
+    blobs.append(shstr_blob)
+
+    # --- program headers: one PT_LOAD per ALLOC section -----------------
+    load_sections = [
+        (i, sec) for i, sec in enumerate(sections)
+        if sec.sh_flags & s.SHF_ALLOC
+    ]
+    phnum = len(load_sections)
+
+    # --- layout ----------------------------------------------------------
+    offset = s.EHDR_SIZE + phnum * s.PHDR_SIZE
+    for hdr, blob in zip(headers, blobs):
+        if hdr.sh_type in (s.SHT_NULL, s.SHT_NOBITS):
+            hdr.sh_offset = offset
+            continue
+        align = max(hdr.sh_addralign, 1)
+        offset = (offset + align - 1) & ~(align - 1)
+        hdr.sh_offset = offset
+        offset += len(blob)
+    shoff = (offset + 7) & ~7
+
+    phdrs: list[s.ProgramHeader] = []
+    for sec_idx, sec in load_sections:
+        hdr = headers[sec_idx + 1]
+        flags = s.PF_R
+        if sec.sh_flags & s.SHF_WRITE:
+            flags |= s.PF_W
+        if sec.sh_flags & s.SHF_EXECINSTR:
+            flags |= s.PF_X
+        filesz = 0 if sec.sh_type == s.SHT_NOBITS else len(sec.data)
+        memsz = sec.mem_size if sec.mem_size is not None else filesz
+        phdrs.append(s.ProgramHeader(
+            p_type=s.PT_LOAD, p_flags=flags, p_offset=hdr.sh_offset,
+            p_vaddr=sec.addr, p_filesz=filesz, p_memsz=memsz))
+
+    ehdr = s.ElfHeader(
+        e_entry=image.entry,
+        e_phoff=s.EHDR_SIZE if phnum else 0,
+        e_shoff=shoff,
+        e_flags=image.e_flags(),
+        e_phnum=phnum,
+        e_shnum=len(headers),
+        e_shstrndx=shstrndx,
+    )
+
+    out = bytearray(ehdr.pack())
+    for ph in phdrs:
+        out += ph.pack()
+    for hdr, blob in zip(headers, blobs):
+        if hdr.sh_type in (s.SHT_NULL, s.SHT_NOBITS) or not blob:
+            continue
+        if len(out) < hdr.sh_offset:
+            out += b"\x00" * (hdr.sh_offset - len(out))
+        out += blob
+    if len(out) < shoff:
+        out += b"\x00" * (shoff - len(out))
+    for hdr in headers:
+        out += hdr.pack()
+    return bytes(out)
+
+
+def write_program(program: Program, *, emit_attributes: bool = True) -> bytes:
+    """One-shot: assembled program -> ELF bytes."""
+    return write_elf(image_from_program(
+        program, emit_attributes=emit_attributes))

@@ -1,0 +1,8 @@
+"""InstructionAPI: abstract machine-code instruction representation."""
+
+from .insn import (
+    Insn, InsnCategory, LINK_REGISTERS, MemAccess, Operand, decode_insn,
+)
+
+__all__ = ["Insn", "InsnCategory", "LINK_REGISTERS", "MemAccess",
+           "Operand", "decode_insn"]

@@ -1,0 +1,25 @@
+"""MiniC: the small C compiler substrate (GCC substitute, DESIGN.md).
+
+Compiles a C subset to RV64GC through the repro assembler, producing the
+paper's benchmark mutatee and other instrumentation workloads.
+"""
+
+from .codegen import CompileError, Options
+from .cparser import ParseError, parse
+from .driver import compile_source, compile_to_asm, compile_to_elf
+from .lexer import LexError
+from .sema import SemaError, analyze
+from .workloads import (
+    crc_source, fib_source, linked_list_source, matmul_source,
+    nbody_source, qsort_source,
+    switch_source, tailcall_source,
+)
+
+__all__ = [
+    "CompileError", "Options", "ParseError", "parse",
+    "compile_source", "compile_to_asm", "compile_to_elf",
+    "LexError", "SemaError", "analyze",
+    "crc_source", "fib_source", "linked_list_source",
+    "matmul_source", "nbody_source",
+    "qsort_source", "switch_source", "tailcall_source",
+]

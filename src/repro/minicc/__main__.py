@@ -1,0 +1,67 @@
+"""MiniC compiler driver CLI.
+
+Usage::
+
+    python -m repro.minicc program.c -o program.elf     # compile
+    python -m repro.minicc program.c -S                 # emit assembly
+    python -m repro.minicc program.c --run              # compile & run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..elf.writer import write_program
+from .codegen import Options
+from .driver import compile_source, compile_to_asm
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="minicc", description="MiniC -> RV64GC compiler")
+    ap.add_argument("source", help="MiniC source file")
+    ap.add_argument("-o", "--output", help="output ELF path")
+    ap.add_argument("-S", "--asm", action="store_true",
+                    help="emit assembly to stdout")
+    ap.add_argument("--run", action="store_true",
+                    help="run on the simulator after compiling")
+    ap.add_argument("--fp", action="store_true",
+                    help="use a frame pointer")
+    ap.add_argument("--tail-calls", action="store_true")
+    ap.add_argument("--compress", action="store_true",
+                    help="emit compressed instructions where possible")
+    args = ap.parse_args(argv)
+
+    with open(args.source) as fh:
+        source = fh.read()
+    opts = Options(use_frame_pointer=args.fp,
+                   tail_calls=args.tail_calls,
+                   compress=args.compress)
+
+    if args.asm:
+        print(compile_to_asm(source, opts))
+        return 0
+
+    program = compile_source(source, opts)
+    if args.output:
+        with open(args.output, "wb") as fh:
+            fh.write(write_program(program))
+        print(f"wrote {args.output}", file=sys.stderr)
+    if args.run:
+        from ..sim.machine import run_program
+
+        machine, event = run_program(program)
+        sys.stdout.write(bytes(machine.stdout).decode(errors="replace"))
+        if event.reason.value != "exited":
+            print(f"abnormal stop: {event}", file=sys.stderr)
+            return 1
+        return event.exit_code or 0
+    if not args.output:
+        print("nothing to do (use -o, -S, or --run)", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

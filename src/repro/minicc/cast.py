@@ -1,0 +1,234 @@
+"""AST node definitions for MiniC.
+
+MiniC is the small C subset this repo compiles to RV64GC in place of GCC
+(see DESIGN.md substitutions).  It is rich enough to express the paper's
+benchmark mutatee (double-precision matmul called in a timed loop) and
+the workloads the example tools instrument: 64-bit integers (``long``),
+``double``, global arrays (1-D/2-D), functions, loops, ``if``/``else``,
+``switch`` (compiled to jump tables when dense), and calls — including
+tail calls, which the compiler emits as plain jumps when asked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# -- types ---------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Type:
+    """Scalar type: 'long' or 'double'."""
+
+    name: str
+
+    @property
+    def is_double(self) -> bool:
+        return self.name == "double"
+
+    @property
+    def size(self) -> int:
+        return 8
+
+
+LONG = Type("long")
+DOUBLE = Type("double")
+VOID = Type("void")
+
+
+@dataclass(frozen=True)
+class ArrayType:
+    """Global array type: element scalar type + dimensions."""
+
+    elem: Type
+    dims: tuple[int, ...]
+
+    @property
+    def count(self) -> int:
+        n = 1
+        for d in self.dims:
+            n *= d
+        return n
+
+    @property
+    def size(self) -> int:
+        return self.count * self.elem.size
+
+
+# -- expressions ------------------------------------------------------------
+
+class Expr:
+    """Base expression; ``typ`` is filled in by the sema pass."""
+
+    typ: Type
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+    line: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+    line: int = 0
+
+
+@dataclass
+class VarRef(Expr):
+    name: str
+    line: int = 0
+
+
+@dataclass
+class ArrayRef(Expr):
+    name: str
+    indices: list[Expr]
+    line: int = 0
+
+
+@dataclass
+class Unary(Expr):
+    op: str              # '-' | '!'
+    operand: Expr
+    line: int = 0
+
+
+@dataclass
+class Binary(Expr):
+    op: str              # + - * / % < <= > >= == != && ||
+    lhs: Expr
+    rhs: Expr
+    line: int = 0
+
+
+@dataclass
+class Call(Expr):
+    name: str
+    args: list[Expr]
+    line: int = 0
+
+
+@dataclass
+class Cast(Expr):
+    target: Type
+    operand: Expr
+    line: int = 0
+
+
+# -- statements ----------------------------------------------------------------
+
+class Stmt:
+    """Base statement."""
+
+
+@dataclass
+class Decl(Stmt):
+    typ: Type
+    name: str
+    init: Expr | None = None
+    line: int = 0
+
+
+@dataclass
+class Assign(Stmt):
+    target: Expr          # VarRef or ArrayRef
+    value: Expr
+    line: int = 0
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+    line: int = 0
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: "Block"
+    otherwise: "Block | None" = None
+    line: int = 0
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: "Block"
+    line: int = 0
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt | None
+    cond: Expr | None
+    step: Stmt | None
+    body: "Block"
+    line: int = 0
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+    line: int = 0
+
+
+@dataclass
+class Break(Stmt):
+    line: int = 0
+
+
+@dataclass
+class Continue(Stmt):
+    line: int = 0
+
+
+@dataclass
+class SwitchCase:
+    value: int | None     # None for default
+    body: list[Stmt]
+    line: int = 0
+
+
+@dataclass
+class Switch(Stmt):
+    scrutinee: Expr
+    cases: list[SwitchCase]
+    line: int = 0
+
+
+@dataclass
+class Block(Stmt):
+    statements: list[Stmt] = field(default_factory=list)
+
+
+# -- top level -------------------------------------------------------------------
+
+@dataclass
+class Param:
+    typ: Type
+    name: str
+
+
+@dataclass
+class FuncDef:
+    name: str
+    ret: Type
+    params: list[Param]
+    body: Block | None    # None for a prototype declaration
+    line: int = 0
+
+
+@dataclass
+class GlobalVar:
+    name: str
+    typ: Type | ArrayType
+    init: list[float] | list[int] | None = None
+    line: int = 0
+
+
+@dataclass
+class TranslationUnit:
+    globals: list[GlobalVar] = field(default_factory=list)
+    functions: list[FuncDef] = field(default_factory=list)

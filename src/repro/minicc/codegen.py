@@ -1,0 +1,750 @@
+"""MiniC code generation: typed AST -> RV64GC assembly text.
+
+Deliberately GCC-flavoured output so the binaries exercise the idioms
+ParseAPI must recognise (paper §3.2.3):
+
+* standard prologue/epilogue (``addi sp``/``sd ra``), sp-based frames by
+  default (most RISC-V compilers skip the frame pointer, §3.2.7) with an
+  optional frame-pointer mode;
+* ``jal``/``jalr``-based calls and returns, plus optional tail calls
+  (``jal x0``/``jalr x0`` to another function);
+* dense ``switch`` statements compiled to indirect jumps through a
+  ``.dword`` table (the jump-table pattern ParseAPI slices backward on);
+* ``auipc``-based address formation (``la``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import cast as A
+from .sema import BUILTINS, FuncSig, SemaInfo
+
+
+class CompileError(ValueError):
+    pass
+
+
+#: size of the runtime's bump-allocator heap (bss).  Kept modest so the
+#: default patch-area placement (first page after the image) stays
+#: within jal springboard range of .text.
+HEAP_BYTES = 1 << 16
+
+#: Expression-temporary registers (t6 reserved as address scratch).
+INT_TEMPS = ("t0", "t1", "t2", "t3", "t4", "t5")
+FP_TEMPS = ("ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7")
+ADDR_SCRATCH = "t6"
+
+
+@dataclass
+class Options:
+    """Code generation options."""
+
+    use_frame_pointer: bool = False
+    tail_calls: bool = False
+    #: emit compressed forms for eligible moves/immediates (exercises the
+    #: C extension in generated binaries)
+    compress: bool = False
+    #: emit ``.loc`` source-line markers (the -g analogue; becomes the
+    #: binary's .dyninst.lines section)
+    debug_info: bool = True
+
+
+@dataclass
+class _Frame:
+    size: int = 0
+    slots: dict[int, int] = field(default_factory=dict)  # id(decl)->offset
+    arg_slots: list[int] = field(default_factory=list)
+    int_spill: list[int] = field(default_factory=list)
+    fp_spill: list[int] = field(default_factory=list)
+    locals_base: int = 16
+
+
+class _FuncGen:
+    def __init__(self, fn: A.FuncDef, sema: SemaInfo, opts: Options,
+                 out: list[str], data_out: list[str]):
+        self.fn = fn
+        self.sema = sema
+        self.opts = opts
+        self.out = out
+        self.data_out = data_out
+        self.label_n = 0
+        self.scopes: list[dict[str, int]] = []  # name -> frame offset
+        self.loops: list[tuple[str, str | None]] = []  # (break, continue)
+        self.frame = self._layout()
+        self.ret_label = self._label("ret")
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _label(self, tag: str = "") -> str:
+        self.label_n += 1
+        return f".L{self.fn.name}_{tag}{self.label_n}"
+
+    def emit(self, line: str) -> None:
+        self.out.append("  " + line)
+
+    def emit_label(self, label: str) -> None:
+        self.out.append(label + ":")
+
+    def _li(self, reg: str, value: int) -> None:
+        if self.opts.compress and -32 <= value <= 31:
+            self.emit(f"c.li {reg}, {value}")
+        else:
+            self.emit(f"li {reg}, {value}")
+
+    def _mv(self, rd: str, rs: str) -> None:
+        if self.opts.compress and rd != "zero" and rs != "zero":
+            self.emit(f"c.mv {rd}, {rs}")
+        else:
+            self.emit(f"mv {rd}, {rs}")
+
+    # -- frame layout ----------------------------------------------------------
+
+    def _layout(self) -> _Frame:
+        frame = _Frame()
+        decls: list[A.Decl] = []
+
+        def scan(stmt: A.Stmt) -> None:
+            if isinstance(stmt, A.Block):
+                for s in stmt.statements:
+                    scan(s)
+            elif isinstance(stmt, A.Decl):
+                decls.append(stmt)
+            elif isinstance(stmt, A.If):
+                scan(stmt.then)
+                if stmt.otherwise:
+                    scan(stmt.otherwise)
+            elif isinstance(stmt, (A.While,)):
+                scan(stmt.body)
+            elif isinstance(stmt, A.For):
+                if stmt.init:
+                    scan(stmt.init)
+                scan(stmt.body)
+            elif isinstance(stmt, A.Switch):
+                for c in stmt.cases:
+                    for s in c.body:
+                        scan(s)
+
+        scan(self.fn.body)
+        off = frame.locals_base  # 0: ra, 8: s0
+        # parameter slots first (copied in at entry), then locals
+        self.param_offsets: list[int] = []
+        for _p in self.fn.params:
+            self.param_offsets.append(off)
+            off += 8
+        for d in decls:
+            frame.slots[id(d)] = off
+            off += 8
+        frame.arg_slots = [off + i * 8 for i in range(8)]
+        off += 64
+        frame.int_spill = [off + i * 8 for i in range(len(INT_TEMPS))]
+        off += 8 * len(INT_TEMPS)
+        frame.fp_spill = [off + i * 8 for i in range(len(FP_TEMPS))]
+        off += 8 * len(FP_TEMPS)
+        frame.size = (off + 15) & ~15
+        if self.opts.use_frame_pointer:
+            # Standard GCC RISC-V frame: ra at size-8, s0 at size-16,
+            # s0 = entry sp.  Reserve the top 16 bytes for them.
+            frame.size += 16
+        return frame
+
+    def _lookup(self, name: str) -> int | None:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    # -- function shell ------------------------------------------------------------
+
+    def generate(self) -> None:
+        fn = self.fn
+        self.out.append(f".globl {fn.name}")
+        self.out.append(f".type {fn.name}, @function")
+        self.emit_label(fn.name)
+        sz = self.frame.size
+        self.emit(f"addi sp, sp, -{sz}")
+        if self.opts.use_frame_pointer:
+            self.emit(f"sd ra, {sz - 8}(sp)")
+            self.emit(f"sd s0, {sz - 16}(sp)")
+            self.emit(f"addi s0, sp, {sz}")
+        else:
+            self.emit("sd ra, 0(sp)")
+        # copy parameters to their slots
+        scope: dict[str, int] = {}
+        ni = nf = 0
+        for p, off in zip(fn.params, self.param_offsets):
+            if p.typ.is_double:
+                self.emit(f"fsd fa{nf}, {off}(sp)")
+                nf += 1
+            else:
+                self.emit(f"sd a{ni}, {off}(sp)")
+                ni += 1
+            scope[p.name] = off
+        self.scopes.append(scope)
+        self._gen_block(self.fn.body)
+        self.scopes.pop()
+        if fn.ret is A.LONG:
+            # C semantics: falling off main returns 0; elsewhere undefined
+            # (we make it 0 for determinism).
+            self._li("a0", 0)
+        self.emit_label(self.ret_label)
+        if self.opts.use_frame_pointer:
+            self.emit(f"ld ra, {sz - 8}(sp)")
+            self.emit(f"ld s0, {sz - 16}(sp)")
+        else:
+            self.emit("ld ra, 0(sp)")
+        self.emit(f"addi sp, sp, {sz}")
+        self.emit("ret")
+        self.out.append(f".size {fn.name}, .-{fn.name}")
+
+    # -- statements ----------------------------------------------------------------
+
+    def _gen_block(self, block: A.Block) -> None:
+        self.scopes.append({})
+        for stmt in block.statements:
+            self._gen_stmt(stmt)
+        self.scopes.pop()
+
+    def _gen_stmt(self, stmt: A.Stmt) -> None:
+        line = getattr(stmt, "line", 0)
+        if self.opts.debug_info and line:
+            self.emit(f".loc 1 {line}")
+        if isinstance(stmt, A.Block):
+            self._gen_block(stmt)
+        elif isinstance(stmt, A.Decl):
+            off = self.frame.slots[id(stmt)]
+            self.scopes[-1][stmt.name] = off
+            if stmt.init is not None:
+                reg = self._eval(stmt.init, 0, 0)
+                if stmt.typ.is_double:
+                    self.emit(f"fsd {reg}, {off}(sp)")
+                else:
+                    self.emit(f"sd {reg}, {off}(sp)")
+        elif isinstance(stmt, A.Assign):
+            self._gen_assign(stmt)
+        elif isinstance(stmt, A.ExprStmt):
+            self._eval(stmt.expr, 0, 0, discard=stmt.expr.typ is A.VOID)
+        elif isinstance(stmt, A.If):
+            self._gen_if(stmt)
+        elif isinstance(stmt, A.While):
+            self._gen_while(stmt)
+        elif isinstance(stmt, A.For):
+            self._gen_for(stmt)
+        elif isinstance(stmt, A.Return):
+            self._gen_return(stmt)
+        elif isinstance(stmt, A.Break):
+            if not self.loops:
+                raise CompileError("break outside loop/switch")
+            self.emit(f"j {self.loops[-1][0]}")
+        elif isinstance(stmt, A.Continue):
+            target = next((c for _, c in reversed(self.loops)
+                           if c is not None), None)
+            if target is None:
+                raise CompileError("continue outside loop")
+            self.emit(f"j {target}")
+        elif isinstance(stmt, A.Switch):
+            self._gen_switch(stmt)
+        else:  # pragma: no cover
+            raise CompileError(f"unknown statement {stmt!r}")
+
+    def _gen_assign(self, stmt: A.Assign) -> None:
+        target = stmt.target
+        value_reg = self._eval(stmt.value, 0, 0)
+        is_d = target.typ.is_double
+        store = "fsd" if is_d else "sd"
+        if isinstance(target, A.VarRef):
+            off = self._lookup(target.name)
+            if off is not None:
+                self.emit(f"{store} {value_reg}, {off}(sp)")
+            else:
+                self.emit(f"la {ADDR_SCRATCH}, {target.name}")
+                self.emit(f"{store} {value_reg}, 0({ADDR_SCRATCH})")
+        else:
+            assert isinstance(target, A.ArrayRef)
+            # index temps start above the value register when it is an
+            # int temp (value in t0 -> indices from t1)
+            d = 1 if not is_d else 0
+            self._array_addr(target, d, 1 if is_d else 0)
+            self.emit(f"{store} {value_reg}, 0({ADDR_SCRATCH})")
+
+    def _gen_if(self, stmt: A.If) -> None:
+        else_l = self._label("else")
+        end_l = self._label("endif")
+        reg = self._eval(stmt.cond, 0, 0)
+        self.emit(f"beqz {reg}, {else_l}")
+        self._gen_block(stmt.then)
+        if stmt.otherwise:
+            self.emit(f"j {end_l}")
+            self.emit_label(else_l)
+            self._gen_block(stmt.otherwise)
+            self.emit_label(end_l)
+        else:
+            self.emit_label(else_l)
+
+    def _gen_while(self, stmt: A.While) -> None:
+        head = self._label("while")
+        end = self._label("wend")
+        self.emit_label(head)
+        reg = self._eval(stmt.cond, 0, 0)
+        self.emit(f"beqz {reg}, {end}")
+        self.loops.append((end, head))
+        self._gen_block(stmt.body)
+        self.loops.pop()
+        self.emit(f"j {head}")
+        self.emit_label(end)
+
+    def _gen_for(self, stmt: A.For) -> None:
+        self.scopes.append({})
+        if stmt.init:
+            self._gen_stmt(stmt.init)
+        head = self._label("for")
+        step_l = self._label("fstep")
+        end = self._label("fend")
+        self.emit_label(head)
+        if stmt.cond:
+            reg = self._eval(stmt.cond, 0, 0)
+            self.emit(f"beqz {reg}, {end}")
+        self.loops.append((end, step_l))
+        self._gen_block(stmt.body)
+        self.loops.pop()
+        self.emit_label(step_l)
+        if stmt.step:
+            self._gen_stmt(stmt.step)
+        self.emit(f"j {head}")
+        self.emit_label(end)
+        self.scopes.pop()
+
+    def _gen_return(self, stmt: A.Return) -> None:
+        if (self.opts.tail_calls and isinstance(stmt.value, A.Call)
+                and not BUILTINS.get(stmt.value.name)):
+            sig = self.sema.functions[stmt.value.name]
+            if sig.ret == self.fn.ret:
+                self._gen_tail_call(stmt.value, sig)
+                return
+        if stmt.value is not None:
+            reg = self._eval(stmt.value, 0, 0)
+            if stmt.value.typ.is_double:
+                self.emit(f"fmv.d fa0, {reg}")
+            else:
+                self._mv("a0", reg)
+        self.emit(f"j {self.ret_label}")
+
+    def _gen_switch(self, stmt: A.Switch) -> None:
+        end = self._label("swend")
+        reg = self._eval(stmt.scrutinee, 0, 0)
+        labeled = [(c, self._label(f"case")) for c in stmt.cases]
+        default_l = next(
+            (lab for c, lab in labeled if c.value is None), end)
+        values = [(c.value, lab) for c, lab in labeled if c.value is not None]
+
+        if len(values) >= 4 and _is_dense(values):
+            self._gen_jump_table(reg, values, default_l)
+        else:
+            for value, lab in values:
+                self._li("t1", value)
+                self.emit(f"beq {reg}, t1, {lab}")
+            self.emit(f"j {default_l}")
+
+        # continue must target the enclosing loop, not the switch
+        outer_continue = next(
+            (c for _, c in reversed(self.loops) if c is not None), None)
+        self.loops.append((end, outer_continue))
+        for case, lab in labeled:
+            self.emit_label(lab)
+            for sub in case.body:
+                self._gen_stmt(sub)
+        self.loops.pop()
+        self.emit_label(end)
+
+    def _gen_jump_table(self, reg: str,
+                        values: list[tuple[int, str]],
+                        default_l: str) -> None:
+        """The compiler idiom ParseAPI's jump-table analysis targets:
+        bounds check, scaled load from a .dword label table, ``jr``."""
+        lo = min(v for v, _ in values)
+        hi = max(v for v, _ in values)
+        span = hi - lo + 1
+        table_l = self._label("jt")
+        if lo != 0:
+            self._li("t1", lo)
+            self.emit(f"sub t0, {reg}, t1")
+        elif reg != "t0":
+            self._mv("t0", reg)
+        self._li("t1", span)
+        self.emit(f"bgeu t0, t1, {default_l}")
+        self.emit("slli t0, t0, 3")
+        self.emit(f"la {ADDR_SCRATCH}, {table_l}")
+        self.emit(f"add {ADDR_SCRATCH}, {ADDR_SCRATCH}, t0")
+        self.emit(f"ld {ADDR_SCRATCH}, 0({ADDR_SCRATCH})")
+        self.emit(f"jr {ADDR_SCRATCH}")
+        by_value = dict(values)
+        self.data_out.append(".align 3")
+        self.data_out.append(f"{table_l}:")
+        for v in range(lo, hi + 1):
+            self.data_out.append(f"  .dword {by_value.get(v, default_l)}")
+
+    # -- expressions --------------------------------------------------------------
+
+    def _eval(self, expr: A.Expr, d: int, df: int,
+              discard: bool = False) -> str:
+        """Evaluate *expr*; the result lands in INT_TEMPS[d] (long) or
+        FP_TEMPS[df] (double).  Returns the result register name."""
+        if d >= len(INT_TEMPS) or df >= len(FP_TEMPS):
+            raise CompileError(
+                f"expression too deeply nested in {self.fn.name} "
+                f"(line {getattr(expr, 'line', '?')})")
+        is_d = expr.typ.is_double
+        dst = FP_TEMPS[df] if is_d else INT_TEMPS[d]
+
+        if isinstance(expr, A.IntLit):
+            self._li(dst, expr.value)
+        elif isinstance(expr, A.FloatLit):
+            lab = self._float_const(expr.value)
+            self.emit(f"la {ADDR_SCRATCH}, {lab}")
+            self.emit(f"fld {dst}, 0({ADDR_SCRATCH})")
+        elif isinstance(expr, A.VarRef):
+            off = self._lookup(expr.name)
+            load = "fld" if is_d else "ld"
+            if off is not None:
+                self.emit(f"{load} {dst}, {off}(sp)")
+            else:
+                self.emit(f"la {ADDR_SCRATCH}, {expr.name}")
+                self.emit(f"{load} {dst}, 0({ADDR_SCRATCH})")
+        elif isinstance(expr, A.ArrayRef):
+            self._array_addr(expr, d, df)
+            load = "fld" if is_d else "ld"
+            self.emit(f"{load} {dst}, 0({ADDR_SCRATCH})")
+        elif isinstance(expr, A.Unary):
+            self._gen_unary(expr, d, df, dst)
+        elif isinstance(expr, A.Binary):
+            self._gen_binary(expr, d, df, dst)
+        elif isinstance(expr, A.Cast):
+            self._gen_cast(expr, d, df, dst)
+        elif isinstance(expr, A.Call):
+            self._gen_call(expr, d, df, discard)
+        else:  # pragma: no cover
+            raise CompileError(f"unknown expression {expr!r}")
+        return dst
+
+    def _float_const(self, value: float) -> str:
+        lab = self._label("dc")
+        self.data_out.append(".align 3")
+        self.data_out.append(f"{lab}: .double {value!r}")
+        return lab
+
+    def _array_addr(self, ref: A.ArrayRef, d: int, df: int) -> None:
+        """Leave the element address in ADDR_SCRATCH."""
+        atype = self.sema.globals[ref.name]
+        assert isinstance(atype, A.ArrayType)
+        # linear index into INT_TEMPS[d]
+        idx = INT_TEMPS[d]
+        self._eval(ref.indices[0], d, df)
+        for dim, sub in zip(atype.dims[1:], ref.indices[1:]):
+            nxt = INT_TEMPS[d + 1] if d + 1 < len(INT_TEMPS) else None
+            if nxt is None:
+                raise CompileError("array index too deeply nested")
+            self._li(nxt, dim)
+            self.emit(f"mul {idx}, {idx}, {nxt}")
+            self._eval(sub, d + 1, df)
+            self.emit(f"add {idx}, {idx}, {nxt}")
+        self.emit(f"slli {idx}, {idx}, 3")
+        self.emit(f"la {ADDR_SCRATCH}, {ref.name}")
+        self.emit(f"add {ADDR_SCRATCH}, {ADDR_SCRATCH}, {idx}")
+
+    def _gen_unary(self, expr: A.Unary, d: int, df: int, dst: str) -> None:
+        src = self._eval(expr.operand, d, df)
+        if expr.op == "-":
+            if expr.typ.is_double:
+                self.emit(f"fneg.d {dst}, {src}")
+            else:
+                self.emit(f"neg {dst}, {src}")
+        else:  # '!'
+            self.emit(f"seqz {dst}, {src}")
+
+    def _gen_cast(self, expr: A.Cast, d: int, df: int, dst: str) -> None:
+        src_t = expr.operand.typ
+        if src_t == expr.target:
+            self._eval(expr.operand, d, df)
+            return
+        if expr.target.is_double:
+            src = self._eval(expr.operand, d, df)
+            self.emit(f"fcvt.d.l {dst}, {src}")
+        else:
+            src = self._eval(expr.operand, d, df)
+            # C truncates toward zero
+            self.emit(f"fcvt.l.d {dst}, {src}, rtz")
+
+    def _gen_binary(self, expr: A.Binary, d: int, df: int, dst: str) -> None:
+        op = expr.op
+        if op in ("&&", "||"):
+            self._gen_logical(expr, d, df, dst)
+            return
+        operand_is_d = expr.lhs.typ.is_double
+        if operand_is_d:
+            a = self._eval(expr.lhs, d, df)
+            b = self._eval(expr.rhs, d, df + 1)
+        else:
+            a = self._eval(expr.lhs, d, df)
+            b = self._eval(expr.rhs, d + 1, df)
+        if op in ("+", "-", "*", "/", "%"):
+            if operand_is_d:
+                mn = {"+": "fadd.d", "-": "fsub.d",
+                      "*": "fmul.d", "/": "fdiv.d"}[op]
+                self.emit(f"{mn} {dst}, {a}, {b}")
+            else:
+                mn = {"+": "add", "-": "sub", "*": "mul",
+                      "/": "div", "%": "rem"}[op]
+                self.emit(f"{mn} {dst}, {a}, {b}")
+            return
+        # comparisons produce a long in dst
+        if operand_is_d:
+            table = {
+                "<": f"flt.d {dst}, {a}, {b}",
+                ">": f"flt.d {dst}, {b}, {a}",
+                "<=": f"fle.d {dst}, {a}, {b}",
+                ">=": f"fle.d {dst}, {b}, {a}",
+                "==": f"feq.d {dst}, {a}, {b}",
+            }
+            if op == "!=":
+                self.emit(f"feq.d {dst}, {a}, {b}")
+                self.emit(f"seqz {dst}, {dst}")
+            else:
+                self.emit(table[op])
+        else:
+            if op == "<":
+                self.emit(f"slt {dst}, {a}, {b}")
+            elif op == ">":
+                self.emit(f"slt {dst}, {b}, {a}")
+            elif op == "<=":
+                self.emit(f"slt {dst}, {b}, {a}")
+                self.emit(f"xori {dst}, {dst}, 1")
+            elif op == ">=":
+                self.emit(f"slt {dst}, {a}, {b}")
+                self.emit(f"xori {dst}, {dst}, 1")
+            elif op == "==":
+                self.emit(f"sub {dst}, {a}, {b}")
+                self.emit(f"seqz {dst}, {dst}")
+            else:  # !=
+                self.emit(f"sub {dst}, {a}, {b}")
+                self.emit(f"snez {dst}, {dst}")
+
+    def _gen_logical(self, expr: A.Binary, d: int, df: int, dst: str) -> None:
+        short_l = self._label("sc")
+        end_l = self._label("scend")
+        a = self._eval(expr.lhs, d, df)
+        if expr.op == "&&":
+            self.emit(f"beqz {a}, {short_l}")
+        else:
+            self.emit(f"bnez {a}, {short_l}")
+        b = self._eval(expr.rhs, d, df)
+        self.emit(f"snez {dst}, {b}")
+        self.emit(f"j {end_l}")
+        self.emit_label(short_l)
+        self._li(dst, 0 if expr.op == "&&" else 1)
+        self.emit_label(end_l)
+
+    # -- calls -----------------------------------------------------------------------
+
+    def _setup_args(self, call: A.Call, sig: FuncSig, d: int, df: int) -> None:
+        slots = self.frame.arg_slots
+        for i, arg in enumerate(call.args):
+            reg = self._eval(arg, d, df)
+            st = "fsd" if arg.typ.is_double else "sd"
+            self.emit(f"{st} {reg}, {slots[i]}(sp)")
+        ni = nf = 0
+        for i, ptyp in enumerate(sig.params):
+            if ptyp.is_double:
+                self.emit(f"fld fa{nf}, {slots[i]}(sp)")
+                nf += 1
+            else:
+                self.emit(f"ld a{ni}, {slots[i]}(sp)")
+                ni += 1
+
+    def _gen_call(self, call: A.Call, d: int, df: int,
+                  discard: bool) -> None:
+        # inline intrinsics: peek/poke lower to a bare load/store
+        if call.name == "peek":
+            addr = self._eval(call.args[0], d, df)
+            self.emit(f"ld {INT_TEMPS[d]}, 0({addr})")
+            return
+        if call.name == "poke":
+            value = self._eval(call.args[1], d, df)
+            addr = self._eval(call.args[0], d + 1, df)
+            self.emit(f"sd {value}, 0({addr})")
+            return
+        sig = self.sema.functions[call.name]
+        self._setup_args(call, sig, d, df)
+        # spill live temps (t0..t{d-1} / ft0..ft{df-1})
+        for i in range(d):
+            self.emit(f"sd {INT_TEMPS[i]}, {self.frame.int_spill[i]}(sp)")
+        for i in range(df):
+            self.emit(f"fsd {FP_TEMPS[i]}, {self.frame.fp_spill[i]}(sp)")
+        self.emit(f"call {call.name}")
+        for i in range(d):
+            self.emit(f"ld {INT_TEMPS[i]}, {self.frame.int_spill[i]}(sp)")
+        for i in range(df):
+            self.emit(f"fld {FP_TEMPS[i]}, {self.frame.fp_spill[i]}(sp)")
+        if discard or sig.ret is A.VOID:
+            return
+        if sig.ret.is_double:
+            self.emit(f"fmv.d {FP_TEMPS[df]}, fa0")
+        else:
+            self._mv(INT_TEMPS[d], "a0")
+
+    def _gen_tail_call(self, call: A.Call, sig: FuncSig) -> None:
+        """Tail-call optimisation (paper §3.2.3): tear down the frame,
+        then jump — the callee returns directly to our caller."""
+        self._setup_args(call, sig, 0, 0)
+        sz = self.frame.size
+        if self.opts.use_frame_pointer:
+            self.emit(f"ld ra, {sz - 8}(sp)")
+            self.emit(f"ld s0, {sz - 16}(sp)")
+        else:
+            self.emit("ld ra, 0(sp)")
+        self.emit(f"addi sp, sp, {sz}")
+        self.emit(f"tail {call.name}")
+
+
+def _is_dense(values: list[tuple[int, str]]) -> bool:
+    vs = [v for v, _ in values]
+    span = max(vs) - min(vs) + 1
+    return span <= 3 * len(vs)
+
+
+# -- runtime ------------------------------------------------------------------
+
+RUNTIME_ASM = r"""
+.globl _start
+.type _start, @function
+_start:
+  call main
+  li a7, 93
+  ecall
+.size _start, .-_start
+
+.type exit, @function
+exit:
+  li a7, 93
+  ecall
+.size exit, .-exit
+
+.type print_char, @function
+print_char:
+  addi sp, sp, -16
+  sb a0, 8(sp)
+  li a0, 1
+  addi a1, sp, 8
+  li a2, 1
+  li a7, 64
+  ecall
+  addi sp, sp, 16
+  ret
+.size print_char, .-print_char
+
+.type print_long, @function
+print_long:
+  addi sp, sp, -48
+  sd ra, 0(sp)
+  addi t0, sp, 47
+  li t1, 10
+  sb t1, 0(t0)
+  mv t2, a0
+  li t3, 0
+  bgez t2, .Lpl_digits
+  li t3, 1
+  neg t2, t2
+.Lpl_digits:
+.Lpl_loop:
+  remu t4, t2, t1
+  addi t4, t4, 48
+  addi t0, t0, -1
+  sb t4, 0(t0)
+  divu t2, t2, t1
+  bnez t2, .Lpl_loop
+  beqz t3, .Lpl_write
+  addi t0, t0, -1
+  li t4, 45
+  sb t4, 0(t0)
+.Lpl_write:
+  addi t5, sp, 48
+  sub a2, t5, t0
+  mv a1, t0
+  li a0, 1
+  li a7, 64
+  ecall
+  ld ra, 0(sp)
+  addi sp, sp, 48
+  ret
+.size print_long, .-print_long
+
+.type alloc, @function
+alloc:
+  # bump allocator over the .bss heap; 16-byte aligned sizes
+  addi a0, a0, 15
+  andi a0, a0, -16
+  la t0, heap_next
+  ld t1, 0(t0)
+  add t2, t1, a0
+  sd t2, 0(t0)
+  mv a0, t1
+  ret
+.size alloc, .-alloc
+
+.type clock_ns, @function
+clock_ns:
+  addi sp, sp, -32
+  sd ra, 0(sp)
+  li a0, 1
+  addi a1, sp, 16
+  li a7, 113
+  ecall
+  ld a0, 16(sp)
+  li t0, 1000000000
+  mul a0, a0, t0
+  ld t1, 24(sp)
+  add a0, a0, t1
+  ld ra, 0(sp)
+  addi sp, sp, 32
+  ret
+.size clock_ns, .-clock_ns
+"""
+
+
+def generate(sema: SemaInfo, opts: Options | None = None) -> str:
+    """Generate a complete assembly module (runtime included)."""
+    opts = opts or Options()
+    text: list[str] = [".text"]
+    data: list[str] = []
+    for fn in sema.unit.functions:
+        if fn.body is not None:
+            _FuncGen(fn, sema, opts, text, data).generate()
+    text.append(RUNTIME_ASM)
+
+    data_lines: list[str] = [".data"]
+    bss_lines: list[str] = []
+    for g in sema.unit.globals:
+        size = g.typ.size
+        if g.init is None:
+            bss_lines += [f".type {g.name}, @object",
+                          f"{g.name}: .zero {size}"]
+            continue
+        data_lines.append(".align 3")
+        data_lines.append(f".type {g.name}, @object")
+        elem = g.typ.elem if isinstance(g.typ, A.ArrayType) else g.typ
+        directive = ".double" if elem.is_double else ".dword"
+        vals = list(g.init)
+        count = g.typ.count if isinstance(g.typ, A.ArrayType) else 1
+        vals += [0.0 if elem.is_double else 0] * (count - len(vals))
+        data_lines.append(f"{g.name}:")
+        for v in vals:
+            data_lines.append(f"  {directive} {v!r}")
+    data_lines += data
+    # heap support: the bump pointer starts at the .bss heap region
+    data_lines += [".align 3", ".type heap_next, @object",
+                   "heap_next: .dword heap_base"]
+    bss_lines += [".type heap_base, @object",
+                  f"heap_base: .zero {HEAP_BYTES}"]
+    out = "\n".join(text) + "\n" + "\n".join(data_lines) + "\n"
+    if bss_lines:
+        out += ".bss\n" + "\n".join(bss_lines) + "\n"
+    return out

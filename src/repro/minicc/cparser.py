@@ -1,0 +1,346 @@
+"""MiniC recursive-descent parser."""
+
+from __future__ import annotations
+
+from . import cast as A
+from .lexer import Token, tokenize
+
+
+class ParseError(ValueError):
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> Token:
+        t = self.tokens[self.pos]
+        if t.kind != "eof":
+            self.pos += 1
+        return t
+
+    def accept(self, text: str) -> Token | None:
+        t = self.peek()
+        if t.text == text and t.kind in ("op", "kw"):
+            return self.next()
+        return None
+
+    def expect(self, text: str) -> Token:
+        t = self.next()
+        if t.text != text:
+            raise ParseError(f"expected {text!r}, got {t.text!r}", t.line)
+        return t
+
+    def expect_ident(self) -> Token:
+        t = self.next()
+        if t.kind != "ident":
+            raise ParseError(f"expected identifier, got {t.text!r}", t.line)
+        return t
+
+    # -- top level --------------------------------------------------------
+
+    def parse(self) -> A.TranslationUnit:
+        unit = A.TranslationUnit()
+        while self.peek().kind != "eof":
+            typ = self._parse_type(allow_void=True)
+            name_tok = self.expect_ident()
+            if self.peek().text == "(":
+                unit.functions.append(self._parse_func(typ, name_tok))
+            else:
+                unit.globals.append(self._parse_global(typ, name_tok))
+        return unit
+
+    def _parse_type(self, allow_void: bool = False) -> A.Type:
+        t = self.next()
+        if t.text == "long":
+            return A.LONG
+        if t.text == "double":
+            return A.DOUBLE
+        if t.text == "void" and allow_void:
+            return A.VOID
+        raise ParseError(f"expected type, got {t.text!r}", t.line)
+
+    def _parse_global(self, typ: A.Type, name_tok: Token) -> A.GlobalVar:
+        if typ is A.VOID:
+            raise ParseError("void variable", name_tok.line)
+        dims: list[int] = []
+        while self.accept("["):
+            d = self.next()
+            if d.kind != "int":
+                raise ParseError("array dimension must be an integer "
+                                 "literal", d.line)
+            dims.append(int(d.text, 0))
+            self.expect("]")
+        init = None
+        if self.accept("="):
+            if self.accept("{"):
+                init = []
+                while not self.accept("}"):
+                    init.append(self._parse_const_scalar(typ))
+                    if self.peek().text == ",":
+                        self.next()
+            else:
+                init = [self._parse_const_scalar(typ)]
+        self.expect(";")
+        gtyp: A.Type | A.ArrayType = (
+            A.ArrayType(typ, tuple(dims)) if dims else typ)
+        return A.GlobalVar(name_tok.text, gtyp, init, name_tok.line)
+
+    def _parse_const_scalar(self, typ: A.Type):
+        neg = bool(self.accept("-"))
+        t = self.next()
+        if t.kind == "int":
+            v = int(t.text, 0)
+            return (-v if neg else v) if typ is A.LONG else float(-v if neg else v)
+        if t.kind == "float":
+            v = float(t.text)
+            return -v if neg else v
+        raise ParseError("expected constant initialiser", t.line)
+
+    def _parse_func(self, ret: A.Type, name_tok: Token) -> A.FuncDef:
+        self.expect("(")
+        params: list[A.Param] = []
+        if not self.accept(")"):
+            while True:
+                if self.peek().text == "void" and not params:
+                    self.next()
+                    break
+                ptyp = self._parse_type()
+                pname = self.expect_ident()
+                params.append(A.Param(ptyp, pname.text))
+                if not self.accept(","):
+                    break
+            self.expect(")")
+        if self.accept(";"):
+            return A.FuncDef(name_tok.text, ret, params, None, name_tok.line)
+        body = self._parse_block()
+        return A.FuncDef(name_tok.text, ret, params, body, name_tok.line)
+
+    # -- statements ---------------------------------------------------------
+
+    def _parse_block(self) -> A.Block:
+        self.expect("{")
+        stmts: list[A.Stmt] = []
+        while not self.accept("}"):
+            stmts.append(self._parse_statement())
+        return A.Block(stmts)
+
+    def _parse_statement(self) -> A.Stmt:
+        t = self.peek()
+        if t.text == "{":
+            return self._parse_block()
+        if t.text in ("long", "double"):
+            return self._parse_decl()
+        if t.text == "if":
+            return self._parse_if()
+        if t.text == "while":
+            return self._parse_while()
+        if t.text == "for":
+            return self._parse_for()
+        if t.text == "switch":
+            return self._parse_switch()
+        if t.text == "return":
+            self.next()
+            value = None
+            if self.peek().text != ";":
+                value = self._parse_expr()
+            self.expect(";")
+            return A.Return(value, t.line)
+        if t.text == "break":
+            self.next()
+            self.expect(";")
+            return A.Break(t.line)
+        if t.text == "continue":
+            self.next()
+            self.expect(";")
+            return A.Continue(t.line)
+        stmt = self._parse_simple_statement()
+        self.expect(";")
+        return stmt
+
+    def _parse_simple_statement(self) -> A.Stmt:
+        """Assignment or expression statement (no trailing ';')."""
+        t = self.peek()
+        start = self.pos
+        expr = self._parse_expr()
+        if self.peek().text == "=":
+            if not isinstance(expr, (A.VarRef, A.ArrayRef)):
+                raise ParseError("invalid assignment target", t.line)
+            self.next()
+            value = self._parse_expr()
+            return A.Assign(expr, value, t.line)
+        del start
+        return A.ExprStmt(expr, t.line)
+
+    def _parse_decl(self) -> A.Stmt:
+        typ = self._parse_type()
+        name = self.expect_ident()
+        init = None
+        if self.accept("="):
+            init = self._parse_expr()
+        self.expect(";")
+        return A.Decl(typ, name.text, init, name.line)
+
+    def _parse_if(self) -> A.Stmt:
+        t = self.expect("if")
+        self.expect("(")
+        cond = self._parse_expr()
+        self.expect(")")
+        then = self._parse_block_or_stmt()
+        otherwise = None
+        if self.accept("else"):
+            otherwise = self._parse_block_or_stmt()
+        return A.If(cond, then, otherwise, t.line)
+
+    def _parse_block_or_stmt(self) -> A.Block:
+        if self.peek().text == "{":
+            return self._parse_block()
+        return A.Block([self._parse_statement()])
+
+    def _parse_while(self) -> A.Stmt:
+        t = self.expect("while")
+        self.expect("(")
+        cond = self._parse_expr()
+        self.expect(")")
+        return A.While(cond, self._parse_block_or_stmt(), t.line)
+
+    def _parse_for(self) -> A.Stmt:
+        t = self.expect("for")
+        self.expect("(")
+        init: A.Stmt | None = None
+        if self.peek().text != ";":
+            if self.peek().text in ("long", "double"):
+                init = self._parse_decl()  # consumes ';'
+            else:
+                init = self._parse_simple_statement()
+                self.expect(";")
+        else:
+            self.next()
+        cond = None
+        if self.peek().text != ";":
+            cond = self._parse_expr()
+        self.expect(";")
+        step = None
+        if self.peek().text != ")":
+            step = self._parse_simple_statement()
+        self.expect(")")
+        return A.For(init, cond, step, self._parse_block_or_stmt(), t.line)
+
+    def _parse_switch(self) -> A.Stmt:
+        t = self.expect("switch")
+        self.expect("(")
+        scrutinee = self._parse_expr()
+        self.expect(")")
+        self.expect("{")
+        cases: list[A.SwitchCase] = []
+        while not self.accept("}"):
+            ct = self.peek()
+            if self.accept("case"):
+                neg = bool(self.accept("-"))
+                v = self.next()
+                if v.kind != "int":
+                    raise ParseError("case label must be an integer", v.line)
+                value: int | None = -int(v.text, 0) if neg else int(v.text, 0)
+            else:
+                self.expect("default")
+                value = None
+            self.expect(":")
+            body: list[A.Stmt] = []
+            while self.peek().text not in ("case", "default", "}"):
+                body.append(self._parse_statement())
+            cases.append(A.SwitchCase(value, body, ct.line))
+        return A.Switch(scrutinee, cases, t.line)
+
+    # -- expressions (precedence climbing) -------------------------------------
+
+    def _parse_expr(self) -> A.Expr:
+        return self._parse_or()
+
+    def _binary_level(self, sub, ops):
+        expr = sub()
+        while self.peek().text in ops and self.peek().kind == "op":
+            t = self.next()
+            expr = A.Binary(t.text, expr, sub(), t.line)
+        return expr
+
+    def _parse_or(self):
+        return self._binary_level(self._parse_and, ("||",))
+
+    def _parse_and(self):
+        return self._binary_level(self._parse_equality, ("&&",))
+
+    def _parse_equality(self):
+        return self._binary_level(self._parse_relational, ("==", "!="))
+
+    def _parse_relational(self):
+        return self._binary_level(self._parse_additive,
+                                  ("<", "<=", ">", ">="))
+
+    def _parse_additive(self):
+        return self._binary_level(self._parse_multiplicative, ("+", "-"))
+
+    def _parse_multiplicative(self):
+        return self._binary_level(self._parse_unary, ("*", "/", "%"))
+
+    def _parse_unary(self) -> A.Expr:
+        t = self.peek()
+        if t.text == "-" and t.kind == "op":
+            self.next()
+            return A.Unary("-", self._parse_unary(), t.line)
+        if t.text == "!" and t.kind == "op":
+            self.next()
+            return A.Unary("!", self._parse_unary(), t.line)
+        if t.text == "(" and self._is_cast():
+            self.next()
+            target = self._parse_type()
+            self.expect(")")
+            return A.Cast(target, self._parse_unary(), t.line)
+        return self._parse_postfix()
+
+    def _is_cast(self) -> bool:
+        nxt = self.tokens[self.pos + 1]
+        return nxt.text in ("long", "double")
+
+    def _parse_postfix(self) -> A.Expr:
+        t = self.next()
+        if t.text == "(":
+            expr = self._parse_expr()
+            self.expect(")")
+            return expr
+        if t.kind == "int":
+            return A.IntLit(int(t.text, 0), t.line)
+        if t.kind == "float":
+            return A.FloatLit(float(t.text), t.line)
+        if t.kind == "ident":
+            if self.peek().text == "(":
+                self.next()
+                args: list[A.Expr] = []
+                if not self.accept(")"):
+                    while True:
+                        args.append(self._parse_expr())
+                        if not self.accept(","):
+                            break
+                    self.expect(")")
+                return A.Call(t.text, args, t.line)
+            if self.peek().text == "[":
+                indices: list[A.Expr] = []
+                while self.accept("["):
+                    indices.append(self._parse_expr())
+                    self.expect("]")
+                return A.ArrayRef(t.text, indices, t.line)
+            return A.VarRef(t.text, t.line)
+        raise ParseError(f"unexpected token {t.text!r}", t.line)
+
+
+def parse(source: str) -> A.TranslationUnit:
+    """Parse MiniC source into a TranslationUnit."""
+    return Parser(source).parse()

@@ -1,0 +1,38 @@
+"""MiniC driver: source -> assembly -> laid-out Program / ELF bytes."""
+
+from __future__ import annotations
+
+from ..riscv.assembler import Assembler, Program
+from ..riscv.extensions import ISASubset, RV64GC
+from .codegen import Options, generate
+from .cparser import parse
+from .sema import analyze
+
+
+def compile_to_asm(source: str, opts: Options | None = None) -> str:
+    """Compile MiniC source to RV64GC assembly text."""
+    return generate(analyze(parse(source)), opts)
+
+
+def compile_source(source: str, opts: Options | None = None,
+                   text_base: int = 0x1_0000,
+                   arch: ISASubset = RV64GC) -> Program:
+    """Compile MiniC source to a laid-out Program.
+
+    With ``Options(compress=True)`` the assembler auto-compresses
+    eligible instructions to RV64C forms (like GCC's default on RV64GC),
+    producing realistically dense mixed 2/4-byte binaries.
+    """
+    asm = compile_to_asm(source, opts)
+    compress = bool(opts and opts.compress)
+    return Assembler(text_base=text_base, arch=arch,
+                     compress=compress).assemble(asm)
+
+
+def compile_to_elf(source: str, opts: Options | None = None,
+                   text_base: int = 0x1_0000,
+                   arch: ISASubset = RV64GC) -> bytes:
+    """Compile MiniC source to ELF executable bytes."""
+    from ..elf.writer import write_program
+
+    return write_program(compile_source(source, opts, text_base, arch))

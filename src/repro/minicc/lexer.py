@@ -1,0 +1,62 @@
+"""MiniC lexer."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+
+class LexError(ValueError):
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+KEYWORDS = {
+    "long", "double", "void", "if", "else", "while", "for", "return",
+    "break", "continue", "switch", "case", "default",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t\r]+)
+  | (?P<nl>\n)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<float>(\d+\.\d*|\.\d+)([eE][-+]?\d+)?|\d+[eE][-+]?\d+)
+  | (?P<int>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op> \|\| | && | == | != | <= | >= | [-+*/%<>=!(){}\[\],;:] )
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str   # 'int' | 'float' | 'ident' | 'kw' | 'op' | 'eof'
+    text: str
+    line: int
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    line = 1
+    pos = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if not m:
+            raise LexError(f"bad character {source[pos]!r}", line)
+        pos = m.end()
+        kind = m.lastgroup
+        text = m.group()
+        if kind == "nl":
+            line += 1
+            continue
+        if kind in ("ws", "comment"):
+            line += text.count("\n")
+            continue
+        if kind == "ident" and text in KEYWORDS:
+            kind = "kw"
+        tokens.append(Token(kind, text, line))
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,304 @@
+"""MiniC semantic analysis: name resolution, type checking, and implicit
+conversion insertion.
+
+Annotates every expression with ``.typ`` and rewrites the tree so codegen
+sees fully-typed, explicitly-converted MiniC: mixed long/double
+arithmetic gets a ``Cast`` on the integer side, as do assignments,
+call arguments, and return values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import cast as A
+
+
+class SemaError(ValueError):
+    def __init__(self, message: str, line: int = 0):
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+@dataclass(frozen=True)
+class FuncSig:
+    name: str
+    ret: A.Type
+    params: tuple[A.Type, ...]
+    builtin: bool = False
+
+
+#: Runtime builtins provided by the MiniC runtime (emitted as assembly
+#: into every binary; see codegen.RUNTIME_ASM).
+BUILTINS: dict[str, FuncSig] = {
+    "print_long": FuncSig("print_long", A.VOID, (A.LONG,), builtin=True),
+    "print_char": FuncSig("print_char", A.VOID, (A.LONG,), builtin=True),
+    "clock_ns": FuncSig("clock_ns", A.LONG, (), builtin=True),
+    "exit": FuncSig("exit", A.VOID, (A.LONG,), builtin=True),
+    # heap + raw-memory intrinsics (pointer-ish programming without a
+    # pointer type): alloc bumps a heap pointer; peek/poke are inlined
+    # 8-byte load/store through a computed address
+    "alloc": FuncSig("alloc", A.LONG, (A.LONG,), builtin=True),
+    "peek": FuncSig("peek", A.LONG, (A.LONG,), builtin=True),
+    "poke": FuncSig("poke", A.VOID, (A.LONG, A.LONG), builtin=True),
+}
+
+
+@dataclass
+class SemaInfo:
+    """Result of semantic analysis."""
+
+    unit: A.TranslationUnit
+    globals: dict[str, A.Type | A.ArrayType] = field(default_factory=dict)
+    functions: dict[str, FuncSig] = field(default_factory=dict)
+
+
+class _Scope:
+    def __init__(self, parent: "_Scope | None" = None):
+        self.vars: dict[str, A.Type] = {}
+        self.parent = parent
+
+    def lookup(self, name: str) -> A.Type | None:
+        s: _Scope | None = self
+        while s is not None:
+            if name in s.vars:
+                return s.vars[name]
+            s = s.parent
+        return None
+
+    def declare(self, name: str, typ: A.Type, line: int) -> None:
+        if name in self.vars:
+            raise SemaError(f"redeclaration of {name!r}", line)
+        self.vars[name] = typ
+
+
+def _coerce(expr: A.Expr, target: A.Type, line: int) -> A.Expr:
+    if expr.typ == target:
+        return expr
+    if expr.typ in (A.LONG, A.DOUBLE) and target in (A.LONG, A.DOUBLE):
+        cast = A.Cast(target, expr, line)
+        cast.typ = target
+        return cast
+    raise SemaError(
+        f"cannot convert {expr.typ.name} to {target.name}", line)
+
+
+class Analyzer:
+    def __init__(self, unit: A.TranslationUnit):
+        self.unit = unit
+        self.info = SemaInfo(unit)
+        self._loop_depth = 0
+        self._current: FuncSig | None = None
+
+    def run(self) -> SemaInfo:
+        for g in self.unit.globals:
+            if g.name in self.info.globals:
+                raise SemaError(f"duplicate global {g.name!r}", g.line)
+            if g.name in BUILTINS:
+                raise SemaError(f"{g.name!r} shadows a builtin", g.line)
+            self._check_global_init(g)
+            self.info.globals[g.name] = g.typ
+        self.info.functions.update(BUILTINS)
+        defined: set[str] = set()
+        for fn in self.unit.functions:
+            sig = FuncSig(fn.name, fn.ret, tuple(p.typ for p in fn.params))
+            prior = self.info.functions.get(fn.name)
+            if prior is not None:
+                if prior != sig:
+                    raise SemaError(
+                        f"conflicting declarations of {fn.name!r}", fn.line)
+                if fn.body is not None and fn.name in defined:
+                    raise SemaError(f"duplicate function {fn.name!r}",
+                                    fn.line)
+            self.info.functions[fn.name] = sig
+            if fn.body is not None:
+                defined.add(fn.name)
+        undefined = {
+            name for name, sig in self.info.functions.items()
+            if not sig.builtin and name not in defined
+        }
+        if undefined:
+            raise SemaError(
+                f"functions declared but never defined: {sorted(undefined)}")
+        if "main" not in self.info.functions:
+            raise SemaError("missing main function")
+        if self.info.functions["main"].ret is not A.LONG:
+            raise SemaError("main must return long")
+        for fn in self.unit.functions:
+            if fn.body is not None:
+                self._check_func(fn)
+        return self.info
+
+    def _check_global_init(self, g: A.GlobalVar) -> None:
+        if g.init is None:
+            return
+        count = g.typ.count if isinstance(g.typ, A.ArrayType) else 1
+        if len(g.init) > count:
+            raise SemaError(
+                f"too many initialisers for {g.name!r}", g.line)
+
+    def _check_func(self, fn: A.FuncDef) -> None:
+        self._current = self.info.functions[fn.name]
+        scope = _Scope()
+        for p in fn.params:
+            if p.typ is A.VOID:
+                raise SemaError("void parameter", fn.line)
+            scope.declare(p.name, p.typ, fn.line)
+        self._check_block(fn.body, scope)
+        self._current = None
+
+    def _check_block(self, block: A.Block, scope: _Scope) -> None:
+        inner = _Scope(scope)
+        for stmt in block.statements:
+            self._check_stmt(stmt, inner)
+
+    def _check_stmt(self, stmt: A.Stmt, scope: _Scope) -> None:
+        if isinstance(stmt, A.Block):
+            self._check_block(stmt, scope)
+        elif isinstance(stmt, A.Decl):
+            if stmt.init is not None:
+                self._check_expr(stmt.init, scope)
+                stmt.init = _coerce(stmt.init, stmt.typ, stmt.line)
+            scope.declare(stmt.name, stmt.typ, stmt.line)
+        elif isinstance(stmt, A.Assign):
+            self._check_expr(stmt.target, scope, lvalue=True)
+            self._check_expr(stmt.value, scope)
+            stmt.value = _coerce(stmt.value, stmt.target.typ, stmt.line)
+        elif isinstance(stmt, A.ExprStmt):
+            self._check_expr(stmt.expr, scope)
+        elif isinstance(stmt, A.If):
+            self._check_expr(stmt.cond, scope)
+            stmt.cond = _coerce(stmt.cond, A.LONG, stmt.line)
+            self._check_block(stmt.then, scope)
+            if stmt.otherwise:
+                self._check_block(stmt.otherwise, scope)
+        elif isinstance(stmt, A.While):
+            self._check_expr(stmt.cond, scope)
+            stmt.cond = _coerce(stmt.cond, A.LONG, stmt.line)
+            self._loop_depth += 1
+            self._check_block(stmt.body, scope)
+            self._loop_depth -= 1
+        elif isinstance(stmt, A.For):
+            inner = _Scope(scope)
+            if stmt.init:
+                self._check_stmt(stmt.init, inner)
+            if stmt.cond:
+                self._check_expr(stmt.cond, inner)
+                stmt.cond = _coerce(stmt.cond, A.LONG, stmt.line)
+            if stmt.step:
+                self._check_stmt(stmt.step, inner)
+            self._loop_depth += 1
+            self._check_block(stmt.body, inner)
+            self._loop_depth -= 1
+        elif isinstance(stmt, A.Return):
+            assert self._current is not None
+            if stmt.value is None:
+                if self._current.ret is not A.VOID:
+                    raise SemaError("return without value", stmt.line)
+            else:
+                if self._current.ret is A.VOID:
+                    raise SemaError("return with value in void function",
+                                    stmt.line)
+                self._check_expr(stmt.value, scope)
+                stmt.value = _coerce(stmt.value, self._current.ret, stmt.line)
+        elif isinstance(stmt, (A.Break, A.Continue)):
+            if self._loop_depth == 0:
+                raise SemaError("break/continue outside loop", stmt.line)
+        elif isinstance(stmt, A.Switch):
+            self._check_expr(stmt.scrutinee, scope)
+            stmt.scrutinee = _coerce(stmt.scrutinee, A.LONG, stmt.line)
+            seen: set[int | None] = set()
+            self._loop_depth += 1  # break is legal inside switch
+            for case in stmt.cases:
+                if case.value in seen:
+                    raise SemaError("duplicate case label", case.line)
+                seen.add(case.value)
+                for sub in case.body:
+                    self._check_stmt(sub, scope)
+            self._loop_depth -= 1
+        else:  # pragma: no cover
+            raise SemaError(f"unknown statement {stmt!r}")
+
+    def _check_expr(self, expr: A.Expr, scope: _Scope,
+                    lvalue: bool = False) -> None:
+        if isinstance(expr, A.IntLit):
+            expr.typ = A.LONG
+        elif isinstance(expr, A.FloatLit):
+            expr.typ = A.DOUBLE
+        elif isinstance(expr, A.VarRef):
+            typ = scope.lookup(expr.name)
+            if typ is None:
+                gtyp = self.info.globals.get(expr.name)
+                if gtyp is None:
+                    raise SemaError(f"undefined variable {expr.name!r}",
+                                    expr.line)
+                if isinstance(gtyp, A.ArrayType):
+                    raise SemaError(
+                        f"array {expr.name!r} used without indices",
+                        expr.line)
+                typ = gtyp
+            expr.typ = typ
+        elif isinstance(expr, A.ArrayRef):
+            gtyp = self.info.globals.get(expr.name)
+            if not isinstance(gtyp, A.ArrayType):
+                raise SemaError(f"{expr.name!r} is not an array", expr.line)
+            if len(expr.indices) != len(gtyp.dims):
+                raise SemaError(
+                    f"{expr.name!r} expects {len(gtyp.dims)} indices",
+                    expr.line)
+            for i, idx in enumerate(expr.indices):
+                self._check_expr(idx, scope)
+                expr.indices[i] = _coerce(idx, A.LONG, expr.line)
+            expr.typ = gtyp.elem
+        elif isinstance(expr, A.Unary):
+            self._check_expr(expr.operand, scope)
+            if expr.op == "!":
+                expr.operand = _coerce(expr.operand, A.LONG, expr.line)
+                expr.typ = A.LONG
+            else:
+                expr.typ = expr.operand.typ
+        elif isinstance(expr, A.Binary):
+            self._check_expr(expr.lhs, scope)
+            self._check_expr(expr.rhs, scope)
+            if expr.op in ("&&", "||"):
+                expr.lhs = _coerce(expr.lhs, A.LONG, expr.line)
+                expr.rhs = _coerce(expr.rhs, A.LONG, expr.line)
+                expr.typ = A.LONG
+            elif expr.op == "%":
+                expr.lhs = _coerce(expr.lhs, A.LONG, expr.line)
+                expr.rhs = _coerce(expr.rhs, A.LONG, expr.line)
+                expr.typ = A.LONG
+            else:
+                common = (A.DOUBLE if A.DOUBLE in (expr.lhs.typ, expr.rhs.typ)
+                          else A.LONG)
+                expr.lhs = _coerce(expr.lhs, common, expr.line)
+                expr.rhs = _coerce(expr.rhs, common, expr.line)
+                expr.typ = (A.LONG if expr.op in
+                            ("<", "<=", ">", ">=", "==", "!=") else common)
+        elif isinstance(expr, A.Call):
+            sig = self.info.functions.get(expr.name)
+            if sig is None:
+                raise SemaError(f"undefined function {expr.name!r}",
+                                expr.line)
+            if len(expr.args) != len(sig.params):
+                raise SemaError(
+                    f"{expr.name} expects {len(sig.params)} args, got "
+                    f"{len(expr.args)}", expr.line)
+            if len(expr.args) > 8:
+                raise SemaError("more than 8 arguments unsupported",
+                                expr.line)
+            for i, (arg, ptyp) in enumerate(zip(expr.args, sig.params)):
+                self._check_expr(arg, scope)
+                expr.args[i] = _coerce(arg, ptyp, expr.line)
+            expr.typ = sig.ret
+        elif isinstance(expr, A.Cast):
+            self._check_expr(expr.operand, scope)
+            expr.typ = expr.target
+        else:  # pragma: no cover
+            raise SemaError(f"unknown expression {expr!r}")
+        if lvalue and not isinstance(expr, (A.VarRef, A.ArrayRef)):
+            raise SemaError("invalid lvalue", getattr(expr, "line", 0))
+
+
+def analyze(unit: A.TranslationUnit) -> SemaInfo:
+    return Analyzer(unit).run()

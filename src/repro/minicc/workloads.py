@@ -1,0 +1,287 @@
+"""Canonical MiniC workloads used by the examples and benchmarks.
+
+:func:`matmul_source` reproduces the paper's application program (§4.1):
+a function performing an N x N double-precision matrix multiplication,
+called repeatedly in a loop from ``main``, with ``clock_gettime`` samples
+around the loop and the elapsed time reported.
+
+The paper uses N=100; a pure-Python simulator executes ~10^6 instr/s, so
+the harness scales N down (the overhead *ratios* the paper's table
+reports are preserved — see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+
+def matmul_source(n: int = 16, reps: int = 10) -> str:
+    """The paper's matmul mutatee, parameterised by size and repetitions."""
+    return f"""
+// Paper 4.1 application program: {n}x{n} double matmul called {reps}x.
+double a[{n}][{n}];
+double b[{n}][{n}];
+double c[{n}][{n}];
+
+void init(void) {{
+    for (long i = 0; i < {n}; i = i + 1) {{
+        for (long j = 0; j < {n}; j = j + 1) {{
+            a[i][j] = (double)(i + j) / 7.0;
+            b[i][j] = (double)(i - j) * 0.5;
+            c[i][j] = 0.0;
+        }}
+    }}
+}}
+
+void multiply(void) {{
+    for (long i = 0; i < {n}; i = i + 1) {{
+        for (long j = 0; j < {n}; j = j + 1) {{
+            double sum = 0.0;
+            for (long k = 0; k < {n}; k = k + 1) {{
+                sum = sum + a[i][k] * b[k][j];
+            }}
+            c[i][j] = sum;
+        }}
+    }}
+}}
+
+long main(void) {{
+    init();
+    long t0 = clock_ns();
+    for (long r = 0; r < {reps}; r = r + 1) {{
+        multiply();
+    }}
+    long t1 = clock_ns();
+    print_long(t1 - t0);
+    // checksum so the result is observable
+    long chk = (long)(c[1][2] * 1000.0);
+    print_long(chk);
+    return 0;
+}}
+"""
+
+
+def fib_source(n: int = 20) -> str:
+    """Recursive fibonacci: deep call stacks for the stackwalker."""
+    return f"""
+long fib(long n) {{
+    if (n < 2) {{ return n; }}
+    return fib(n - 1) + fib(n - 2);
+}}
+
+long main(void) {{
+    long r = fib({n});
+    print_long(r);
+    return r % 256;
+}}
+"""
+
+
+def switch_source(iters: int = 50) -> str:
+    """Dense switch in a loop: compiles to a jump table (§3.2.3)."""
+    return f"""
+long dispatch(long op, long x) {{
+    long r = 0;
+    switch (op) {{
+        case 0: r = x + 1; break;
+        case 1: r = x * 2; break;
+        case 2: r = x - 3; break;
+        case 3: r = x / 2; break;
+        case 4: r = x % 5; break;
+        case 5: r = -x; break;
+        default: r = x;
+    }}
+    return r;
+}}
+
+long main(void) {{
+    long acc = 0;
+    for (long i = 0; i < {iters}; i = i + 1) {{
+        acc = acc + dispatch(i % 7, i);
+    }}
+    print_long(acc);
+    return acc % 256;
+}}
+"""
+
+
+def qsort_source(n: int = 64, seed: int = 12345) -> str:
+    """Recursive quicksort over a pseudo-random array: data-dependent
+    branching, deep recursion, heavy array traffic."""
+    return f"""
+long data[{n}];
+
+long partition(long lo, long hi) {{
+    long pivot = data[hi];
+    long i = lo - 1;
+    for (long j = lo; j < hi; j = j + 1) {{
+        if (data[j] < pivot) {{
+            i = i + 1;
+            long t = data[i]; data[i] = data[j]; data[j] = t;
+        }}
+    }}
+    long t = data[i + 1]; data[i + 1] = data[hi]; data[hi] = t;
+    return i + 1;
+}}
+
+long qsort_range(long lo, long hi) {{
+    if (lo < hi) {{
+        long p = partition(lo, hi);
+        qsort_range(lo, p - 1);
+        qsort_range(p + 1, hi);
+    }}
+    return 0;
+}}
+
+long main(void) {{
+    long state = {seed};
+    for (long i = 0; i < {n}; i = i + 1) {{
+        state = (state * 1103515245 + 12345) % 2147483648;
+        data[i] = state % 1000;
+    }}
+    qsort_range(0, {n} - 1);
+    long bad = 0;
+    for (long i = 1; i < {n}; i = i + 1) {{
+        if (data[i - 1] > data[i]) {{ bad = bad + 1; }}
+    }}
+    print_long(bad);          // 0 when sorted
+    print_long(data[0]);
+    print_long(data[{n} - 1]);
+    return bad;
+}}
+"""
+
+
+def nbody_source(bodies: int = 4, steps: int = 20) -> str:
+    """A small n-body step loop: double-precision heavy (the FP side of
+    the toolkit: fld/fsd/fmul/fadd/fdiv everywhere)."""
+    return f"""
+double px[{bodies}]; double py[{bodies}];
+double vx[{bodies}]; double vy[{bodies}];
+
+void init(void) {{
+    for (long i = 0; i < {bodies}; i = i + 1) {{
+        px[i] = (double)(i + 1) * 0.5;
+        py[i] = (double)(i * i) * 0.25;
+        vx[i] = 0.0;
+        vy[i] = 0.0;
+    }}
+}}
+
+void step(void) {{
+    for (long i = 0; i < {bodies}; i = i + 1) {{
+        double ax = 0.0;
+        double ay = 0.0;
+        for (long j = 0; j < {bodies}; j = j + 1) {{
+            if (i != j) {{
+                double dx = px[j] - px[i];
+                double dy = py[j] - py[i];
+                double d2 = dx * dx + dy * dy + 0.01;
+                double inv = 1.0 / (d2 * d2);
+                ax = ax + dx * inv;
+                ay = ay + dy * inv;
+            }}
+        }}
+        vx[i] = vx[i] + ax * 0.001;
+        vy[i] = vy[i] + ay * 0.001;
+    }}
+    for (long i = 0; i < {bodies}; i = i + 1) {{
+        px[i] = px[i] + vx[i] * 0.001;
+        py[i] = py[i] + vy[i] * 0.001;
+    }}
+}}
+
+long main(void) {{
+    init();
+    for (long s = 0; s < {steps}; s = s + 1) {{ step(); }}
+    long chk = (long)((px[0] + py[{bodies} - 1]) * 100000.0);
+    print_long(chk);
+    return 0;
+}}
+"""
+
+
+def crc_source(n: int = 256, rounds: int = 4) -> str:
+    """Byte-wise CRC-ish checksum: shift/xor/mask integer kernel with a
+    dense inner loop (the bit-twiddling workload class)."""
+    return f"""
+long buf[{n}];
+
+long checksum(long rounds) {{
+    long crc = 0xFFFF;
+    for (long r = 0; r < rounds; r = r + 1) {{
+        for (long i = 0; i < {n}; i = i + 1) {{
+            long b = buf[i] % 256;
+            crc = crc - b;
+            if (crc < 0) {{ crc = crc + 65536; }}
+            crc = (crc * 31 + b) % 65536;
+        }}
+    }}
+    return crc;
+}}
+
+long main(void) {{
+    for (long i = 0; i < {n}; i = i + 1) {{
+        buf[i] = (i * 37 + 11) % 251;
+    }}
+    long c = checksum({rounds});
+    print_long(c);
+    return c % 256;
+}}
+"""
+
+
+def linked_list_source(n: int = 40) -> str:
+    """Heap-allocated linked list built and traversed with the
+    alloc/peek/poke intrinsics: pointer-chasing loads with computed
+    bases (the access pattern memory tracers and cache studies care
+    about).  Node layout: [value, next]."""
+    return f"""
+long push(long head, long value) {{
+    long node = alloc(16);
+    poke(node, value);
+    poke(node + 8, head);
+    return node;
+}}
+
+long sum_list(long head) {{
+    long s = 0;
+    while (head != 0) {{
+        s = s + peek(head);
+        head = peek(head + 8);
+    }}
+    return s;
+}}
+
+long main(void) {{
+    long head = 0;
+    for (long i = 1; i <= {n}; i = i + 1) {{
+        head = push(head, i);
+    }}
+    long s = sum_list(head);
+    print_long(s);           // n*(n+1)/2
+    return s % 256;
+}}
+"""
+
+
+def tailcall_source(n: int = 100) -> str:
+    """Mutually tail-calling loop (compile with Options(tail_calls=True))
+    to exercise ParseAPI's tail-call classification."""
+    return f"""
+long even_step(long n, long acc);
+
+long odd_step(long n, long acc) {{
+    if (n == 0) {{ return acc; }}
+    return even_step(n - 1, acc + 1);
+}}
+
+long even_step(long n, long acc) {{
+    if (n == 0) {{ return acc; }}
+    return odd_step(n - 1, acc + 1);
+}}
+
+long main(void) {{
+    long r = odd_step({n}, 0);
+    print_long(r);
+    return r % 256;
+}}
+"""

@@ -1,0 +1,20 @@
+"""ParseAPI: CFG construction via traversal parsing, RISC-V branch
+classification, jump-table analysis, gap parsing, and loop analysis."""
+
+from .branch_classify import Classification, ClassifyContext, classify
+from .cfg import Block, Edge, EdgeType, Function, INTERPROC_EDGES
+from .gaps import find_gaps, looks_like_prologue, parse_gaps
+from .jumptable import analyze_jump_table
+from .loops import Loop, dominators, function_digraph, natural_loops
+from .parallel import parse_binary_parallel
+from .parser import CodeObject, parse_binary
+
+__all__ = [
+    "Classification", "ClassifyContext", "classify",
+    "Block", "Edge", "EdgeType", "Function", "INTERPROC_EDGES",
+    "find_gaps", "looks_like_prologue", "parse_gaps",
+    "analyze_jump_table",
+    "Loop", "dominators", "function_digraph", "natural_loops",
+    "parse_binary_parallel",
+    "CodeObject", "parse_binary",
+]

@@ -1,0 +1,99 @@
+"""Gap parsing: speculative discovery of code the traversal missed.
+
+Traversal parsing cannot reach code that is only entered through
+unresolvable pointers (paper §2.1: "parsing may leave gaps in the binary
+where code may be present but has not yet been identified").  Dyninst
+attacks gaps with dataflow and ML-based speculation; here we implement
+the classic prologue-scan heuristic: walk unclaimed bytes of code
+regions looking for a function-prologue idiom, and parse speculatively
+from each hit.
+
+Recognised prologue idioms (what GCC/LLVM/MiniC emit):
+
+* ``addi sp, sp, -N``  (stack frame allocation)
+* ``c.addi16sp sp, -N`` / ``c.addi sp, -N`` (compressed forms)
+* ``sd ra, K(sp)`` as the very first instruction (leaf-ish frames)
+"""
+
+from __future__ import annotations
+
+from ..instruction.insn import Insn, decode_insn
+from ..riscv.decoder import DecodeError
+
+
+def looks_like_prologue(insn: Insn) -> bool:
+    f = insn.raw.fields
+    mn = insn.mnemonic
+    if mn == "addi" and f.get("rd") == 2 and f.get("rs1") == 2 \
+            and f.get("imm", 0) < 0:
+        return True
+    if mn == "sd" and f.get("rs2") == 1 and f.get("rs1") == 2:
+        return True
+    return False
+
+
+def find_gaps(code_object) -> list[tuple[int, int]]:
+    """Unclaimed [lo, hi) ranges within executable regions."""
+    covered = code_object.covered_ranges()
+    gaps: list[tuple[int, int]] = []
+    for region in code_object.symtab.code_regions():
+        pos = region.addr
+        end = region.addr + len(region.data)
+        for lo, hi in covered:
+            if hi <= pos or lo >= end:
+                continue
+            if lo > pos:
+                gaps.append((pos, min(lo, end)))
+            pos = max(pos, hi)
+        if pos < end:
+            gaps.append((pos, end))
+    return gaps
+
+
+def scan_gap_for_entries(code_object, lo: int, hi: int) -> list[int]:
+    """Candidate function entries inside one gap."""
+    region = code_object.symtab.region_at(lo)
+    if region is None:
+        return []
+    entries: list[int] = []
+    pc = (lo + 1) & ~1  # instruction alignment
+    while pc < hi - 1:
+        try:
+            insn = decode_insn(region.data, pc - region.addr, pc)
+        except DecodeError:
+            pc += 2
+            continue
+        if looks_like_prologue(insn):
+            entries.append(pc)
+            break  # one speculative entry per gap; parsing reveals more
+        pc += insn.length
+    return entries
+
+
+def parse_gaps(code_object, max_rounds: int = 16) -> int:
+    """Iteratively discover and parse gap functions.  Returns the number
+    of functions found speculatively."""
+    found = 0
+    for _ in range(max_rounds):
+        new_entries: list[int] = []
+        for lo, hi in find_gaps(code_object):
+            if hi - lo < 4:
+                continue  # padding
+            new_entries.extend(scan_gap_for_entries(code_object, lo, hi))
+        new_entries = [a for a in new_entries
+                       if a not in code_object.functions]
+        if not new_entries:
+            break
+        for addr in new_entries:
+            code_object._names.setdefault(addr, f"gap_{addr:x}")
+            fn = code_object._parse_function(addr)
+            code_object.functions[addr] = fn
+            found += 1
+            for callee in sorted(fn.callees | fn.tail_callees):
+                if callee not in code_object.functions and \
+                        code_object.symtab.is_code(callee):
+                    code_object._names.setdefault(callee, f"func_{callee:x}")
+                    code_object.functions[callee] = \
+                        code_object._parse_function(callee)
+                    found += 1
+    return found

@@ -1,0 +1,30 @@
+"""PatchAPI: instrumentation points, springboards, trampolines, snippet
+insertion, and static rewriting."""
+
+from .patcher import (
+    PatchConflict, PatchError, PatchResult, PatchStats, Patcher,
+)
+from .points import (
+    Point, PointError, PointType, block_entries, branch_edges,
+    call_sites, edge_point, function_entry, function_exits,
+    instruction_point, loop_backedges, points_for,
+)
+from .relocate import RelocationError, consumed_instructions, lower_relocated
+from .rewriter import load_instrumented, rewrite
+from .springboard import (
+    FAR_SIZE, Springboard, SpringboardError, SpringboardKind,
+    build_springboard,
+)
+from .trampoline import BuiltTrampoline, TrampolineBuilder
+
+__all__ = [
+    "PatchConflict", "PatchError", "PatchResult", "PatchStats", "Patcher",
+    "Point", "PointError", "PointType", "block_entries", "call_sites",
+    "function_entry", "function_exits", "instruction_point",
+    "branch_edges", "edge_point", "loop_backedges", "points_for",
+    "RelocationError", "consumed_instructions", "lower_relocated",
+    "load_instrumented", "rewrite",
+    "FAR_SIZE", "Springboard", "SpringboardError", "SpringboardKind",
+    "build_springboard",
+    "BuiltTrampoline", "TrampolineBuilder",
+]

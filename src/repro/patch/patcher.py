@@ -1,0 +1,462 @@
+"""PatchAPI: snippet insertion (paper §2.2).
+
+The :class:`Patcher` takes (points, snippet) requests — Dyninst's
+``(P, AST)`` tuples — and at :meth:`commit` time builds, per patch site:
+
+1. a scratch plan (dead registers first, §4.3's optimisation; spill-
+   backed otherwise — disable with ``use_dead_registers=False`` to get
+   the legacy x86-engine behaviour);
+2. the lowered payload (CodeGenAPI);
+3. a trampoline: optional far-springboard restore, spill saves, payload,
+   spill restores, the relocated original instruction(s), and the jump
+   back;
+4. the springboard overwriting the original instruction(s), picked from
+   the §3.1.2 efficiency ladder.
+
+The result applies to a live simulator machine (dynamic instrumentation)
+or serialises through the static rewriter (:mod:`repro.patch.rewriter`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..codegen.generator import (
+    SnippetGenerator, required_scratch, snippet_calls,
+)
+from ..codegen.regalloc import SpillArea, allocate_scratch
+from ..codegen.snippets import DataArea, Snippet
+from ..dataflow.liveness import LivenessResult, analyze_liveness
+from ..parse.parser import CodeObject, parse_binary
+from ..riscv.compressed import CJ_RANGE
+from ..riscv.encoding import fits_signed
+from ..riscv.registers import ARG_REGS, CALLER_SAVED, RA, Register
+from ..symtab.symtab import Symtab
+from .points import Point
+from .relocate import consumed_instructions, lower_relocated
+from .springboard import (
+    FAR_SIZE, Springboard, SpringboardKind, build_springboard,
+    far_preamble_restore,
+)
+from .trampoline import TrampolineBuilder
+
+
+class PatchError(RuntimeError):
+    pass
+
+
+class PatchConflict(PatchError):
+    """Two patch sites overlap (one springboard would corrupt another)."""
+
+
+@dataclass
+class PatchStats:
+    """What the instrumentation pass did (reported by the benchmarks)."""
+
+    points: int = 0
+    trampolines: int = 0
+    springboards: Counter = field(default_factory=Counter)
+    dead_regs_used: int = 0
+    spilled_regs: int = 0
+    trampoline_bytes: int = 0
+    trap_sites: int = 0
+
+
+@dataclass
+class PatchResult:
+    """The committed instrumentation, ready to apply or serialise."""
+
+    text_base: int
+    text: bytes
+    trampoline_base: int
+    trampoline_code: bytes
+    data_base: int
+    data_size: int
+    trap_map: dict[int, int]
+    stats: PatchStats
+    data_area: DataArea
+    #: the pre-instrumentation text image (for removal)
+    original_text: bytes = b""
+
+    def apply_to_machine(self, machine) -> None:
+        """Dynamic instrumentation: patch a loaded simulator machine."""
+        machine.write_mem(self.text_base, self.text)
+        if self.trampoline_code:
+            machine.add_exec_range(
+                self.trampoline_base,
+                self.trampoline_base + len(self.trampoline_code))
+            machine.write_mem(self.trampoline_base, self.trampoline_code)
+        machine.mem.map_region(self.data_base, self.data_size)
+        machine.trap_redirects.update(self.trap_map)
+
+    def remove_from_machine(self, machine) -> None:
+        """Remove the instrumentation from a live machine: restore the
+        original code bytes and retire the trap redirects.  Counter
+        values in the data area survive (tools read them afterwards).
+
+        The machine must not be stopped *inside* a trampoline when this
+        is called (the trampoline region is left mapped so a caller who
+        ignores this degrades gracefully, but the instrumentation no
+        longer fires).
+        """
+        if not self.original_text:
+            raise PatchError("original text not recorded; cannot remove")
+        machine.write_mem(self.text_base, self.original_text)
+        for site in self.trap_map:
+            machine.trap_redirects.pop(site, None)
+
+
+class _IntersectedLiveness:
+    """Duck-typed LivenessResult over several functions' views: live =
+    union of lives, dead = intersection of deads."""
+
+    def __init__(self, primary_fn, results):
+        self.function = primary_fn
+        self._results = results
+
+    def live_before(self, addr: int):
+        live = set()
+        for res in self._results:
+            try:
+                live |= res.live_before(addr)
+            except KeyError:
+                continue
+        return frozenset(live)
+
+    def dead_before(self, addr: int, candidates=None):
+        from ..riscv.registers import SCRATCH_CANDIDATES
+
+        pool = candidates if candidates is not None else SCRATCH_CANDIDATES
+        live = self.live_before(addr)
+        return [r for r in pool if r not in live]
+
+
+@dataclass
+class _Request:
+    point: Point
+    #: payloads that run unconditionally at the point
+    snippets: list[Snippet] = field(default_factory=list)
+    #: payloads on the branch-taken edge (EDGE_TAKEN points)
+    taken: list[Snippet] = field(default_factory=list)
+    #: payloads on the fall-through edge (EDGE_NOT_TAKEN points)
+    not_taken: list[Snippet] = field(default_factory=list)
+    #: control-flow modification: divert this point to an address
+    #: (function replacement / call retargeting)
+    redirect: int | None = None
+    #: True when the redirect models a *call* (return comes back here)
+    redirect_is_call: bool = False
+    #: True to delete the instruction at the point (it is displaced but
+    #: never re-executed; any payload effectively replaces it)
+    delete_original: bool = False
+
+    def all_snippets(self) -> list[Snippet]:
+        return self.snippets + self.taken + self.not_taken
+
+
+class Patcher:
+    """Accumulates snippet insertions and commits them in one pass."""
+
+    def __init__(self, symtab: Symtab, code_object: CodeObject | None = None,
+                 *, patch_base: int | None = None,
+                 data_size: int = 0x2_0000,
+                 use_dead_registers: bool = True,
+                 interprocedural_liveness: bool = False):
+        self.symtab = symtab
+        self.code_object = code_object or parse_binary(symtab)
+        self.use_dead_registers = use_dead_registers
+        self.interprocedural_liveness = interprocedural_liveness
+        self._interproc = None
+        self.isa = symtab.isa
+        if patch_base is None:
+            top = max(r.end for r in symtab.regions)
+            patch_base = (top + 0xFFF) & ~0xFFF
+        self.data_base = patch_base
+        self.data_size = data_size
+        self.trampoline_base = patch_base + data_size
+        self.data_area = DataArea(self.data_base, data_size)
+        self._requests: dict[int, _Request] = {}
+        self._liveness: dict[int, LivenessResult] = {}
+
+    # -- request accumulation ------------------------------------------------
+
+    def allocate_var(self, name: str, size: int = 8):
+        """Allocate an instrumentation variable (counter, flag...)."""
+        return self.data_area.allocate(name, size)
+
+    def insert(self, points: Point | list[Point],
+               snippet: Snippet) -> None:
+        """Queue snippet insertion at one or more points — the Dyninst
+        (P, AST) operation."""
+        if isinstance(points, Point):
+            points = [points]
+        from .points import PointType
+
+        for p in points:
+            req = self._requests.setdefault(p.address, _Request(p))
+            if p.type is PointType.EDGE_TAKEN:
+                req.taken.append(snippet)
+            elif p.type is PointType.EDGE_NOT_TAKEN:
+                req.not_taken.append(snippet)
+            else:
+                req.snippets.append(snippet)
+
+    def replace_function(self, fn, new_entry: int) -> None:
+        """Divert every entry into *fn* to *new_entry* (Dyninst's
+        replaceFunction): the original body becomes unreachable through
+        its entry point.
+        """
+        from .points import Point, PointType
+
+        point = Point(PointType.FUNC_ENTRY, fn.entry, fn, fn.entry_block)
+        req = self._requests.setdefault(point.address, _Request(point))
+        if req.redirect is not None:
+            raise PatchError(
+                f"point {point.address:#x} already has a redirect")
+        req.redirect = new_entry
+        req.redirect_is_call = False
+
+    def delete_instruction(self, point: Point) -> None:
+        """Delete the instruction at *point* (the "deleting" of §1): it
+        is displaced into the trampoline but never executed.  Any
+        snippets inserted at the same point run in its place, making
+        this the instruction-*modification* primitive too."""
+        req = self._requests.setdefault(point.address, _Request(point))
+        req.delete_original = True
+
+    def replace_call(self, point: Point, new_target: int) -> None:
+        """Retarget the call at a CALL_SITE point to *new_target*
+        (Dyninst's call modification): the original callee is never
+        entered from this site."""
+        from .points import PointType
+
+        if point.type is not PointType.CALL_SITE:
+            raise PatchError("replace_call requires a CALL_SITE point")
+        req = self._requests.setdefault(point.address, _Request(point))
+        if req.redirect is not None:
+            raise PatchError(
+                f"point {point.address:#x} already has a redirect")
+        req.redirect = new_target
+        req.redirect_is_call = True
+
+    # -- commit -------------------------------------------------------------------
+
+    def commit(self) -> PatchResult:
+        """Build all trampolines and springboards."""
+        stats = PatchStats(points=len(self._requests))
+        text_region = next(r for r in self.symtab.regions
+                           if r.executable)
+        text = bytearray(text_region.data)
+        trampolines = bytearray()
+        trap_map: dict[int, int] = {}
+        cursor = self.trampoline_base
+
+        ordered = sorted(self._requests.values(),
+                         key=lambda r: r.point.address)
+        prev_end = 0
+
+        for req in ordered:
+            point = req.point
+            fn = point.function
+            block = point.block
+            site = point.address
+
+            available = block.end - site
+            sb, slot = self._pick_springboard(site, cursor, available)
+            stats.springboards[sb.kind.value] += 1
+            if sb.needs_trap:
+                trap_map[site] = cursor
+                stats.trap_sites += 1
+
+            if site < prev_end:
+                raise PatchConflict(
+                    f"patch site {site:#x} lies inside the previous "
+                    f"springboard's displaced instructions "
+                    f"(ends at {prev_end:#x})")
+            consumed = consumed_instructions(block.insns, site, slot)
+            consumed_len = sum(i.length for i in consumed)
+            prev_end = site + consumed_len
+
+            # scratch plan at the point.  Blocks can be *shared* between
+            # functions (fallthrough overlap, tail-call sharing): the
+            # plan must respect every containing function's liveness.
+            lv = self._liveness_at(site, fn)
+            all_snips = req.all_snippets()
+            needs_call_save = any(snippet_calls(s) for s in all_snips)
+            n_scratch = max(
+                [2] + [required_scratch(s) for s in all_snips])
+            plan = allocate_scratch(
+                n_scratch, lv, site,
+                use_dead_registers=self.use_dead_registers)
+            stats.dead_regs_used += plan.n_dead
+            stats.spilled_regs += len(plan.spilled)
+
+            extra: tuple[Register, ...] = ()
+            if needs_call_save:
+                extra = tuple(
+                    r for r in sorted(CALLER_SAVED | {RA} | set(ARG_REGS))
+                    if r not in plan.spilled)
+            spill = SpillArea(plan, extra=extra)
+
+            gen = SnippetGenerator(self.isa, list(plan.regs),
+                                   sp_adjustment=spill.frame_bytes)
+
+            def lowered(snips):
+                out: list = []
+                for snip in snips:
+                    out.extend(gen.generate(snip).instructions)
+                return out
+
+            builder = TrampolineBuilder(cursor)
+            if sb.kind is SpringboardKind.AUIPC_JALR:
+                builder.add_instructions(far_preamble_restore())
+            if req.redirect is not None:
+                if req.taken or req.not_taken:
+                    raise PatchError(
+                        f"point {site:#x}: redirect cannot combine with "
+                        f"edge instrumentation")
+                if req.snippets:
+                    builder.add_instructions(spill.save_instructions())
+                    builder.add_instructions(lowered(req.snippets))
+                    builder.add_instructions(spill.restore_instructions())
+                if req.redirect_is_call:
+                    term = consumed[0]
+                    link = term.raw.fields.get("rd", 1)
+                    builder.add_call_abs(req.redirect, link)
+                    builder.add_jump_abs(site + consumed_len)
+                else:
+                    builder.add_jump_abs(req.redirect)
+            elif req.taken or req.not_taken:
+                self._build_edge_trampoline(
+                    builder, req, consumed, site, consumed_len,
+                    spill, lowered)
+            else:
+                builder.add_instructions(spill.save_instructions())
+                builder.add_instructions(lowered(req.snippets))
+                builder.add_instructions(spill.restore_instructions())
+                # deletion: the first displaced instruction is dropped;
+                # the rest of the slot still executes
+                relocate_from = consumed[1:] if req.delete_original \
+                    else consumed
+                rc = lower_relocated(relocate_from)
+                builder.add_relocated(rc)
+                if not rc.diverts:
+                    builder.add_jump_abs(site + consumed_len)
+            built = builder.build()
+
+            trampolines += built.code
+            trap_map.update(built.trap_entries)
+            stats.trap_sites += len(built.trap_entries)
+            stats.trampolines += 1
+            cursor += built.size
+            cursor = (cursor + 15) & ~15
+            pad = cursor - (built.address + built.size)
+            trampolines += b"\x00" * pad
+
+            # splice the springboard into the text image
+            off = site - text_region.addr
+            text[off:off + slot] = sb.code
+
+        stats.trampoline_bytes = len(trampolines)
+        return PatchResult(
+            text_base=text_region.addr,
+            text=bytes(text),
+            original_text=bytes(text_region.data),
+            trampoline_base=self.trampoline_base,
+            trampoline_code=bytes(trampolines),
+            data_base=self.data_base,
+            data_size=self.data_size,
+            trap_map=trap_map,
+            stats=stats,
+            data_area=self.data_area,
+        )
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _build_edge_trampoline(self, builder, req, consumed, site,
+                               consumed_len, spill, lowered) -> None:
+        """Edge instrumentation (paper §2: branch-taken / not-taken
+        points).  The displaced conditional branch is recreated inside
+        the trampoline as a dispatch; each edge's payload runs only on
+        its path::
+
+            [unconditional payload]        ; plain points at the branch
+            b<cond> rs1, rs2, Ltaken
+            [not-taken payload] ; jump fallthrough
+            Ltaken:
+            [taken payload]     ; jump branch-target
+        """
+        term = consumed[0]
+        if len(consumed) != 1 or not term.is_conditional_branch:
+            raise PatchError(
+                f"edge point at {site:#x} must displace exactly the "
+                f"conditional branch")
+        taken_target = term.direct_target()
+        fallthrough = site + consumed_len
+
+        if req.snippets:
+            builder.add_instructions(spill.save_instructions())
+            builder.add_instructions(lowered(req.snippets))
+            builder.add_instructions(spill.restore_instructions())
+
+        label = builder.new_label()
+        f = term.raw.fields
+        builder.add_branch_local(
+            term.mnemonic, {"rs1": f["rs1"], "rs2": f["rs2"]}, label)
+        if req.not_taken:
+            builder.add_instructions(spill.save_instructions())
+            builder.add_instructions(lowered(req.not_taken))
+            builder.add_instructions(spill.restore_instructions())
+        builder.add_jump_abs(fallthrough)
+        builder.place_label(label)
+        if req.taken:
+            builder.add_instructions(spill.save_instructions())
+            builder.add_instructions(lowered(req.taken))
+            builder.add_instructions(spill.restore_instructions())
+        builder.add_jump_abs(taken_target)
+
+    def _liveness_at(self, site: int, primary_fn) -> "LivenessResult":
+        """Liveness view for a patch site: when the address belongs to
+        several functions' CFGs, a register is only dead if dead in
+        every view (shared-code safety)."""
+        owners = [fn for fn in self.code_object.functions.values()
+                  if fn.block_at(site) is not None]
+        if not owners:
+            owners = [primary_fn]
+        results = [self._liveness_for(fn) for fn in owners]
+        if len(results) == 1:
+            return results[0]
+        return _IntersectedLiveness(primary_fn, results)
+
+    def _liveness_for(self, fn) -> LivenessResult:
+        if fn.entry not in self._liveness:
+            if self.interprocedural_liveness:
+                if self._interproc is None:
+                    from ..dataflow.interproc import analyze_interprocedural
+
+                    self._interproc = analyze_interprocedural(
+                        self.code_object)
+                self._liveness[fn.entry] = self._interproc.result_for(fn)
+            else:
+                self._liveness[fn.entry] = analyze_liveness(fn)
+        return self._liveness[fn.entry]
+
+    def _pick_springboard(self, site: int, target: int,
+                          available: int) -> tuple[Springboard, int]:
+        """Choose the slot size per the §3.1.2 ladder, then encode."""
+        disp = target - site
+        if available >= 4 and fits_signed(disp, 21):
+            slot = 4
+        elif available >= 2 and self.isa.supports("c") \
+                and CJ_RANGE[0] <= disp <= CJ_RANGE[1]:
+            slot = 2
+        elif available >= FAR_SIZE:
+            slot = FAR_SIZE
+        elif available >= 4:
+            slot = 4   # trap
+        elif available >= 2:
+            slot = 2   # compressed trap — the paper's worst case
+        else:
+            raise PatchError(
+                f"no room for any springboard at {site:#x}")
+        return build_springboard(site, target, slot, self.isa), slot

@@ -1,0 +1,164 @@
+"""Instrumentation points (paper §2: "a point is a location in the
+program where instrumentation will be inserted").
+
+Point kinds follow the paper's list:
+
+* low-level: individual instructions;
+* function-level: entry, exit, call sites;
+* CFG-level: basic-block entries, loop back edges.
+
+A point's ``address`` is the instruction before which the payload
+executes; the patcher overwrites whole instructions starting there.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..parse.cfg import Block, Function
+
+
+class PointType(enum.Enum):
+    FUNC_ENTRY = "function-entry"
+    FUNC_EXIT = "function-exit"
+    CALL_SITE = "call-site"
+    BLOCK_ENTRY = "block-entry"
+    LOOP_BACKEDGE = "loop-backedge"
+    INSTRUCTION = "instruction"
+    # CFG-edge points (paper §2: "branch-taken and branch-not-taken
+    # edges"): the payload runs only when the branch goes that way.
+    EDGE_TAKEN = "edge-taken"
+    EDGE_NOT_TAKEN = "edge-not-taken"
+
+
+@dataclass(frozen=True)
+class Point:
+    """One instrumentation point."""
+
+    type: PointType
+    address: int
+    function: Function
+    block: Block
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Point {self.type.value} @ {self.address:#x}>"
+
+
+class PointError(ValueError):
+    pass
+
+
+def function_entry(fn: Function) -> Point:
+    return Point(PointType.FUNC_ENTRY, fn.entry, fn, fn.entry_block)
+
+
+def function_exits(fn: Function) -> list[Point]:
+    """One point per RET/TAILCALL terminator (payload runs before the
+    return executes)."""
+    out = []
+    for block in sorted(fn.exit_blocks(), key=lambda b: b.start):
+        term = block.last
+        if term is not None:
+            out.append(Point(PointType.FUNC_EXIT, term.address, fn, block))
+    return out
+
+
+def call_sites(fn: Function) -> list[Point]:
+    out = []
+    for block in sorted(fn.call_sites(), key=lambda b: b.start):
+        term = block.last
+        if term is not None:
+            out.append(Point(PointType.CALL_SITE, term.address, fn, block))
+    return out
+
+
+def block_entries(fn: Function) -> list[Point]:
+    return [
+        Point(PointType.BLOCK_ENTRY, b.start, fn, b)
+        for b in sorted(fn.blocks.values(), key=lambda b: b.start)
+        if b.insns
+    ]
+
+
+def loop_backedges(fn: Function) -> list[Point]:
+    """Points on each natural loop's back edges.
+
+    Back edges through an unconditional jump get a plain point on the
+    jump; back edges that are one direction of a conditional branch get
+    the corresponding *edge* point, so the payload runs exactly once per
+    traversal (not on the loop-exit pass).
+    """
+    from ..parse.loops import natural_loops
+
+    out: list[Point] = []
+    seen: set[tuple[int, PointType]] = set()
+    for loop in natural_loops(fn):
+        for tail, head in loop.back_edges:
+            block = fn.blocks.get(tail)
+            term = block.last if block else None
+            if term is None:
+                continue
+            if term.is_conditional_branch:
+                taken = term.direct_target() == head
+                ptype = (PointType.EDGE_TAKEN if taken
+                         else PointType.EDGE_NOT_TAKEN)
+            else:
+                ptype = PointType.LOOP_BACKEDGE
+            key = (term.address, ptype)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(Point(ptype, term.address, fn, block))
+    return sorted(out, key=lambda p: p.address)
+
+
+def branch_edges(fn: Function,
+                 taken: bool = True) -> list[Point]:
+    """One point per conditional branch, on its taken (or not-taken)
+    edge."""
+    ptype = PointType.EDGE_TAKEN if taken else PointType.EDGE_NOT_TAKEN
+    out = []
+    for block in sorted(fn.blocks.values(), key=lambda b: b.start):
+        term = block.last
+        if term is not None and term.is_conditional_branch:
+            out.append(Point(ptype, term.address, fn, block))
+    return out
+
+
+def edge_point(fn: Function, block: Block, taken: bool) -> Point:
+    """The edge point of one specific branch block."""
+    term = block.last
+    if term is None or not term.is_conditional_branch:
+        raise PointError(
+            f"block at {block.start:#x} does not end in a conditional "
+            f"branch")
+    ptype = PointType.EDGE_TAKEN if taken else PointType.EDGE_NOT_TAKEN
+    return Point(ptype, term.address, fn, block)
+
+
+def instruction_point(fn: Function, addr: int) -> Point:
+    block = fn.block_at(addr)
+    if block is None or block.instruction_at(addr) is None:
+        raise PointError(
+            f"{addr:#x} is not an instruction in {fn.name!r}")
+    return Point(PointType.INSTRUCTION, addr, fn, block)
+
+
+def points_for(fn: Function, ptype: PointType) -> list[Point]:
+    """All points of one type in a function."""
+    if ptype is PointType.FUNC_ENTRY:
+        return [function_entry(fn)]
+    if ptype is PointType.FUNC_EXIT:
+        return function_exits(fn)
+    if ptype is PointType.CALL_SITE:
+        return call_sites(fn)
+    if ptype is PointType.BLOCK_ENTRY:
+        return block_entries(fn)
+    if ptype is PointType.LOOP_BACKEDGE:
+        return loop_backedges(fn)
+    if ptype is PointType.EDGE_TAKEN:
+        return branch_edges(fn, taken=True)
+    if ptype is PointType.EDGE_NOT_TAKEN:
+        return branch_edges(fn, taken=False)
+    raise PointError(f"points_for cannot enumerate {ptype}")

@@ -1,0 +1,8 @@
+"""ProcControlAPI: debugger-style process control over the simulator."""
+
+from .process import (
+    Breakpoint, Event, EventType, ProcControlError, Process,
+)
+
+__all__ = ["Breakpoint", "Event", "EventType", "ProcControlError",
+           "Process"]

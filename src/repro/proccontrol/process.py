@@ -1,0 +1,318 @@
+"""ProcControlAPI: OS-independent process control (paper §3.2.6).
+
+Debugger-style control of a running mutatee: create or attach, read and
+write memory and registers, insert/remove breakpoints, continue to the
+next event, single-step.  On Linux this sits on ptrace; here the
+"kernel debug interface" is the simulator's debug port, which has the
+same shape (stop events, memory/register access, code patching).
+
+Faithful to the paper's RISC-V finding: the debug interface provides
+**no hardware single-step** ("the single-stepping functionality is not
+implemented for RISC-V"), so :meth:`Process.step` emulates it by
+planting temporary breakpoints at every possible successor of the
+current instruction and continuing — with the measured performance cost
+the §3.2.6 discussion predicts (see the single-step ablation benchmark).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..instruction.insn import Insn, decode_insn
+from ..riscv.decoder import DecodeError
+from ..sim.machine import Machine, StopEvent, StopReason
+from ..symtab.symtab import Symtab
+
+#: the 4-byte ebreak encoding used for software breakpoints
+BREAK_WORD = 0x0010_0073
+#: 2-byte c.ebreak, for breakpoints on compressed instructions
+C_BREAK_HW = 0x9002
+
+
+class EventType(enum.Enum):
+    STOPPED_BREAKPOINT = "breakpoint"
+    STOPPED_STEP = "single-step"
+    EXITED = "exited"
+    FAULTED = "faulted"
+    RUNNING_LIMIT = "step-limit"
+
+
+@dataclass
+class Event:
+    """A process-stop event delivered to the controller."""
+
+    type: EventType
+    pc: int
+    exit_code: int | None = None
+    detail: str | None = None
+
+
+class ProcControlError(RuntimeError):
+    pass
+
+
+@dataclass
+class Breakpoint:
+    address: int
+    original: bytes
+    enabled: bool = True
+    hits: int = 0
+    #: temporary breakpoints auto-remove at the next stop (single-step)
+    temporary: bool = False
+
+
+class Process:
+    """One controlled mutatee process."""
+
+    def __init__(self, machine: Machine, symtab: Symtab | None = None):
+        self.machine = machine
+        self.symtab = symtab
+        self.breakpoints: dict[int, Breakpoint] = {}
+        self._running = True
+
+    # -- lifecycle --------------------------------------------------------
+
+    @classmethod
+    def create(cls, symtab: Symtab, timing=None) -> "Process":
+        """Launch a new process from a binary (Figure 1's
+        create-and-instrument flow): loaded, stopped at entry."""
+        from ..sim.timing import P550
+
+        m = Machine(timing or P550)
+        symtab.load_into(m)
+        return cls(m, symtab)
+
+    @classmethod
+    def attach(cls, machine: Machine, symtab: Symtab | None = None
+               ) -> "Process":
+        """Attach to an already-running machine (Figure 1's attach
+        flow): control begins wherever the process currently is."""
+        return cls(machine, symtab)
+
+    @property
+    def pc(self) -> int:
+        return self.machine.pc
+
+    @property
+    def exited(self) -> bool:
+        return self.machine.exit_code is not None
+
+    # -- memory & registers ----------------------------------------------------
+
+    def read_memory(self, addr: int, n: int) -> bytes:
+        """Read mutatee memory, transparently masking breakpoint bytes
+        (the debugger illusion: the mutator sees original code)."""
+        data = bytearray(self.machine.read_mem(addr, n))
+        for bp in self.breakpoints.values():
+            if not bp.enabled:
+                continue
+            lo = max(addr, bp.address)
+            hi = min(addr + n, bp.address + len(bp.original))
+            if lo < hi:
+                off = lo - addr
+                src = lo - bp.address
+                data[off:off + hi - lo] = bp.original[src:src + hi - lo]
+        return bytes(data)
+
+    def write_memory(self, addr: int, data: bytes) -> None:
+        """Write mutatee memory.  Writes overlapping a planted
+        breakpoint update the breakpoint's *saved original* bytes and
+        keep the trap in place — the debugger illusion in the write
+        direction."""
+        n = len(data)
+        overlaps = [
+            bp for bp in self.breakpoints.values()
+            if bp.enabled and addr < bp.address + len(bp.original)
+            and addr + n > bp.address
+        ]
+        if not overlaps:
+            self.machine.write_mem(addr, data)
+            return
+        self.machine.write_mem(addr, data)
+        for bp in overlaps:
+            lo = max(addr, bp.address)
+            hi = min(addr + n, bp.address + len(bp.original))
+            original = bytearray(bp.original)
+            original[lo - bp.address:hi - bp.address] = \
+                data[lo - addr:hi - addr]
+            bp.original = bytes(original)
+            # re-plant the trap over whatever was just written
+            word = (C_BREAK_HW.to_bytes(2, "little")
+                    if len(bp.original) == 2
+                    else BREAK_WORD.to_bytes(4, "little"))
+            self.machine.write_mem(bp.address, word)
+
+    def get_register(self, n_or_name: int | str) -> int:
+        n = self._regnum(n_or_name)
+        return self.machine.get_reg(n)
+
+    def set_register(self, n_or_name: int | str, value: int) -> None:
+        self.machine.set_reg(self._regnum(n_or_name), value)
+
+    @staticmethod
+    def _regnum(n_or_name: int | str) -> int:
+        if isinstance(n_or_name, int):
+            return n_or_name
+        from ..riscv.registers import lookup
+
+        return lookup(n_or_name).number
+
+    # -- breakpoints ---------------------------------------------------------------
+
+    def insert_breakpoint(self, addr: int, temporary: bool = False
+                          ) -> Breakpoint:
+        """Plant an ebreak at *addr* (c.ebreak over compressed
+        instructions so following code is undisturbed)."""
+        if addr in self.breakpoints:
+            bp = self.breakpoints[addr]
+            bp.temporary = bp.temporary and temporary
+            return bp
+        insn = self._decode_at(addr)
+        size = insn.length if insn is not None else 4
+        original = self.machine.read_mem(addr, size)
+        if size == 2:
+            self.machine.write_mem(addr, C_BREAK_HW.to_bytes(2, "little"))
+        else:
+            self.machine.write_mem(addr, BREAK_WORD.to_bytes(4, "little"))
+        bp = Breakpoint(addr, original, temporary=temporary)
+        self.breakpoints[addr] = bp
+        return bp
+
+    def remove_breakpoint(self, addr: int) -> None:
+        bp = self.breakpoints.pop(addr, None)
+        if bp is not None and bp.enabled:
+            self.machine.write_mem(addr, bp.original)
+
+    def clear_temporary_breakpoints(self) -> None:
+        for addr in [a for a, b in self.breakpoints.items() if b.temporary]:
+            self.remove_breakpoint(addr)
+
+    def _decode_at(self, addr: int) -> Insn | None:
+        try:
+            raw = self.machine.read_mem(addr, 4)
+        except Exception:
+            try:
+                raw = self.machine.read_mem(addr, 2)
+            except Exception:
+                return None
+        try:
+            return decode_insn(raw, 0, addr)
+        except DecodeError:
+            return None
+
+    # -- execution ---------------------------------------------------------------------
+
+    def continue_to_event(self, max_steps: int | None = None) -> Event:
+        """Resume until the next debugger-visible event."""
+        if self.exited:
+            raise ProcControlError("process has exited")
+        # If stopped exactly on a breakpoint, step over it first.
+        if self.machine.pc in self.breakpoints:
+            ev = self._step_over_breakpoint()
+            if ev is not None:
+                return ev
+        stop = self.machine.run(max_steps)
+        return self._deliver(stop)
+
+    def _step_over_breakpoint(self) -> Event | None:
+        """Execute the original instruction under a breakpoint at pc."""
+        addr = self.machine.pc
+        bp = self.breakpoints[addr]
+        self.machine.write_mem(addr, bp.original)
+        stop = self.machine.step()
+        if addr in self.breakpoints and bp.enabled:
+            word = (C_BREAK_HW.to_bytes(2, "little")
+                    if len(bp.original) == 2
+                    else BREAK_WORD.to_bytes(4, "little"))
+            self.machine.write_mem(addr, word)
+        if stop is not None:
+            return self._deliver(stop)
+        return None
+
+    def _deliver(self, stop: StopEvent) -> Event:
+        if stop.reason is StopReason.EXITED:
+            self._running = False
+            return Event(EventType.EXITED, stop.pc,
+                         exit_code=stop.exit_code)
+        if stop.reason is StopReason.BREAKPOINT:
+            bp = self.breakpoints.get(stop.pc)
+            if bp is not None:
+                bp.hits += 1
+                was_temp = bp.temporary
+                self.clear_temporary_breakpoints()
+                return Event(
+                    EventType.STOPPED_STEP if was_temp
+                    else EventType.STOPPED_BREAKPOINT, stop.pc)
+            return Event(EventType.STOPPED_BREAKPOINT, stop.pc,
+                         detail="ebreak not planted by this controller")
+        if stop.reason is StopReason.STEPS_EXHAUSTED:
+            return Event(EventType.RUNNING_LIMIT, stop.pc)
+        return Event(EventType.FAULTED, stop.pc, detail=stop.fault)
+
+    def continue_until(self, predicate, max_events: int = 100_000) -> Event:
+        """Conditional-breakpoint helper: resume repeatedly, returning
+        only when *predicate(process, event)* holds (or the process
+        exits/faults).  The predicate runs mutator-side at every stop —
+        how debuggers implement conditional breakpoints over plain
+        traps."""
+        for _ in range(max_events):
+            event = self.continue_to_event()
+            if event.type in (EventType.EXITED, EventType.FAULTED):
+                return event
+            if predicate(self, event):
+                return event
+        raise ProcControlError(
+            f"condition not met within {max_events} events")
+
+    # -- single-step (emulated, §3.2.6) ---------------------------------------------------
+
+    def possible_successors(self, addr: int) -> list[int]:
+        """Static successor set of the instruction at *addr* (where a
+        temporary breakpoint must go to emulate one step)."""
+        insn = self._decode_with_masking(addr)
+        if insn is None:
+            return []
+        succs: list[int] = []
+        if insn.is_conditional_branch:
+            succs = [insn.direct_target(), insn.next_address]
+        elif insn.is_jal:
+            succs = [insn.direct_target()]
+        elif insn.is_jalr:
+            base = self.get_register(insn.raw.fields["rs1"])
+            target = (base + insn.raw.fields.get("imm", 0)) & ~1
+            succs = [target]
+        elif insn.mnemonic == "ebreak":
+            succs = [insn.next_address]
+        else:
+            succs = [insn.next_address]
+        return [s for s in succs if s is not None]
+
+    def _decode_with_masking(self, addr: int) -> Insn | None:
+        raw = self.read_memory(addr, 4)
+        try:
+            return decode_insn(raw, 0, addr)
+        except DecodeError:
+            return None
+
+    def step(self) -> Event:
+        """Emulated single-step: temporary breakpoints at every possible
+        successor, continue, clean up (no PTRACE_SINGLESTEP on RISC-V).
+        """
+        if self.exited:
+            raise ProcControlError("process has exited")
+        succs = self.possible_successors(self.machine.pc)
+        if not succs:
+            raise ProcControlError(
+                f"cannot determine successors at {self.machine.pc:#x}")
+        planted: list[int] = []
+        for s in succs:
+            if s not in self.breakpoints:
+                self.insert_breakpoint(s, temporary=True)
+                planted.append(s)
+        try:
+            return self.continue_to_event(max_steps=10)
+        finally:
+            for s in planted:
+                if s in self.breakpoints and self.breakpoints[s].temporary:
+                    self.remove_breakpoint(s)

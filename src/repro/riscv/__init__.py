@@ -1,0 +1,35 @@
+"""RISC-V ISA substrate: registers, extensions, encodings, decode/encode,
+assembly.
+
+This subpackage is the ISA-specific foundation under every Dyninst-style
+toolkit in :mod:`repro` (the role Capstone + hand-written encoders play in
+the paper's C++ port).
+"""
+
+from .assembler import AsmError, Assembler, Program, Symbol, assemble
+from .decoder import DecodeError, decode, decode_all, decode_word
+from .encoder import encode, encode_bytes, instruction_bytes, make
+from .encoding import EncodingError
+from .extensions import (
+    ISASubset, PROFILES, RV64G, RV64GC, RV64I, RVA23_SUBSET,
+    parse_arch_string,
+)
+from .instr import Instruction
+from .materialize import materialize_imm, pcrel_hi_lo
+from .opcodes import InstrSpec, all_specs, by_mnemonic, lookup_word
+from .registers import (
+    CALLEE_SAVED, CALLER_SAVED, RA, Register, SP, ZERO, freg, lookup, xreg,
+)
+
+__all__ = [
+    "AsmError", "Assembler", "Program", "Symbol", "assemble",
+    "DecodeError", "decode", "decode_all", "decode_word",
+    "encode", "encode_bytes", "instruction_bytes", "make",
+    "EncodingError",
+    "ISASubset", "PROFILES", "RV64G", "RV64GC", "RV64I", "RVA23_SUBSET",
+    "parse_arch_string",
+    "Instruction", "InstrSpec", "all_specs", "by_mnemonic", "lookup_word",
+    "materialize_imm", "pcrel_hi_lo",
+    "CALLEE_SAVED", "CALLER_SAVED", "RA", "Register", "SP", "ZERO",
+    "freg", "lookup", "xreg",
+]

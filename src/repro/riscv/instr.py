@@ -1,0 +1,133 @@
+"""The decoded machine instruction record.
+
+:class:`Instruction` is the low-level, ISA-faithful decode result: a spec
+reference plus a field dictionary.  The higher-level abstraction with
+operand read/write sets and semantic categories (Dyninst's
+InstructionAPI) wraps this in :mod:`repro.instruction`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .opcodes import InstrSpec
+from .registers import Register, freg, xreg
+
+#: Field-name aliases: operand descriptor -> field dict key.
+_FIELD_KEY = {
+    "rd": "rd", "frd": "rd",
+    "rs1": "rs1", "frs1": "rs1",
+    "rs2": "rs2", "frs2": "rs2",
+    "rs3": "rs3", "frs3": "rs3",
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded (or constructed) machine instruction.
+
+    Attributes
+    ----------
+    spec:
+        The :class:`InstrSpec` row describing the encoding.
+    fields:
+        Field name -> integer value.  Register fields hold register
+        *numbers*; immediates hold signed Python ints (for U-type, the
+        20-bit field value before the ``<< 12``).
+    length:
+        Encoded length in bytes: 4, or 2 when this instruction was
+        decoded from a compressed encoding.
+    raw:
+        The original encoded halfword/word (the *compressed* encoding
+        when ``length == 2``).
+    compressed_mnemonic:
+        The ``c.*`` mnemonic this instruction was expanded from, or
+        ``None`` for a standard encoding.
+    """
+
+    spec: InstrSpec
+    fields: dict[str, int] = field(default_factory=dict)
+    length: int = 4
+    raw: int = 0
+    compressed_mnemonic: str | None = None
+
+    @property
+    def mnemonic(self) -> str:
+        return self.spec.mnemonic
+
+    @property
+    def extension(self) -> str:
+        # A compressed encoding belongs to the C extension even though it
+        # expands to a base-ISA spec.
+        return "c" if self.compressed_mnemonic else self.spec.extension
+
+    def get(self, name: str, default: int | None = None) -> int | None:
+        return self.fields.get(name, default)
+
+    def _reg(self, descr_prefix: str, key: str) -> Register | None:
+        if key not in self.fields:
+            return None
+        n = self.fields[key]
+        for op in self.spec.operands:
+            if _FIELD_KEY.get(op) == key:
+                return freg(n) if op.startswith("f") else xreg(n)
+        # Field present but not a declared operand (e.g. implicit zero).
+        return xreg(n)
+
+    @property
+    def rd(self) -> Register | None:
+        return self._reg("rd", "rd")
+
+    @property
+    def rs1(self) -> Register | None:
+        return self._reg("rs1", "rs1")
+
+    @property
+    def rs2(self) -> Register | None:
+        return self._reg("rs2", "rs2")
+
+    @property
+    def rs3(self) -> Register | None:
+        return self._reg("rs3", "rs3")
+
+    @property
+    def imm(self) -> int | None:
+        if "imm" in self.fields:
+            return self.fields["imm"]
+        if "shamt" in self.fields:
+            return self.fields["shamt"]
+        return None
+
+    def disasm(self) -> str:
+        """Human-readable assembly text (canonical operand order)."""
+        parts: list[str] = []
+        mem_fmt = self.spec.fmt in ("I", "S") and self.mnemonic[0] in "lsf" and (
+            self.spec.match & 0x7F
+        ) in (0x03, 0x07, 0x23, 0x27, 0x67)
+        for op in self.spec.operands:
+            key = _FIELD_KEY.get(op)
+            if key is not None:
+                n = self.fields.get(key, 0)
+                name = freg(n).abi_name if op.startswith("f") else xreg(n).abi_name
+                parts.append(name)
+            elif op == "imm":
+                parts.append(str(self.fields.get("imm", 0)))
+            elif op == "shamt":
+                parts.append(str(self.fields.get("shamt", 0)))
+            elif op == "csr":
+                parts.append(hex(self.fields.get("csr", 0)))
+            elif op == "zimm":
+                parts.append(str(self.fields.get("zimm", 0)))
+            elif op in ("pred", "succ"):
+                parts.append(str(self.fields.get(op, 0xF)))
+        if mem_fmt and len(parts) == 3:
+            # ld rd, imm(rs1) / sd rs2, imm(rs1) / jalr rd, imm(rs1)
+            parts = [parts[0], f"{parts[2]}({parts[1]})"]
+        mn = self.compressed_mnemonic or self.mnemonic
+        return mn if not parts else f"{mn} {', '.join(parts)}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.disasm()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Instruction({self.disasm()!r})"

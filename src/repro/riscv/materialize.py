@@ -1,0 +1,96 @@
+"""Immediate materialization: loading constants into registers.
+
+RISC-V has no load-immediate instruction; a 64-bit constant must be
+synthesised from ``lui``/``addi``/``addiw``/``slli`` sequences (paper
+§3.2.5 calls this "one of the more error-prone aspects of code
+generation" — hence this module is small, isolated, and property-tested
+against the simulator for random 64-bit values).
+
+Shared by the assembler's ``li`` pseudo-instruction and by CodeGenAPI.
+"""
+
+from __future__ import annotations
+
+from .encoding import fits_signed, sign_extend, to_unsigned
+
+#: One emitted instruction: (mnemonic, field dict).
+Emitted = tuple[str, dict[str, int]]
+
+
+def split_hi_lo(value: int) -> tuple[int, int]:
+    """Split a 32-bit-signed value into (hi20 field, lo12) such that
+    ``sext32((hi20 << 12) + lo12) == value``.
+
+    The +0x800 rounding compensates for the sign-extension of the low
+    12-bit immediate.
+    """
+    if not fits_signed(value, 32):
+        raise ValueError(f"{value} does not fit in 32 signed bits")
+    hi = (value + 0x800) >> 12
+    lo = value - (hi << 12)
+    # hi is used as a U-type *field*: reduce mod 2^20 and sign-extend so
+    # the encoder accepts it; the addiw below re-normalises to 32 bits.
+    return sign_extend(hi, 20), lo
+
+
+def materialize_imm(rd: int, value: int) -> list[Emitted]:
+    """Instruction sequence leaving the 64-bit constant *value* in x{rd}.
+
+    Uses the standard recursive construction: a 32-bit core built with
+    ``lui``/``addiw``, then ``slli``/``addi`` steps for wider values.
+    Worst case is 8 instructions for a general 64-bit constant.
+    """
+    value = sign_extend(to_unsigned(value, 64), 64)
+    out: list[Emitted] = []
+    _materialize(rd, value, out)
+    return out
+
+
+def _materialize(rd: int, value: int, out: list[Emitted]) -> None:
+    if fits_signed(value, 12):
+        out.append(("addi", {"rd": rd, "rs1": 0, "imm": value}))
+        return
+    if fits_signed(value, 32):
+        hi, lo = split_hi_lo(value)
+        if hi == 0:
+            # Only possible when value fits 12 bits, handled above; kept
+            # for safety against rounding corner cases.
+            out.append(("addi", {"rd": rd, "rs1": 0, "imm": lo}))
+            return
+        out.append(("lui", {"rd": rd, "imm": hi}))
+        if lo != 0:
+            out.append(("addiw", {"rd": rd, "rs1": rd, "imm": lo}))
+        return
+    # Wide value: peel the low 12 bits, recurse on the upper part,
+    # shift it up, then add the peeled bits back.
+    lo12 = sign_extend(value, 12)
+    upper = (value - lo12) >> 12
+    shift = 12
+    # Absorb trailing zero bits of `upper` into a larger shift to
+    # shorten the sequence (matches what GNU as does for e.g. 1<<40).
+    while upper % 2 == 0 and shift < 63:
+        upper >>= 1
+        shift += 1
+    _materialize(rd, upper, out)
+    out.append(("slli", {"rd": rd, "rs1": rd, "shamt": shift}))
+    if lo12 != 0:
+        out.append(("addi", {"rd": rd, "rs1": rd, "imm": lo12}))
+
+
+def materialize_length(value: int) -> int:
+    """Number of instructions :func:`materialize_imm` will emit."""
+    return len(materialize_imm(5, value))
+
+
+def pcrel_hi_lo(target: int, pc: int) -> tuple[int, int]:
+    """(hi20 field, lo12) for an ``auipc``+``addi``/``jalr`` pair at *pc*
+    reaching absolute *target*.
+
+    ``auipc rd, hi`` computes ``pc + sext(hi << 12)``; the following
+    instruction adds ``lo``.
+    """
+    offset = target - pc
+    if not fits_signed(offset, 32):
+        raise ValueError(
+            f"pc-relative offset {offset:#x} exceeds +-2GiB (auipc range)")
+    return split_hi_lo(offset)

@@ -1,0 +1,162 @@
+"""RISC-V register model: architectural names, ABI names, and calling
+convention register classes.
+
+This is the substrate shared by the decoder, the code generator, the
+liveness analysis and the simulator.  Registers are represented by small
+immutable :class:`Register` records; module-level constants (``X0`` ..
+``X31``, ``F0`` .. ``F31``) and lookup helpers are provided.
+
+The RISC-V integer register file has 32 registers ``x0``..``x31`` with the
+standard ABI mnemonics (``zero``, ``ra``, ``sp``, ...).  ``x0`` is
+hard-wired to zero.  The F/D extensions add 32 floating point registers
+``f0``..``f31``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable
+
+
+class RegClass(Enum):
+    """Architectural register file a register belongs to."""
+
+    INT = "int"
+    FP = "fp"
+    CSR = "csr"
+
+
+@dataclass(frozen=True, order=True)
+class Register:
+    """One architectural register.
+
+    Attributes
+    ----------
+    regclass:
+        Which register file (integer, floating point, CSR).
+    number:
+        Architectural register number (0-31 for INT/FP, CSR address for
+        CSRs).
+    name:
+        Architectural name, e.g. ``x5`` or ``f10``.
+    abi_name:
+        Standard ABI mnemonic, e.g. ``t0`` or ``fa0``.
+    """
+
+    regclass: RegClass
+    number: int
+    name: str
+    abi_name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.abi_name}>"
+
+    @property
+    def is_zero(self) -> bool:
+        """True for the hard-wired zero register ``x0``."""
+        return self.regclass is RegClass.INT and self.number == 0
+
+
+_INT_ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+)
+
+_FP_ABI_NAMES = (
+    "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+    "fs0", "fs1", "fa0", "fa1", "fa2", "fa3", "fa4", "fa5",
+    "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+    "fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+)
+
+INT_REGS: tuple[Register, ...] = tuple(
+    Register(RegClass.INT, i, f"x{i}", _INT_ABI_NAMES[i]) for i in range(32)
+)
+FP_REGS: tuple[Register, ...] = tuple(
+    Register(RegClass.FP, i, f"f{i}", _FP_ABI_NAMES[i]) for i in range(32)
+)
+
+# Common aliases, exported for convenience.
+ZERO, RA, SP, GP, TP = INT_REGS[0], INT_REGS[1], INT_REGS[2], INT_REGS[3], INT_REGS[4]
+T0, T1, T2 = INT_REGS[5], INT_REGS[6], INT_REGS[7]
+S0, S1 = INT_REGS[8], INT_REGS[9]
+FP = S0  # frame pointer alias (x8); see paper 3.2.7 for caveats
+A0, A1, A2, A3, A4, A5, A6, A7 = INT_REGS[10:18]
+S2, S3, S4, S5, S6, S7, S8, S9, S10, S11 = INT_REGS[18:28]
+T3, T4, T5, T6 = INT_REGS[28:32]
+
+FA0, FA1 = FP_REGS[10], FP_REGS[11]
+
+#: Callee-saved integer registers per the RISC-V psABI (sp is handled
+#: separately by prologue analysis).
+CALLEE_SAVED: frozenset[Register] = frozenset(
+    {SP, S0, S1, S2, S3, S4, S5, S6, S7, S8, S9, S10, S11}
+)
+
+#: Caller-saved (volatile) integer registers.
+CALLER_SAVED: frozenset[Register] = frozenset(
+    {RA, T0, T1, T2, A0, A1, A2, A3, A4, A5, A6, A7, T3, T4, T5, T6}
+)
+
+#: Integer argument registers in order.
+ARG_REGS: tuple[Register, ...] = (A0, A1, A2, A3, A4, A5, A6, A7)
+
+#: FP argument registers in order.
+FP_ARG_REGS: tuple[Register, ...] = tuple(FP_REGS[10:18])
+
+#: Registers the code generator may consider for scratch use inside
+#: instrumentation (never sp/gp/tp/zero).
+SCRATCH_CANDIDATES: tuple[Register, ...] = (
+    T0, T1, T2, T3, T4, T5, T6, A0, A1, A2, A3, A4, A5, A6, A7, RA,
+)
+
+_BY_NAME: dict[str, Register] = {}
+for _r in INT_REGS + FP_REGS:
+    _BY_NAME[_r.name] = _r
+    _BY_NAME[_r.abi_name] = _r
+_BY_NAME["fp"] = S0
+_BY_NAME["s0"] = S0
+
+
+def lookup(name: str) -> Register:
+    """Resolve a register by architectural (``x8``) or ABI (``s0``/``fp``)
+    name.
+
+    Raises
+    ------
+    KeyError
+        If the name does not denote a register.
+    """
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown register name: {name!r}") from None
+
+
+def xreg(n: int) -> Register:
+    """Integer register ``x{n}``."""
+    return INT_REGS[n]
+
+
+def freg(n: int) -> Register:
+    """FP register ``f{n}``."""
+    return FP_REGS[n]
+
+
+def names(regs: Iterable[Register]) -> list[str]:
+    """ABI names for a collection of registers (sorted, for stable output)."""
+    return sorted(r.abi_name for r in regs)
+
+
+#: Registers encodable in the compressed (C extension) 3-bit register
+#: fields: x8-x15 / f8-f15.
+C_REG_INT: tuple[Register, ...] = INT_REGS[8:16]
+C_REG_FP: tuple[Register, ...] = FP_REGS[8:16]
+
+
+def is_c_encodable(reg: Register) -> bool:
+    """True if *reg* fits a compressed 3-bit register field (x8-x15/f8-f15)."""
+    return 8 <= reg.number <= 15

@@ -1,0 +1,151 @@
+"""Semantic-class registry: one lookup point for instruction semantics.
+
+Dataflow analysis sources instruction semantics from (in the paper's
+terms, §3.2.4) three places: ROSE-derived classes, SAIL-derived classes,
+and hand-crafted descriptions.  Here:
+
+* SAIL-derived: the generated module from the mini-SAIL pipeline covers
+  the I/M (and sample RVA23) instructions.
+* Hand-crafted fallback: every other instruction in the spec table gets
+  conservative operand-derived def/use information (rd written, rs*
+  read, loads read memory, stores write memory) — sufficient for
+  liveness, too coarse for value-tracking slices, which is exactly how
+  Dyninst degrades when precise semantics are unavailable.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..riscv.instr import Instruction
+from ..riscv.opcodes import (
+    InstrSpec, OP_BRANCH, OP_JAL, OP_JALR, all_specs,
+)
+from .ir import Semantics
+
+
+@lru_cache(maxsize=1)
+def _generated():
+    from .sail.gen import run_pipeline
+
+    return run_pipeline()
+
+
+@lru_cache(maxsize=1)
+def sail_semantics() -> dict[str, Semantics]:
+    """Mnemonic -> Semantics for all SAIL-pipeline covered instructions."""
+    mod = _generated()
+    return {
+        mn: cls.SEMANTICS for mn, cls in mod.SEMANTIC_CLASSES.items()
+    }
+
+
+def semantics_for(instr_or_mnemonic: Instruction | str) -> Semantics | None:
+    """Precise semantics for an instruction, or None when only the
+    conservative fallback is available."""
+    mn = (instr_or_mnemonic if isinstance(instr_or_mnemonic, str)
+          else instr_or_mnemonic.mnemonic)
+    return sail_semantics().get(mn)
+
+
+def has_precise_semantics(mnemonic: str) -> bool:
+    return mnemonic in sail_semantics()
+
+
+# -- def/use extraction (with fallback) ---------------------------------
+
+_LOAD_OPCODES = (0x03, 0x07)
+_STORE_OPCODES = (0x23, 0x27)
+
+
+def _fallback_uses(spec: InstrSpec) -> set[tuple[str, str]]:
+    uses = set()
+    for op in spec.operands:
+        if op in ("rs1", "rs2", "rs3"):
+            uses.add(("x", op))
+        elif op in ("frs1", "frs2", "frs3"):
+            uses.add(("f", op[1:]))
+    return uses
+
+
+def _fallback_defs(spec: InstrSpec) -> set[tuple[str, str]]:
+    defs = set()
+    for op in spec.operands:
+        if op == "rd":
+            defs.add(("x", "rd"))
+        elif op == "frd":
+            defs.add(("f", "rd"))
+    return defs
+
+
+def register_uses(instr: Instruction) -> set[tuple[str, int]]:
+    """Registers read by *instr* as (regfile, regnum) pairs.
+
+    Reads of x0 are dropped (it is constant).
+    """
+    sem = semantics_for(instr)
+    pairs = (sem.register_uses() if sem is not None
+             else _fallback_uses(instr.spec))
+    out = set()
+    for rf, opname in pairs:
+        n = instr.fields.get(opname)
+        if n is None:
+            continue
+        if rf == "x" and n == 0:
+            continue
+        out.add((rf, n))
+    return out
+
+
+def register_defs(instr: Instruction) -> set[tuple[str, int]]:
+    """Registers written by *instr* as (regfile, regnum) pairs.
+
+    Writes to x0 are dropped (they vanish architecturally).
+    """
+    sem = semantics_for(instr)
+    pairs = (sem.register_defs() if sem is not None
+             else _fallback_defs(instr.spec))
+    out = set()
+    for rf, opname in pairs:
+        n = instr.fields.get(opname)
+        if n is None:
+            continue
+        if rf == "x" and n == 0:
+            continue
+        out.add((rf, n))
+    return out
+
+
+def reads_memory(instr: Instruction) -> bool:
+    sem = semantics_for(instr)
+    if sem is not None:
+        return sem.reads_memory()
+    opc = instr.spec.match & 0x7F
+    return opc in _LOAD_OPCODES or (opc == 0x2F)  # AMO reads
+
+
+def writes_memory(instr: Instruction) -> bool:
+    sem = semantics_for(instr)
+    if sem is not None:
+        return sem.writes_memory()
+    opc = instr.spec.match & 0x7F
+    if opc in _STORE_OPCODES:
+        return True
+    if opc == 0x2F:  # AMOs (except lr) write memory
+        return not instr.mnemonic.startswith("lr.")
+    return False
+
+
+def writes_pc(instr: Instruction) -> bool:
+    sem = semantics_for(instr)
+    if sem is not None:
+        return sem.writes_pc()
+    opc = instr.spec.match & 0x7F
+    return opc in (OP_BRANCH, OP_JAL, OP_JALR)
+
+
+def coverage_report() -> dict[str, bool]:
+    """Which spec-table instructions have precise SAIL-derived semantics
+    (useful for pipeline-completeness tests and docs)."""
+    table = sail_semantics()
+    return {s.mnemonic: s.mnemonic in table for s in all_specs()}

@@ -1,0 +1,13 @@
+"""The SAIL-substitute pipeline: mini-SAIL DSL -> JSON IR -> generated
+semantic classes (paper §3.2.4)."""
+
+from .gen import generate_source, load_generated, run_pipeline
+from .json_ir import from_json_document, to_json_document
+from .parser import SailParseError, parse_sail
+from .source import SAIL_SOURCE
+
+__all__ = [
+    "SAIL_SOURCE", "SailParseError", "from_json_document",
+    "generate_source", "load_generated", "parse_sail", "run_pipeline",
+    "to_json_document",
+]

@@ -1,0 +1,32 @@
+"""CLI for the semantics pipeline: dump the JSON IR or the generated
+Python module.
+
+Usage::
+
+    python -m repro.semantics.sail json > sail_ir.json
+    python -m repro.semantics.sail gen  > generated.py
+"""
+
+import sys
+
+from .gen import generate_source
+from .json_ir import to_json_document
+from .parser import parse_sail
+from .source import SAIL_SOURCE
+
+
+def main(argv: list[str]) -> int:
+    mode = argv[0] if argv else "json"
+    doc = to_json_document(parse_sail(SAIL_SOURCE))
+    if mode == "json":
+        print(doc)
+    elif mode == "gen":
+        print(generate_source(doc))
+    else:
+        print(f"unknown mode {mode!r}; use 'json' or 'gen'", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

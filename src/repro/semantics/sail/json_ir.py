@@ -1,0 +1,39 @@
+"""Stage 1.5 of the semantics pipeline: the JSON interchange format.
+
+In the paper, an OCaml script parses the official SAIL model and emits a
+simplified JSON representation; a second script consumes that JSON and
+generates C++ semantic classes.  Here the analogous JSON document is the
+contract between :mod:`repro.semantics.sail.parser` and
+:mod:`repro.semantics.sail.gen` — it can be dumped to disk, inspected,
+and versioned independently of either end.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..ir import Semantics, semantics_from_json, semantics_to_json
+
+
+def to_json_document(sems: dict[str, Semantics]) -> str:
+    """Serialise parsed semantics to the pipeline's JSON document."""
+    doc = {
+        "format": "repro-sail-ir",
+        "version": 1,
+        "instructions": [
+            semantics_to_json(s) for _, s in sorted(sems.items())
+        ],
+    }
+    return json.dumps(doc, indent=1, sort_keys=True)
+
+
+def from_json_document(text: str) -> dict[str, Semantics]:
+    """Load semantics back from a JSON document."""
+    doc = json.loads(text)
+    if doc.get("format") != "repro-sail-ir":
+        raise ValueError("not a repro-sail-ir document")
+    out: dict[str, Semantics] = {}
+    for j in doc["instructions"]:
+        s = semantics_from_json(j)
+        out[s.mnemonic] = s
+    return out

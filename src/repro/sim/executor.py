@@ -1,0 +1,662 @@
+"""Instruction execution engine: decoded instruction -> Python closure.
+
+The hot path of the simulator.  Each instruction at a given pc is decoded
+once and compiled into a small closure that mutates the machine state;
+closures are cached per-pc (the machine invalidates entries when code is
+patched — which is precisely what dynamic instrumentation does).
+
+Per the HPC guides: the interpreter optimises the *hot loop* only —
+closure dispatch, locals-bound state, no per-step allocation.  Everything
+else favours clarity.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, TYPE_CHECKING
+
+from ..riscv.encoding import sign_extend, to_unsigned
+from ..riscv.instr import Instruction
+from . import fp
+from .timing import category_of
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .machine import Machine
+
+M64 = (1 << 64) - 1
+M32 = (1 << 32) - 1
+
+Closure = Callable[[], None]
+
+
+class SimFault(Exception):
+    """Architectural fault (illegal instruction, bad fetch...)."""
+
+    def __init__(self, message: str, pc: int | None = None):
+        super().__init__(message if pc is None else f"{message} at pc={pc:#x}")
+        self.pc = pc
+
+
+class BreakpointHit(Exception):
+    """ebreak executed; machine stopped with pc at the ebreak."""
+
+    def __init__(self, pc: int):
+        super().__init__(f"breakpoint at {pc:#x}")
+        self.pc = pc
+
+
+class ExitTrap(Exception):
+    """Program requested exit via the exit syscall."""
+
+    def __init__(self, code: int):
+        super().__init__(f"exit({code})")
+        self.code = code
+
+
+def _sx(v: int) -> int:
+    return v - (1 << 64) if v >> 63 else v
+
+
+def _sx32(v: int) -> int:
+    v &= M32
+    return v - (1 << 32) if v >> 31 else v
+
+
+# -- integer op lambdas (unsigned-64 in, unsigned-64 out) ----------------
+
+def _div_s(a, b):
+    if b == 0:
+        return M64
+    sa, sb = _sx(a), _sx(b)
+    if sa == -(1 << 63) and sb == -1:
+        return a
+    q = abs(sa) // abs(sb)
+    return to_unsigned(-q if (sa < 0) != (sb < 0) else q, 64)
+
+
+def _rem_s(a, b):
+    if b == 0:
+        return a
+    sa, sb = _sx(a), _sx(b)
+    if sa == -(1 << 63) and sb == -1:
+        return 0
+    r = abs(sa) % abs(sb)
+    return to_unsigned(-r if sa < 0 else r, 64)
+
+
+def _div_s32(a, b):
+    sa, sb = _sx32(a), _sx32(b)
+    if sb == 0:
+        return M64
+    if sa == -(1 << 31) and sb == -1:
+        return to_unsigned(sa, 64)
+    q = abs(sa) // abs(sb)
+    return to_unsigned(sign_extend(to_unsigned(
+        -q if (sa < 0) != (sb < 0) else q, 32), 32), 64)
+
+
+def _rem_s32(a, b):
+    sa, sb = _sx32(a), _sx32(b)
+    if sb == 0:
+        return to_unsigned(sa, 64)
+    if sa == -(1 << 31) and sb == -1:
+        return 0
+    r = abs(sa) % abs(sb)
+    return to_unsigned(-r if sa < 0 else r, 64)
+
+
+RR_OPS = {
+    "add": lambda a, b: (a + b) & M64,
+    "sub": lambda a, b: (a - b) & M64,
+    "sll": lambda a, b: (a << (b & 63)) & M64,
+    "slt": lambda a, b: int(_sx(a) < _sx(b)),
+    "sltu": lambda a, b: int(a < b),
+    "xor": lambda a, b: a ^ b,
+    "srl": lambda a, b: a >> (b & 63),
+    "sra": lambda a, b: to_unsigned(_sx(a) >> (b & 63), 64),
+    "or": lambda a, b: a | b,
+    "and": lambda a, b: a & b,
+    "addw": lambda a, b: to_unsigned(sign_extend((a + b) & M32, 32), 64),
+    "subw": lambda a, b: to_unsigned(sign_extend((a - b) & M32, 32), 64),
+    "sllw": lambda a, b: to_unsigned(
+        sign_extend((a << (b & 31)) & M32, 32), 64),
+    "srlw": lambda a, b: to_unsigned(
+        sign_extend((a & M32) >> (b & 31), 32), 64),
+    "sraw": lambda a, b: to_unsigned(_sx32(a) >> (b & 31), 64),
+    "mul": lambda a, b: (a * b) & M64,
+    "mulh": lambda a, b: to_unsigned((_sx(a) * _sx(b)) >> 64, 64),
+    "mulhu": lambda a, b: (a * b) >> 64,
+    "mulhsu": lambda a, b: to_unsigned((_sx(a) * b) >> 64, 64),
+    "div": _div_s,
+    "divu": lambda a, b: M64 if b == 0 else a // b,
+    "rem": _rem_s,
+    "remu": lambda a, b: a if b == 0 else a % b,
+    "mulw": lambda a, b: to_unsigned(sign_extend((a * b) & M32, 32), 64),
+    "divw": _div_s32,
+    "divuw": lambda a, b: M64 if (b & M32) == 0 else to_unsigned(
+        sign_extend(((a & M32) // (b & M32)) & M32, 32), 64),
+    "remw": _rem_s32,
+    "remuw": lambda a, b: to_unsigned(sign_extend(
+        (a & M32) if (b & M32) == 0 else (a & M32) % (b & M32), 32), 64),
+    "czero.eqz": lambda a, b: 0 if b == 0 else a,
+    "czero.nez": lambda a, b: 0 if b != 0 else a,
+    "add.uw": lambda a, b: (b + (a & M32)) & M64,
+    "sh1add": lambda a, b: (b + (a << 1)) & M64,
+    "sh2add": lambda a, b: (b + (a << 2)) & M64,
+    "sh3add": lambda a, b: (b + (a << 3)) & M64,
+    # Zbb (RVA23 sample)
+    "andn": lambda a, b: a & (b ^ M64),
+    "orn": lambda a, b: a | (b ^ M64),
+    "xnor": lambda a, b: (a ^ b) ^ M64,
+    "min": lambda a, b: a if _sx(a) <= _sx(b) else b,
+    "minu": lambda a, b: min(a, b),
+    "max": lambda a, b: a if _sx(a) >= _sx(b) else b,
+    "maxu": lambda a, b: max(a, b),
+    "rol": lambda a, b: ((a << (b & 63)) | (a >> ((-b) & 63))) & M64,
+    "ror": lambda a, b: ((a >> (b & 63)) | (a << ((-b) & 63))) & M64,
+}
+
+#: Zbb unary ops (rd, rs1 only).
+UNARY_OPS = {
+    "clz": lambda a: 64 - a.bit_length(),
+    "ctz": lambda a: 64 if a == 0 else (a & -a).bit_length() - 1,
+    "cpop": lambda a: a.bit_count(),
+    "sext.b": lambda a: to_unsigned(sign_extend(a, 8), 64),
+    "sext.h": lambda a: to_unsigned(sign_extend(a, 16), 64),
+    "zext.h": lambda a: a & 0xFFFF,
+}
+
+RI_OPS = {
+    "addi": lambda a, i: (a + i) & M64,
+    "slti": lambda a, i: int(_sx(a) < i),
+    "sltiu": lambda a, i: int(a < to_unsigned(i, 64)),
+    "xori": lambda a, i: a ^ to_unsigned(i, 64),
+    "ori": lambda a, i: a | to_unsigned(i, 64),
+    "andi": lambda a, i: a & to_unsigned(i, 64),
+    "addiw": lambda a, i: to_unsigned(sign_extend((a + i) & M32, 32), 64),
+}
+
+SHIFT_OPS = {
+    "slli": lambda a, s: (a << s) & M64,
+    "srli": lambda a, s: a >> s,
+    "srai": lambda a, s: to_unsigned(_sx(a) >> s, 64),
+    "slliw": lambda a, s: to_unsigned(
+        sign_extend((a << s) & M32, 32), 64),
+    "srliw": lambda a, s: to_unsigned(
+        sign_extend((a & M32) >> s, 32), 64),
+    "sraiw": lambda a, s: to_unsigned(_sx32(a) >> s, 64),
+    "rori": lambda a, s: ((a >> s) | (a << ((-s) & 63))) & M64,
+}
+
+BRANCH_OPS = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blt": lambda a, b: _sx(a) < _sx(b),
+    "bge": lambda a, b: _sx(a) >= _sx(b),
+    "bltu": lambda a, b: a < b,
+    "bgeu": lambda a, b: a >= b,
+}
+
+LOADS = {  # mnemonic -> (size, signed)
+    "lb": (1, True), "lh": (2, True), "lw": (4, True), "ld": (8, True),
+    "lbu": (1, False), "lhu": (2, False), "lwu": (4, False),
+}
+
+STORES = {"sb": 1, "sh": 2, "sw": 4, "sd": 8}
+
+AMO_OPS = {
+    "amoswap": lambda old, src, sx: src,
+    "amoadd": lambda old, src, sx: old + src,
+    "amoxor": lambda old, src, sx: old ^ src,
+    "amoand": lambda old, src, sx: old & src,
+    "amoor": lambda old, src, sx: old | src,
+    "amomin": lambda old, src, sx: old if sx(old) <= sx(src) else src,
+    "amomax": lambda old, src, sx: old if sx(old) >= sx(src) else src,
+    "amominu": lambda old, src, sx: min(old, src),
+    "amomaxu": lambda old, src, sx: max(old, src),
+}
+
+FP_RR = {  # two-operand FP arithmetic on Python floats
+    "fadd": lambda a, b: a + b,
+    "fsub": lambda a, b: a - b,
+    "fmul": lambda a, b: a * b,
+    "fdiv": fp.fp_div,
+    "fmin": fp.fp_min,
+    "fmax": fp.fp_max,
+}
+
+FP_CMP = {
+    "feq": lambda a, b: int(a == b),
+    "flt": lambda a, b: int(a < b),
+    "fle": lambda a, b: int(a <= b),
+}
+
+FMA_SIGNS = {  # mnemonic root -> (product sign, addend sign)
+    "fmadd": (1, 1), "fmsub": (1, -1), "fnmsub": (-1, 1), "fnmadd": (-1, -1),
+}
+
+
+def build_closure(m: "Machine", pc: int, instr: Instruction) -> Closure:
+    """Compile one decoded instruction into an executable closure.
+
+    The closure updates registers/memory/pc and charges cycle cost.
+    """
+    mn = instr.mnemonic
+    f = instr.fields
+    length = instr.length
+    next_pc = pc + length
+    cost = m.timing.ucycles(category_of(mn, instr.spec.match & 0x7F))
+    x = m.x
+    fr = m.f
+    mem = m.mem
+
+    def _finish_simple(body: Callable[[], None]) -> Closure:
+        def run() -> None:
+            body()
+            m.pc = next_pc
+            m.ucycles += cost
+            m.instret += 1
+        return run
+
+    # ---- Zbb unary -----------------------------------------------------
+    if mn in UNARY_OPS:
+        op = UNARY_OPS[mn]
+        rd, rs1 = f["rd"], f["rs1"]
+        if rd == 0:
+            return _finish_simple(lambda: None)
+        def body():
+            x[rd] = op(x[rs1])
+        return _finish_simple(body)
+
+    # ---- integer register-register -----------------------------------
+    if mn in RR_OPS:
+        op = RR_OPS[mn]
+        rd, rs1, rs2 = f["rd"], f["rs1"], f["rs2"]
+        if rd == 0:
+            return _finish_simple(lambda: None)
+        def body():
+            x[rd] = op(x[rs1], x[rs2])
+        return _finish_simple(body)
+
+    # ---- integer register-immediate -----------------------------------
+    if mn in RI_OPS:
+        op = RI_OPS[mn]
+        rd, rs1, imm = f["rd"], f["rs1"], f["imm"]
+        if rd == 0:
+            return _finish_simple(lambda: None)
+        def body():
+            x[rd] = op(x[rs1], imm)
+        return _finish_simple(body)
+
+    if mn in SHIFT_OPS:
+        op = SHIFT_OPS[mn]
+        rd, rs1, sh = f["rd"], f["rs1"], f["shamt"]
+        if rd == 0:
+            return _finish_simple(lambda: None)
+        def body():
+            x[rd] = op(x[rs1], sh)
+        return _finish_simple(body)
+
+    if mn == "lui":
+        rd = f["rd"]
+        val = to_unsigned(sign_extend(f["imm"], 20) << 12, 64)
+        if rd == 0:
+            return _finish_simple(lambda: None)
+        def body():
+            x[rd] = val
+        return _finish_simple(body)
+
+    if mn == "auipc":
+        rd = f["rd"]
+        val = to_unsigned(pc + (sign_extend(f["imm"], 20) << 12), 64)
+        if rd == 0:
+            return _finish_simple(lambda: None)
+        def body():
+            x[rd] = val
+        return _finish_simple(body)
+
+    # ---- loads / stores -------------------------------------------------
+    if mn in LOADS:
+        size, signed = LOADS[mn]
+        rd, rs1, imm = f["rd"], f["rs1"], f["imm"]
+        read_int = mem.read_int
+        if signed:
+            bitw = size * 8
+            def body():
+                v = read_int((x[rs1] + imm) & M64, size)
+                x[rd] = to_unsigned(sign_extend(v, bitw), 64)
+        else:
+            def body():
+                x[rd] = read_int((x[rs1] + imm) & M64, size)
+        if rd == 0:
+            def body():  # noqa: F811 - load to x0 still accesses memory
+                read_int((x[rs1] + imm) & M64, size)
+        return _finish_simple(body)
+
+    if mn in STORES:
+        size = STORES[mn]
+        rs1, rs2, imm = f["rs1"], f["rs2"], f["imm"]
+        def run() -> None:
+            addr = (x[rs1] + imm) & M64
+            m.store_int(addr, size, x[rs2])
+            m.pc = next_pc
+            m.ucycles += cost
+            m.instret += 1
+        return run
+
+    # ---- control transfer ----------------------------------------------
+    if mn in BRANCH_OPS:
+        cond = BRANCH_OPS[mn]
+        rs1, rs2 = f["rs1"], f["rs2"]
+        target = pc + f["imm"]
+        def run() -> None:
+            m.pc = target if cond(x[rs1], x[rs2]) else next_pc
+            m.ucycles += cost
+            m.instret += 1
+        return run
+
+    if mn == "jal":
+        rd = f["rd"]
+        target = to_unsigned(pc + f["imm"], 64)
+        def run() -> None:
+            if rd:
+                x[rd] = next_pc
+            m.pc = target
+            m.ucycles += cost
+            m.instret += 1
+        return run
+
+    if mn == "jalr":
+        rd, rs1, imm = f["rd"], f["rs1"], f["imm"]
+        def run() -> None:
+            target = (x[rs1] + imm) & ~1 & M64
+            if rd:
+                x[rd] = next_pc
+            m.pc = target
+            m.ucycles += cost
+            m.instret += 1
+        return run
+
+    # ---- environment ----------------------------------------------------
+    if mn == "ecall":
+        def run() -> None:
+            m.ucycles += cost
+            m.instret += 1
+            m.syscall()          # may raise ExitTrap
+            m.pc = next_pc
+        return run
+
+    if mn == "ebreak":
+        def run() -> None:
+            raise BreakpointHit(pc)
+        return run
+
+    if mn in ("fence", "fence.i"):
+        if mn == "fence.i":
+            def body():
+                m.flush_icache()
+        else:
+            def body():
+                pass
+        return _finish_simple(body)
+
+    # ---- Zicsr -----------------------------------------------------------
+    if mn.startswith("csrr"):
+        return _build_csr(m, mn, f, _finish_simple)
+
+    # ---- A extension ------------------------------------------------------
+    if mn.startswith(("lr.", "sc.", "amo")):
+        return _build_amo(m, mn, f, _finish_simple)
+
+    # ---- F/D --------------------------------------------------------------
+    cl = _build_fp(m, mn, f, pc, _finish_simple)
+    if cl is not None:
+        return cl
+
+    raise SimFault(f"no handler for instruction {mn!r}", pc)
+
+
+def _build_csr(m, mn, f, finish):
+    rd = f["rd"]
+    csr = f["csr"]
+    write_kind = mn.rstrip("i")[-1]  # w / s / c
+    if mn.endswith("i"):
+        src_val = f["zimm"]
+        def src():
+            return src_val
+    else:
+        rs1 = f["rs1"]
+        x = m.x
+        def src():
+            return x[rs1]
+    x = m.x
+
+    def body():
+        old = m.read_csr(csr)
+        v = src()
+        if write_kind == "w":
+            m.write_csr(csr, v)
+        elif write_kind == "s":
+            if v:
+                m.write_csr(csr, old | v)
+        else:
+            if v:
+                m.write_csr(csr, old & ~v & M64)
+        if rd:
+            x[rd] = old
+    return finish(body)
+
+
+def _build_amo(m, mn, f, finish):
+    x = m.x
+    rd = f["rd"]
+    rs1 = f["rs1"]
+    size = 4 if mn.endswith(".w") else 8
+    bitw = size * 8
+    mem = m.mem
+
+    if mn.startswith("lr."):
+        def body():
+            addr = x[rs1]
+            m.reservation = addr
+            v = mem.read_int(addr, size)
+            if rd:
+                x[rd] = to_unsigned(sign_extend(v, bitw), 64)
+        return finish(body)
+
+    rs2 = f["rs2"]
+    if mn.startswith("sc."):
+        def body():
+            addr = x[rs1]
+            if m.reservation == addr:
+                m.store_int(addr, size, x[rs2])
+                ok = 0
+            else:
+                ok = 1
+            m.reservation = None
+            if rd:
+                x[rd] = ok
+        return finish(body)
+
+    root = mn.split(".")[0]
+    op = AMO_OPS[root]
+    mask = (1 << bitw) - 1
+    sx = _sx32 if size == 4 else _sx
+
+    def body():
+        addr = x[rs1]
+        old = mem.read_int(addr, size)
+        new = op(old, x[rs2] & mask, sx) & mask
+        m.store_int(addr, size, new)
+        if rd:
+            x[rd] = to_unsigned(sign_extend(old, bitw), 64)
+    return finish(body)
+
+
+def _build_fp(m, mn, f, pc, finish):
+    x = m.x
+    fr = m.f
+    mem = m.mem
+
+    if mn in ("flw", "fld"):
+        size = 4 if mn == "flw" else 8
+        rd, rs1, imm = f["rd"], f["rs1"], f["imm"]
+        if size == 4:
+            def body():
+                fr[rd] = fp.NAN_BOX | mem.read_int((x[rs1] + imm) & M64, 4)
+        else:
+            def body():
+                fr[rd] = mem.read_int((x[rs1] + imm) & M64, 8)
+        return finish(body)
+
+    if mn in ("fsw", "fsd"):
+        size = 4 if mn == "fsw" else 8
+        rs1, rs2, imm = f["rs1"], f["rs2"], f["imm"]
+        def run_body():
+            m.store_int((x[rs1] + imm) & M64, size, fr[rs2])
+        return finish(run_body)
+
+    parts = mn.split(".")
+    root = parts[0]
+
+    if root in FP_RR and len(parts) == 2:
+        single = parts[1] == "s"
+        get = fp.f32_from_bits if single else fp.f64_from_bits
+        put = fp.bits_from_f32 if single else fp.bits_from_f64
+        op = FP_RR[root]
+        rd, rs1, rs2 = f["rd"], f["rs1"], f["rs2"]
+        def body():
+            fr[rd] = put(op(get(fr[rs1]), get(fr[rs2])))
+        return finish(body)
+
+    if root in FP_CMP:
+        single = parts[1] == "s"
+        get = fp.f32_from_bits if single else fp.f64_from_bits
+        op = FP_CMP[root]
+        rd, rs1, rs2 = f["rd"], f["rs1"], f["rs2"]
+        def body():
+            if rd:
+                a, b = get(fr[rs1]), get(fr[rs2])
+                x[rd] = 0 if (math.isnan(a) or math.isnan(b)) else op(a, b)
+        return finish(body)
+
+    if root == "fsqrt":
+        single = parts[1] == "s"
+        get = fp.f32_from_bits if single else fp.f64_from_bits
+        put = fp.bits_from_f32 if single else fp.bits_from_f64
+        rd, rs1 = f["rd"], f["rs1"]
+        def body():
+            fr[rd] = put(fp.fp_sqrt(get(fr[rs1])))
+        return finish(body)
+
+    if root in ("fsgnj", "fsgnjn", "fsgnjx"):
+        single = parts[1] == "s"
+        sbit = 31 if single else 63
+        rd, rs1, rs2 = f["rd"], f["rs1"], f["rs2"]
+        mode = root[5:]
+        def body():
+            a, b = fr[rs1], fr[rs2]
+            if single:
+                a &= 0xFFFF_FFFF
+                b_sign = (b >> sbit) & 1
+            else:
+                b_sign = (b >> sbit) & 1
+            if mode == "n":
+                b_sign ^= 1
+            elif mode == "x":
+                b_sign ^= (a >> sbit) & 1
+            res = (a & ~(1 << sbit)) | (b_sign << sbit)
+            fr[rd] = (fp.NAN_BOX | res) if single else res
+        return finish(body)
+
+    if root == "fclass":
+        single = parts[1] == "s"
+        get = fp.f32_from_bits if single else fp.f64_from_bits
+        rd, rs1 = f["rd"], f["rs1"]
+        def body():
+            if rd:
+                bits = fr[rs1] & (0xFFFF_FFFF if single else M64)
+                x[rd] = fp.classify(get(fr[rs1]), bits, single)
+        return finish(body)
+
+    if root in FMA_SIGNS and len(parts) == 2:
+        psign, asign = FMA_SIGNS[root]
+        single = parts[1] == "s"
+        get = fp.f32_from_bits if single else fp.f64_from_bits
+        put = fp.bits_from_f32 if single else fp.bits_from_f64
+        rd, rs1, rs2, rs3 = f["rd"], f["rs1"], f["rs2"], f["rs3"]
+        def body():
+            fr[rd] = put(psign * (get(fr[rs1]) * get(fr[rs2]))
+                         + asign * get(fr[rs3]))
+        return finish(body)
+
+    if root == "fmv":
+        rd, rs1 = f["rd"], f["rs1"]
+        if mn == "fmv.x.w":
+            def body():
+                if rd:
+                    x[rd] = to_unsigned(
+                        sign_extend(fr[rs1] & 0xFFFF_FFFF, 32), 64)
+        elif mn == "fmv.w.x":
+            def body():
+                fr[rd] = fp.NAN_BOX | (x[rs1] & 0xFFFF_FFFF)
+        elif mn == "fmv.x.d":
+            def body():
+                if rd:
+                    x[rd] = fr[rs1]
+        else:  # fmv.d.x
+            def body():
+                fr[rd] = x[rs1]
+        return finish(body)
+
+    if root == "fcvt":
+        return _build_fcvt(m, mn, parts, f, finish)
+
+    return None
+
+
+def _build_fcvt(m, mn, parts, f, finish):
+    x = m.x
+    fr = m.f
+    rd, rs1 = f["rd"], f["rs1"]
+    dst, src = parts[1], parts[2]
+
+    int_widths = {"w": (32, True), "wu": (32, False),
+                  "l": (64, True), "lu": (64, False)}
+
+    if dst in int_widths:  # fp -> int
+        width, signed = int_widths[dst]
+        single = src == "s"
+        get = fp.f32_from_bits if single else fp.f64_from_bits
+        rm = f.get("rm", 0)
+        if rm == 7:
+            rm = 0  # dynamic: frm defaults to RNE in this simulator
+        def body():
+            if rd:
+                v = fp.cvt_to_int(get(fr[rs1]), width, signed, rm)
+                x[rd] = to_unsigned(
+                    sign_extend(to_unsigned(v, width), width)
+                    if width == 32 else v, 64)
+        return finish(body)
+
+    if src in int_widths:  # int -> fp
+        width, signed = int_widths[src]
+        single = dst == "s"
+        put = fp.bits_from_f32 if single else fp.bits_from_f64
+        def body():
+            raw = x[rs1] & ((1 << width) - 1)
+            v = sign_extend(raw, width) if signed else raw
+            fr[rd] = put(float(v))
+        return finish(body)
+
+    if dst == "s" and src == "d":
+        def body():
+            fr[rd] = fp.bits_from_f32(fp.f64_from_bits(fr[rs1]))
+        return finish(body)
+
+    if dst == "d" and src == "s":
+        def body():
+            fr[rd] = fp.bits_from_f64(fp.f32_from_bits(fr[rs1]))
+        return finish(body)
+
+    return None

@@ -1,0 +1,305 @@
+"""The simulated RV64GC machine (the SiFive P550 stand-in, §4.2).
+
+:class:`Machine` bundles hart state, memory, a timing model, and a
+Linux-ish syscall layer, and exposes the debug port ProcControlAPI talks
+to (read/write registers and memory, step, run-until-event).
+
+Performance notes (per the HPC guides): the run loop binds hot
+attributes to locals, instructions are compiled to closures once per pc
+(cache invalidated on code patching), and per-step allocation is zero.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..riscv.assembler import Program
+from ..riscv.decoder import DecodeError, decode
+from .executor import BreakpointHit, ExitTrap, SimFault, build_closure
+from .memory import Memory, MemoryFault
+from .timing import P550, TimingModel, UCYCLE
+
+#: Default stack placement: 8 MiB ending just below 2 GiB.
+STACK_TOP = 0x7FFF_F000
+STACK_SIZE = 8 << 20
+
+
+class StopReason(enum.Enum):
+    """Why :meth:`Machine.run` returned."""
+
+    EXITED = "exited"
+    BREAKPOINT = "breakpoint"
+    STEPS_EXHAUSTED = "steps-exhausted"
+    FAULT = "fault"
+
+
+@dataclass
+class StopEvent:
+    """Run-loop outcome."""
+
+    reason: StopReason
+    pc: int
+    exit_code: int | None = None
+    fault: str | None = None
+
+
+# Linux riscv64 syscall numbers (asm-generic).
+SYS_WRITE = 64
+SYS_EXIT = 93
+SYS_EXIT_GROUP = 94
+SYS_CLOCK_GETTIME = 113
+
+
+class Machine:
+    """One simulated RV64GC hart plus memory.
+
+    Parameters
+    ----------
+    timing:
+        The :class:`TimingModel` charged per instruction; determines
+        what ``clock_gettime``/``rdcycle`` report.
+    """
+
+    def __init__(self, timing: TimingModel = P550):
+        self.timing = timing
+        self.mem = Memory()
+        self.x: list[int] = [0] * 32
+        self.f: list[int] = [0] * 32
+        self.pc = 0
+        self.ucycles = 0
+        self.instret = 0
+        self.csrs: dict[int, int] = {}
+        self.reservation: int | None = None
+        self.stdout = bytearray()
+        self.exit_code: int | None = None
+        self._icache: dict[int, object] = {}
+        #: [lo, hi) ranges treated as code: stores into them flush the
+        #: closure cache (self-modifying code / runtime patching).
+        self.exec_ranges: list[tuple[int, int]] = []
+        #: trap-springboard map: ebreak pc -> redirect pc.  The paper's
+        #: worst-case 2-byte trap springboards (§3.1.2) divert through
+        #: here instead of stopping the hart (one "system" cycle charge).
+        self.trap_redirects: dict[int, int] = {}
+
+    # -- program loading --------------------------------------------------
+
+    def load_program(self, program: Program) -> None:
+        """Map a laid-out :class:`Program` and reset the hart to its entry."""
+        self.load_image(
+            segments=[
+                (program.text_base, program.text),
+                (program.data_base, program.data),
+            ],
+            bss=(program.bss_base, program.bss_size),
+            entry=program.entry,
+            exec_range=(program.text_base,
+                        program.text_base + len(program.text)),
+        )
+
+    def load_image(self, segments: list[tuple[int, bytes]],
+                   entry: int, bss: tuple[int, int] | None = None,
+                   exec_range: tuple[int, int] | None = None) -> None:
+        """Map raw (vaddr, bytes) segments and reset the hart."""
+        for base, blob in segments:
+            if blob:
+                self.mem.map_region(base, len(blob))
+                self.mem.write_bytes(base, bytes(blob))
+        if bss is not None and bss[1] > 0:
+            self.mem.map_region(bss[0], bss[1])
+        self.mem.map_region(STACK_TOP - STACK_SIZE, STACK_SIZE)
+        self.x = [0] * 32
+        self.f = [0] * 32
+        self.x[2] = STACK_TOP - 64  # sp, with a little headroom
+        self.pc = entry
+        self.ucycles = 0
+        self.instret = 0
+        self.exit_code = None
+        self.stdout = bytearray()
+        self._icache.clear()
+        if exec_range is not None:
+            self.exec_ranges = [exec_range]
+
+    def add_exec_range(self, lo: int, hi: int) -> None:
+        """Register an additional code range (e.g. a patch area)."""
+        self.exec_ranges.append((lo, hi))
+        self.mem.map_region(lo, hi - lo)
+
+    # -- debug port (ProcControlAPI) ---------------------------------------
+
+    def read_mem(self, addr: int, n: int) -> bytes:
+        return self.mem.read_bytes(addr, n)
+
+    def write_mem(self, addr: int, data: bytes) -> None:
+        """Write memory, invalidating compiled code it overlaps."""
+        self.mem.write_bytes(addr, data)
+        self._maybe_flush(addr, len(data))
+
+    def store_int(self, addr: int, size: int, value: int) -> None:
+        """Store from executing code (checks code ranges like write_mem)."""
+        self.mem.write_int(addr, size, value)
+        for lo, hi in self.exec_ranges:
+            if addr < hi and addr + size > lo:
+                self._flush_range(addr, size)
+                break
+
+    def _maybe_flush(self, addr: int, size: int) -> None:
+        for lo, hi in self.exec_ranges:
+            if addr < hi and addr + size > lo:
+                self._flush_range(addr, size)
+                return
+
+    def _flush_range(self, addr: int, size: int) -> None:
+        # A patched instruction may start up to 3 bytes before addr.
+        for a in range(addr - 3, addr + size):
+            self._icache.pop(a, None)
+
+    def flush_icache(self) -> None:
+        self._icache.clear()
+
+    def get_reg(self, n: int) -> int:
+        return self.x[n]
+
+    def set_reg(self, n: int, value: int) -> None:
+        if n != 0:
+            self.x[n] = value & 0xFFFF_FFFF_FFFF_FFFF
+
+    def get_freg(self, n: int) -> int:
+        return self.f[n]
+
+    def set_freg(self, n: int, value: int) -> None:
+        self.f[n] = value & 0xFFFF_FFFF_FFFF_FFFF
+
+    # -- CSRs ---------------------------------------------------------------
+
+    def read_csr(self, csr: int) -> int:
+        if csr == 0xC00:  # cycle
+            return self.ucycles // UCYCLE
+        if csr == 0xC01:  # time (report cycles; mtime ~ cycle here)
+            return self.ucycles // UCYCLE
+        if csr == 0xC02:  # instret
+            return self.instret
+        return self.csrs.get(csr, 0)
+
+    def write_csr(self, csr: int, value: int) -> None:
+        self.csrs[csr] = value & 0xFFFF_FFFF_FFFF_FFFF
+
+    # -- time ----------------------------------------------------------------
+
+    def simulated_ns(self) -> int:
+        return self.timing.nanoseconds(self.ucycles)
+
+    def simulated_seconds(self) -> float:
+        return self.timing.seconds(self.ucycles)
+
+    # -- syscalls --------------------------------------------------------------
+
+    def syscall(self) -> None:
+        num = self.x[17]  # a7
+        a0, a1, a2 = self.x[10], self.x[11], self.x[12]
+        if num in (SYS_EXIT, SYS_EXIT_GROUP):
+            raise ExitTrap(a0 & 0xFF)
+        if num == SYS_WRITE:
+            data = self.mem.read_bytes(a1, a2)
+            if a0 in (1, 2):
+                self.stdout += data
+            self.x[10] = a2
+            return
+        if num == SYS_CLOCK_GETTIME:
+            ns = self.simulated_ns()
+            self.mem.write_int(a1, 8, ns // 1_000_000_000)
+            self.mem.write_int(a1 + 8, 8, ns % 1_000_000_000)
+            self.x[10] = 0
+            return
+        raise SimFault(f"unsupported syscall {num}", self.pc)
+
+    # -- execution ---------------------------------------------------------------
+
+    def _closure_at(self, pc: int):
+        cl = self._icache.get(pc)
+        if cl is None:
+            try:
+                raw = self.mem.read_bytes(pc, 4)
+            except MemoryFault:
+                raw = self.mem.read_bytes(pc, 2)  # page-end compressed instr
+            instr = decode(raw, 0, pc)
+            cl = build_closure(self, pc, instr)
+            self._icache[pc] = cl
+        return cl
+
+    def _redirect(self, pc: int) -> bool:
+        """Apply a trap-springboard redirect at *pc* if one exists."""
+        target = self.trap_redirects.get(pc)
+        if target is None:
+            return False
+        self.pc = target
+        self.ucycles += self.timing.ucycles("system")
+        return True
+
+    def step(self) -> StopEvent | None:
+        """Execute one instruction.  Returns a StopEvent on
+        exit/breakpoint/fault, else None."""
+        try:
+            self._closure_at(self.pc)()
+        except ExitTrap as e:
+            self.exit_code = e.code
+            return StopEvent(StopReason.EXITED, self.pc, exit_code=e.code)
+        except BreakpointHit as e:
+            if self._redirect(e.pc):
+                return None
+            return StopEvent(StopReason.BREAKPOINT, e.pc)
+        except (SimFault, MemoryFault, DecodeError) as e:
+            return StopEvent(StopReason.FAULT, self.pc, fault=str(e))
+        return None
+
+    def run(self, max_steps: int | None = None) -> StopEvent:
+        """Run until exit, breakpoint, fault, or *max_steps*."""
+        icache = self._icache
+        closure_at = self._closure_at
+        remaining = max_steps
+        while True:
+            try:
+                if remaining is None:
+                    while True:
+                        cl = icache.get(self.pc)
+                        if cl is None:
+                            cl = closure_at(self.pc)
+                        cl()
+                else:
+                    while remaining > 0:
+                        cl = icache.get(self.pc)
+                        if cl is None:
+                            cl = closure_at(self.pc)
+                        cl()
+                        remaining -= 1
+                    return StopEvent(StopReason.STEPS_EXHAUSTED, self.pc)
+            except ExitTrap as e:
+                self.exit_code = e.code
+                return StopEvent(StopReason.EXITED, self.pc,
+                                 exit_code=e.code)
+            except BreakpointHit as e:
+                if self._redirect(e.pc):
+                    continue
+                return StopEvent(StopReason.BREAKPOINT, e.pc)
+            except (SimFault, MemoryFault, DecodeError) as e:
+                return StopEvent(StopReason.FAULT, self.pc, fault=str(e))
+
+    # -- EvalState protocol (semantics cross-check) --------------------------
+
+    def read_xreg(self, n: int) -> int:
+        return self.x[n]
+
+    def read_freg(self, n: int) -> int:
+        return self.f[n]
+
+    def read_mem_int(self, addr: int, size: int) -> int:
+        return self.mem.read_int(addr, size)
+
+
+def run_program(program: Program, timing: TimingModel = P550,
+                max_steps: int | None = None) -> tuple[Machine, StopEvent]:
+    """Convenience: load and run a program to completion."""
+    m = Machine(timing)
+    m.load_program(program)
+    ev = m.run(max_steps)
+    return m, ev

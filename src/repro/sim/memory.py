@@ -1,0 +1,107 @@
+"""Sparse paged memory for the RV64GC simulator.
+
+4 KiB pages in a dict, with a one-entry page cache for the common case of
+consecutive accesses to the same page.  Accesses to unmapped addresses
+raise :class:`MemoryFault` — catching wild pointers early matters more
+here than graceful degradation, since the simulator is the testbed for
+instrumentation correctness.
+"""
+
+from __future__ import annotations
+
+PAGE_BITS = 12
+PAGE_SIZE = 1 << PAGE_BITS
+PAGE_MASK = PAGE_SIZE - 1
+
+
+class MemoryFault(Exception):
+    """Access to an unmapped address."""
+
+    def __init__(self, addr: int, kind: str = "access"):
+        super().__init__(f"memory {kind} fault at {addr:#x}")
+        self.addr = addr
+        self.kind = kind
+
+
+class Memory:
+    """Sparse byte-addressable memory."""
+
+    __slots__ = ("_pages", "_cache_idx", "_cache_page")
+
+    def __init__(self) -> None:
+        self._pages: dict[int, bytearray] = {}
+        self._cache_idx = -1
+        self._cache_page: bytearray | None = None
+
+    # -- mapping --------------------------------------------------------
+
+    def map_region(self, base: int, size: int) -> None:
+        """Ensure pages covering [base, base+size) exist (zero-filled)."""
+        first = base >> PAGE_BITS
+        last = (base + size - 1) >> PAGE_BITS
+        for idx in range(first, last + 1):
+            self._pages.setdefault(idx, bytearray(PAGE_SIZE))
+
+    def is_mapped(self, addr: int) -> bool:
+        return (addr >> PAGE_BITS) in self._pages
+
+    def mapped_pages(self) -> int:
+        return len(self._pages)
+
+    # -- raw byte access -------------------------------------------------
+
+    def _page(self, idx: int, addr: int) -> bytearray:
+        if idx == self._cache_idx:
+            return self._cache_page  # type: ignore[return-value]
+        page = self._pages.get(idx)
+        if page is None:
+            raise MemoryFault(addr)
+        self._cache_idx = idx
+        self._cache_page = page
+        return page
+
+    def read_bytes(self, addr: int, n: int) -> bytes:
+        idx = addr >> PAGE_BITS
+        off = addr & PAGE_MASK
+        if off + n <= PAGE_SIZE:
+            return bytes(self._page(idx, addr)[off:off + n])
+        out = bytearray()
+        while n > 0:
+            idx = addr >> PAGE_BITS
+            off = addr & PAGE_MASK
+            chunk = min(n, PAGE_SIZE - off)
+            out += self._page(idx, addr)[off:off + chunk]
+            addr += chunk
+            n -= chunk
+        return bytes(out)
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        n = len(data)
+        pos = 0
+        while pos < n:
+            idx = addr >> PAGE_BITS
+            off = addr & PAGE_MASK
+            chunk = min(n - pos, PAGE_SIZE - off)
+            self._page(idx, addr)[off:off + chunk] = data[pos:pos + chunk]
+            addr += chunk
+            pos += chunk
+
+    # -- integer access (little-endian) ----------------------------------
+
+    def read_int(self, addr: int, size: int) -> int:
+        idx = addr >> PAGE_BITS
+        off = addr & PAGE_MASK
+        if off + size <= PAGE_SIZE:
+            page = self._page(idx, addr)
+            return int.from_bytes(page[off:off + size], "little")
+        return int.from_bytes(self.read_bytes(addr, size), "little")
+
+    def write_int(self, addr: int, size: int, value: int) -> None:
+        value &= (1 << (8 * size)) - 1
+        idx = addr >> PAGE_BITS
+        off = addr & PAGE_MASK
+        if off + size <= PAGE_SIZE:
+            page = self._page(idx, addr)
+            page[off:off + size] = value.to_bytes(size, "little")
+            return
+        self.write_bytes(addr, value.to_bytes(size, "little"))

@@ -1,0 +1,7 @@
+"""StackwalkerAPI: call-stack collection with pluggable frame steppers."""
+
+from .steppers import Frame, FramePointerStepper, FrameStepper, SPHeightStepper
+from .walker import StackWalker
+
+__all__ = ["Frame", "FramePointerStepper", "FrameStepper",
+           "SPHeightStepper", "StackWalker"]

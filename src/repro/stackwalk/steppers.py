@@ -1,0 +1,115 @@
+"""Frame steppers: the plugin architecture of StackwalkerAPI
+(paper §3.2.7).
+
+"Stack frames can appear in a variety of forms or even missing
+altogether" — each stepper knows one frame form; the walker tries them
+in order for every frame:
+
+* :class:`SPHeightStepper` — the RISC-V-critical one.  Most RISC-V
+  compilers use x8 as a general register and address frames purely off
+  sp (§3.2.7), so walking requires DataflowAPI's stack-height analysis:
+  given pc and sp, reconstruct the entry sp and load ra from its
+  analysed save slot (or take it live from the ra register when the
+  prologue has not saved it yet).
+* :class:`FramePointerStepper` — classic s0-chained frames
+  (``ra`` at ``s0-8``, caller's ``s0`` at ``s0-16``), for binaries
+  compiled with a frame pointer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dataflow.stackheight import StackHeightResult, analyze_stack_height
+from ..parse.parser import CodeObject
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One walked stack frame."""
+
+    pc: int
+    sp: int
+    fp: int
+    function_name: str | None = None
+    #: which stepper produced the *next* (caller) frame from this one
+    stepper: str | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        name = self.function_name or "?"
+        return f"<Frame {name} pc={self.pc:#x} sp={self.sp:#x}>"
+
+
+class FrameStepper:
+    """Base class: produce the caller's frame from the current one."""
+
+    name = "base"
+
+    def step(self, walker, frame: Frame, is_top: bool) -> Frame | None:
+        raise NotImplementedError
+
+
+class SPHeightStepper(FrameStepper):
+    """sp-relative walking via stack-height analysis (frame-pointer-less
+    code, the RISC-V common case)."""
+
+    name = "sp-height"
+
+    def __init__(self, code_object: CodeObject):
+        self.code_object = code_object
+        self._cache: dict[int, StackHeightResult] = {}
+
+    def _analysis(self, fn) -> StackHeightResult:
+        if fn.entry not in self._cache:
+            self._cache[fn.entry] = analyze_stack_height(fn)
+        return self._cache[fn.entry]
+
+    def step(self, walker, frame: Frame, is_top: bool) -> Frame | None:
+        fn = self.code_object.function_containing(frame.pc)
+        if fn is None:
+            return None
+        sh = self._analysis(fn)
+        h = sh.height_before(frame.pc)
+        if h is None:
+            return None
+        entry_sp = frame.sp - h
+
+        ra_value: int | None = None
+        if sh.ra_slot is not None and (
+                sh.ra_save_addr is None or not is_top
+                or frame.pc > sh.ra_save_addr):
+            try:
+                ra_value = int.from_bytes(
+                    walker.read_memory(entry_sp + sh.ra_slot, 8), "little")
+            except Exception:
+                return None
+        elif is_top:
+            # prologue not yet run (or leaf function): ra is live
+            ra_value = walker.get_register("ra")
+        if not ra_value:
+            return None
+        return Frame(
+            pc=ra_value, sp=entry_sp, fp=frame.fp,
+            function_name=None, stepper=self.name)
+
+
+class FramePointerStepper(FrameStepper):
+    """Classic frame-pointer chain: ra at fp-8, caller fp at fp-16."""
+
+    name = "frame-pointer"
+
+    def step(self, walker, frame: Frame, is_top: bool) -> Frame | None:
+        fp = frame.fp
+        if fp == 0 or fp & 7:
+            return None
+        try:
+            ra_value = int.from_bytes(
+                walker.read_memory(fp - 8, 8), "little")
+            caller_fp = int.from_bytes(
+                walker.read_memory(fp - 16, 8), "little")
+        except Exception:
+            return None
+        if not ra_value:
+            return None
+        return Frame(pc=ra_value, sp=fp, fp=caller_fp,
+                     function_name=None, stepper=self.name)

@@ -1,0 +1,99 @@
+"""StackwalkerAPI: collect call stacks from a stopped process
+(paper §2.2, §3.2.7).
+
+The walker builds the top frame from the stopped hart's pc/sp/fp, then
+repeatedly asks its ordered stepper plugins to produce the caller frame,
+annotating each frame with the containing function's name.  Walking
+stops at the program entry function, an unwalkable frame form (all
+steppers decline), a nonsense return address, or the depth limit.
+"""
+
+from __future__ import annotations
+
+from ..parse.parser import CodeObject
+from ..proccontrol.process import Process
+from .steppers import Frame, FramePointerStepper, FrameStepper, SPHeightStepper
+
+
+class StackWalker:
+    """Walks the call stack of a (stopped) controlled process."""
+
+    def __init__(self, process: Process, code_object: CodeObject,
+                 steppers: list[FrameStepper] | None = None,
+                 max_depth: int = 256):
+        self.process = process
+        self.code_object = code_object
+        self.steppers = steppers if steppers is not None else [
+            SPHeightStepper(code_object),
+            FramePointerStepper(),
+        ]
+        self.max_depth = max_depth
+
+    # stepper callbacks -------------------------------------------------
+
+    def read_memory(self, addr: int, n: int) -> bytes:
+        return self.process.read_memory(addr, n)
+
+    def get_register(self, name: str) -> int:
+        return self.process.get_register(name)
+
+    # walking -----------------------------------------------------------------
+
+    def _name_of(self, pc: int) -> str | None:
+        fn = self.code_object.function_containing(pc)
+        return fn.name if fn is not None else None
+
+    def _is_entry_function(self, pc: int) -> bool:
+        fn = self.code_object.function_containing(pc)
+        return fn is not None and fn.entry == self.code_object.symtab.entry
+
+    def walk(self) -> list[Frame]:
+        """Return the stack, innermost frame first."""
+        top = Frame(
+            pc=self.process.pc,
+            sp=self.process.get_register("sp"),
+            fp=self.process.get_register("s0"),
+            function_name=self._name_of(self.process.pc),
+        )
+        frames = [top]
+        current = top
+        for depth in range(self.max_depth):
+            if self._is_entry_function(current.pc):
+                break
+            nxt = self._step_one(current, is_top=depth == 0)
+            if nxt is None:
+                break
+            if not self.code_object.symtab.is_code(nxt.pc):
+                break
+            nxt = Frame(nxt.pc, nxt.sp, nxt.fp,
+                        function_name=self._name_of(nxt.pc),
+                        stepper=nxt.stepper)
+            frames.append(nxt)
+            current = nxt
+        return frames
+
+    def _step_one(self, frame: Frame, is_top: bool) -> Frame | None:
+        for stepper in self.steppers:
+            nxt = stepper.step(self, frame, is_top)
+            if nxt is not None:
+                return nxt
+        return None
+
+    def format(self, frames: list[Frame] | None = None) -> str:
+        """Human-readable stack trace (with source lines when the binary
+        carries debug info)."""
+        frames = frames if frames is not None else self.walk()
+        symtab = self.code_object.symtab
+        lines = []
+        for i, fr in enumerate(frames):
+            name = fr.function_name or "???"
+            at = ""
+            hit = symtab.lines.lookup(fr.pc)
+            if hit is not None:
+                fn = self.code_object.function_containing(fr.pc)
+                # only annotate when the marker is inside this function
+                if fn is not None and hit[0] >= fn.entry:
+                    at = f":{hit[1]}"
+            via = f"  (via {fr.stepper})" if fr.stepper else ""
+            lines.append(f"#{i}  {fr.pc:#010x}  {name}{at}{via}")
+        return "\n".join(lines)

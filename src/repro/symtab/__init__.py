@@ -1,0 +1,5 @@
+"""SymtabAPI: binary structure, symbols, and ISA-extension discovery."""
+
+from .symtab import Region, Symtab
+
+__all__ = ["Region", "Symtab"]

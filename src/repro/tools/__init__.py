@@ -1,0 +1,26 @@
+"""Example tool layer: the kinds of tools the paper motivates (§1) built
+on the public API — counters, a call tracer, coverage, call graphs."""
+
+from .callgraph import CallGraph, build_callgraph
+from .counter import (
+    CounterHandle, count_basic_blocks, count_function_entries,
+    count_loop_iterations,
+)
+from .coverage import CoverageHandle, cover_functions
+from .latency import LatencyHandle, measure_latency
+from .memtrace import MemEvent, MemTraceHandle, trace_memory
+from .profiler import Profile, profile_process
+from .tracer import TraceEvent, TraceHandle, trace_functions
+from .watchpoint import WatchHandle, WatchHit, watch_writes
+
+__all__ = [
+    "CallGraph", "build_callgraph",
+    "CounterHandle", "count_basic_blocks", "count_function_entries",
+    "count_loop_iterations",
+    "CoverageHandle", "cover_functions",
+    "LatencyHandle", "measure_latency",
+    "MemEvent", "MemTraceHandle", "trace_memory",
+    "Profile", "profile_process",
+    "TraceEvent", "TraceHandle", "trace_functions",
+    "WatchHandle", "WatchHit", "watch_writes",
+]

@@ -1,0 +1,75 @@
+"""Static call-graph extraction: an analysis-only toolkit consumer.
+
+Builds the call multigraph from ParseAPI's CALL/TAILCALL edges, flags
+unresolved indirect calls (honesty about pointer-based flow, §3.2.3),
+and renders DOT for visualisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..parse.parser import CodeObject
+
+
+@dataclass
+class CallGraph:
+    #: caller name -> set of callee names (direct calls)
+    calls: dict[str, set[str]] = field(default_factory=dict)
+    #: caller name -> set of tail-callee names
+    tail_calls: dict[str, set[str]] = field(default_factory=dict)
+    #: functions containing unresolvable indirect jumps/calls
+    has_unresolved: set[str] = field(default_factory=set)
+
+    def callees(self, name: str) -> set[str]:
+        return self.calls.get(name, set()) | self.tail_calls.get(name, set())
+
+    def callers(self, name: str) -> set[str]:
+        return {
+            caller for caller, cs in self.calls.items() if name in cs
+        } | {
+            caller for caller, cs in self.tail_calls.items() if name in cs
+        }
+
+    def reachable_from(self, root: str) -> set[str]:
+        seen: set[str] = set()
+        work = [root]
+        while work:
+            n = work.pop()
+            if n in seen:
+                continue
+            seen.add(n)
+            work.extend(self.callees(n))
+        return seen
+
+    def to_dot(self) -> str:
+        lines = ["digraph callgraph {"]
+        names = sorted(set(self.calls) | set(self.tail_calls)
+                       | {c for s in self.calls.values() for c in s}
+                       | {c for s in self.tail_calls.values() for c in s})
+        for n in names:
+            attrs = ' color="red"' if n in self.has_unresolved else ""
+            lines.append(f'  "{n}"[{attrs.strip()}];' if attrs
+                         else f'  "{n}";')
+        for caller in sorted(self.calls):
+            for callee in sorted(self.calls[caller]):
+                lines.append(f'  "{caller}" -> "{callee}";')
+        for caller in sorted(self.tail_calls):
+            for callee in sorted(self.tail_calls[caller]):
+                lines.append(
+                    f'  "{caller}" -> "{callee}" [style=dashed];')
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def build_callgraph(co: CodeObject) -> CallGraph:
+    graph = CallGraph()
+    by_entry = {fn.entry: fn.name for fn in co.functions.values()}
+    for fn in co.functions.values():
+        graph.calls[fn.name] = {
+            by_entry.get(a, f"func_{a:x}") for a in fn.callees}
+        graph.tail_calls[fn.name] = {
+            by_entry.get(a, f"func_{a:x}") for a in fn.tail_callees}
+        if fn.unresolved:
+            graph.has_unresolved.add(fn.name)
+    return graph

@@ -1,0 +1,60 @@
+"""Counting tools: the instrumentation the paper benchmarks (§4.1).
+
+"The Dyninst instrumentation program inserted simple instrumentation
+into the application program.  This instrumentation simply increments a
+counter in memory."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..api.bpatch import BinaryEdit
+from ..codegen.snippets import IncrementVar, Variable
+from ..parse.cfg import Function
+from ..patch.points import PointType
+
+
+@dataclass
+class CounterHandle:
+    """A counter installed at a set of points."""
+
+    variable: Variable
+    n_points: int
+
+    def read(self, machine) -> int:
+        return machine.mem.read_int(self.variable.address, 8)
+
+
+def count_function_entries(binary: BinaryEdit, fn: Function | str,
+                           name: str | None = None) -> CounterHandle:
+    """Experiment 1 of §4.1: one counter increment per function call."""
+    if isinstance(fn, str):
+        fn = binary.function(fn)
+    var = binary.allocate_variable(name or f"entries${fn.name}")
+    pts = binary.points(fn, PointType.FUNC_ENTRY)
+    binary.insert(pts, IncrementVar(var))
+    return CounterHandle(var, len(pts))
+
+
+def count_basic_blocks(binary: BinaryEdit, fn: Function | str,
+                       name: str | None = None) -> CounterHandle:
+    """Experiment 2 of §4.1: a counter increment at the start of every
+    basic block in the function."""
+    if isinstance(fn, str):
+        fn = binary.function(fn)
+    var = binary.allocate_variable(name or f"blocks${fn.name}")
+    pts = binary.points(fn, PointType.BLOCK_ENTRY)
+    binary.insert(pts, IncrementVar(var))
+    return CounterHandle(var, len(pts))
+
+
+def count_loop_iterations(binary: BinaryEdit, fn: Function | str,
+                          name: str | None = None) -> CounterHandle:
+    """Counter on every loop back edge (the paper's CFG-level points)."""
+    if isinstance(fn, str):
+        fn = binary.function(fn)
+    var = binary.allocate_variable(name or f"backedges${fn.name}")
+    pts = binary.points(fn, PointType.LOOP_BACKEDGE)
+    binary.insert(pts, IncrementVar(var))
+    return CounterHandle(var, len(pts))

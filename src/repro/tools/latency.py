@@ -1,0 +1,80 @@
+"""Function latency measurement — the TAU/Omnitrace scenario (§2 lists
+both as Dyninst consumers): instrumentation that *self-times* the
+mutatee by reading the cycle CSR at entry and exit.
+
+Per function, the tool accumulates inclusive cycles across outermost
+invocations (a depth counter makes recursion count once per outermost
+call), giving a per-function inclusive-time profile with exact
+(deterministic) cycle attribution::
+
+    entry:  if depth == 0 { start = cycle }
+            depth = depth + 1
+    exit:   depth = depth - 1
+            if depth == 0 { total  = total + (cycle - start)
+                            calls  = calls + 1 }
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..api.bpatch import BinaryEdit
+from ..codegen.snippets import (
+    BinExpr, Const, CSR_CYCLE, CsrExpr, If, IncrementVar, Sequence,
+    SetVar, VarExpr, Variable,
+)
+from ..parse.cfg import Function
+from ..patch.points import PointType
+
+
+@dataclass
+class LatencyHandle:
+    #: function name -> (depth, start, total, calls) variables
+    vars: dict[str, tuple[Variable, Variable, Variable, Variable]]
+
+    def report(self, machine) -> dict[str, tuple[int, int]]:
+        """function -> (outermost calls, total inclusive cycles)."""
+        out = {}
+        for name, (_d, _s, total, calls) in self.vars.items():
+            out[name] = (machine.mem.read_int(calls.address, 8),
+                         machine.mem.read_int(total.address, 8))
+        return out
+
+    def mean_cycles(self, machine, name: str) -> float:
+        c, t = self.report(machine)[name]
+        return t / c if c else 0.0
+
+
+def measure_latency(binary: BinaryEdit,
+                    functions: list[Function | str]) -> LatencyHandle:
+    """Instrument entry/exits of *functions* with cycle-CSR timing."""
+    handles: dict[str, tuple[Variable, Variable, Variable, Variable]] = {}
+    for fn in functions:
+        if isinstance(fn, str):
+            fn = binary.function(fn)
+        depth = binary.allocate_variable(f"lat$d${fn.name}")
+        start = binary.allocate_variable(f"lat$s${fn.name}")
+        total = binary.allocate_variable(f"lat$t${fn.name}")
+        calls = binary.allocate_variable(f"lat$c${fn.name}")
+
+        entry = Sequence([
+            If(BinExpr("eq", VarExpr(depth), Const(0)),
+               SetVar(start, CsrExpr(CSR_CYCLE))),
+            IncrementVar(depth),
+        ])
+        exit_ = Sequence([
+            IncrementVar(depth, step=-1),
+            If(BinExpr("eq", VarExpr(depth), Const(0)),
+               Sequence([
+                   SetVar(total,
+                          BinExpr("add", VarExpr(total),
+                                  BinExpr("sub", CsrExpr(CSR_CYCLE),
+                                          VarExpr(start)))),
+                   IncrementVar(calls),
+               ])),
+        ])
+        binary.insert(binary.points(fn, PointType.FUNC_ENTRY), entry)
+        for pt in binary.points(fn, PointType.FUNC_EXIT):
+            binary.insert(pt, exit_)
+        handles[fn.name] = (depth, start, total, calls)
+    return LatencyHandle(handles)

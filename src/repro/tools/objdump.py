@@ -1,0 +1,178 @@
+"""objdump-style CLI: disassemble and analyze RISC-V ELF binaries.
+
+Usage::
+
+    python -m repro.tools.objdump [-d] [-f] [--cfg] [--symbols] file.elf
+
+* ``-d`` / default : disassembly with symbol annotations
+* ``-f``           : file header summary (ISA, entry, e_flags)
+* ``--cfg``        : per-function CFG summary (blocks, edges, loops)
+* ``--symbols``    : symbol table
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..instruction.insn import decode_insn
+from ..parse.loops import natural_loops
+from ..parse.parser import parse_binary
+from ..riscv.decoder import DecodeError
+from ..symtab.symtab import Symtab
+
+
+def format_header(symtab: Symtab) -> str:
+    lines = [
+        f"architecture : {symtab.isa.arch_string()} "
+        f"(from {symtab.isa_source})",
+        f"entry point  : {symtab.entry:#x}",
+    ]
+    for region in symtab.regions:
+        kind = "CODE" if region.executable else "DATA"
+        lines.append(
+            f"  {region.name:20} {region.addr:#10x}..{region.end:#x} "
+            f"{kind}")
+    return "\n".join(lines)
+
+
+def format_symbols(symtab: Symtab) -> str:
+    lines = []
+    for sym in sorted(symtab.symbols.values(), key=lambda s: s.address):
+        scope = "g" if sym.is_global else "l"
+        lines.append(f"{sym.address:#010x} {scope} {sym.kind:8} "
+                     f"{sym.size:6} {sym.name}")
+    return "\n".join(lines)
+
+
+def format_disassembly(symtab: Symtab) -> str:
+    by_addr = {s.address: s.name for s in symtab.symbols.values()}
+    lines = []
+    for region in symtab.code_regions():
+        lines.append(f"\nDisassembly of {region.name}:")
+        pc = region.addr
+        end = region.addr + len(region.data)
+        while pc < end - 1:
+            if pc in by_addr:
+                lines.append(f"\n{pc:#010x} <{by_addr[pc]}>:")
+            src = symtab.lines.exact(pc)
+            if src is not None:
+                lines.append(f"  ; line {src}")
+            try:
+                insn = decode_insn(region.data, pc - region.addr, pc)
+            except DecodeError:
+                hw = int.from_bytes(
+                    region.data[pc - region.addr:pc - region.addr + 2],
+                    "little")
+                lines.append(f"  {pc:#010x}:  {hw:04x}       <unknown>")
+                pc += 2
+                continue
+            raw = region.data[pc - region.addr:pc - region.addr + insn.length]
+            hexed = raw.hex()
+            lines.append(f"  {pc:#010x}:  {hexed:10} {insn.disasm()}")
+            pc += insn.length
+    return "\n".join(lines)
+
+
+def format_frames(symtab: Symtab) -> str:
+    """Per-function stack-frame report from stack-height analysis — the
+    information the sp-height stepper walks with (§3.2.7)."""
+    from ..dataflow.stackheight import analyze_stack_height
+
+    co = parse_binary(symtab)
+    lines = [f"{'function':24} {'frame':>7} {'ra slot':>9} {'fp?':>5}"]
+    for fn in sorted(co.functions.values(), key=lambda f: f.entry):
+        sh = analyze_stack_height(fn)
+        ra = f"sp{sh.ra_slot:+d}" if sh.ra_slot is not None else "-"
+        fp = "yes" if sh.fp_saved_slot is not None else "no"
+        lines.append(
+            f"{fn.name:24} {sh.frame_size:>7} {ra:>9} {fp:>5}")
+    return "\n".join(lines)
+
+
+def format_mix(symtab: Symtab) -> str:
+    """Static instruction-mix histogram per function."""
+    from collections import Counter
+
+    co = parse_binary(symtab)
+    lines = []
+    for fn in sorted(co.functions.values(), key=lambda f: f.entry):
+        mix = Counter(i.category.value for i in fn.instructions())
+        total = sum(mix.values())
+        if not total:
+            continue
+        parts = ", ".join(f"{k} {100 * v / total:.0f}%"
+                          for k, v in mix.most_common(4))
+        compressed = sum(1 for i in fn.instructions() if i.is_compressed)
+        lines.append(f"{fn.name:24} {total:>5} insns "
+                     f"({100 * compressed / total:.0f}% RVC): {parts}")
+    return "\n".join(lines)
+
+
+def format_cfg(symtab: Symtab) -> str:
+    co = parse_binary(symtab)
+    lines = []
+    for fn in sorted(co.functions.values(), key=lambda f: f.entry):
+        loops = natural_loops(fn)
+        lines.append(
+            f"\n{fn.name} @ {fn.entry:#x}: {len(fn.blocks)} blocks, "
+            f"{len(loops)} loops, "
+            f"{'returns' if fn.returns else 'noreturn'}")
+        for b in sorted(fn.blocks.values(), key=lambda b: b.start):
+            edges = ", ".join(
+                f"{e.kind.value}->"
+                f"{format(e.target, '#x') if e.target is not None else '?'}"
+                for e in b.out_edges)
+            lines.append(f"  block {b.start:#x}..{b.end:#x}  [{edges}]")
+        if fn.jump_tables:
+            for site, targets in fn.jump_tables.items():
+                lines.append(
+                    f"  jump table @ {site:#x}: {len(targets)} targets")
+        if fn.unresolved:
+            lines.append(
+                f"  unresolved indirect: "
+                f"{', '.join(format(a, '#x') for a in fn.unresolved)}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-objdump",
+        description="disassemble/analyze RISC-V ELF binaries")
+    ap.add_argument("file", help="ELF file")
+    ap.add_argument("-d", "--disassemble", action="store_true")
+    ap.add_argument("-f", "--file-header", action="store_true")
+    ap.add_argument("--cfg", action="store_true")
+    ap.add_argument("--symbols", action="store_true")
+    ap.add_argument("--frames", action="store_true",
+                    help="stack-frame analysis per function")
+    ap.add_argument("--mix", action="store_true",
+                    help="static instruction-mix histogram")
+    args = ap.parse_args(argv)
+
+    with open(args.file, "rb") as fh:
+        symtab = Symtab.from_bytes(fh.read())
+
+    none_selected = not (args.disassemble or args.file_header
+                         or args.cfg or args.symbols or args.frames
+                         or args.mix)
+    try:
+        if args.file_header or none_selected:
+            print(format_header(symtab))
+        if args.symbols:
+            print(format_symbols(symtab))
+        if args.cfg:
+            print(format_cfg(symtab))
+        if args.frames:
+            print(format_frames(symtab))
+        if args.mix:
+            print(format_mix(symtab))
+        if args.disassemble or none_selected:
+            print(format_disassembly(symtab))
+    except BrokenPipeError:  # e.g. `| head`
+        sys.stderr.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,88 @@
+"""Sampling profiler: the HPCToolkit-style performance tool the paper
+opens with (§1/§2 cite HPCToolkit as the flagship Dyninst consumer).
+
+Periodically interrupts the mutatee (the simulator's step quantum plays
+the role of a timer signal), walks the call stack with StackwalkerAPI,
+and accumulates flat and call-path profiles — no instrumentation at
+all, pure ProcControl + Stackwalker.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..parse.parser import CodeObject
+from ..proccontrol.process import Process
+from ..sim.machine import StopReason
+from ..stackwalk.walker import StackWalker
+
+
+@dataclass
+class Profile:
+    """Accumulated samples."""
+
+    #: function name -> samples with that function on top (self time)
+    flat: Counter = field(default_factory=Counter)
+    #: function name -> samples with the function anywhere on the stack
+    cumulative: Counter = field(default_factory=Counter)
+    #: full call path (tuple of names, outermost first) -> samples
+    call_paths: Counter = field(default_factory=Counter)
+    #: (function name, source line) -> self samples; populated when the
+    #: binary carries debug line info (HPCToolkit's line-level view)
+    line_flat: Counter = field(default_factory=Counter)
+    total_samples: int = 0
+
+    def report(self, top: int = 10) -> str:
+        lines = [f"samples: {self.total_samples}",
+                 "", f"{'self%':>7} {'cum%':>7}  function"]
+        for name, n in self.flat.most_common(top):
+            cum = self.cumulative.get(name, n)
+            lines.append(
+                f"{100 * n / self.total_samples:>6.1f}% "
+                f"{100 * cum / self.total_samples:>6.1f}%  {name}")
+        lines.append("")
+        lines.append("hottest call paths:")
+        for path, n in self.call_paths.most_common(5):
+            lines.append(
+                f"  {100 * n / self.total_samples:>5.1f}%  "
+                f"{' -> '.join(path)}")
+        if self.line_flat:
+            lines.append("")
+            lines.append("hottest source lines:")
+            for (fn, line), n in self.line_flat.most_common(5):
+                lines.append(
+                    f"  {100 * n / self.total_samples:>5.1f}%  "
+                    f"{fn}:{line}")
+        return "\n".join(lines)
+
+
+def profile_process(proc: Process, code_object: CodeObject,
+                    quantum: int = 2000,
+                    max_samples: int = 100_000) -> Profile:
+    """Run the process to completion, sampling the stack every *quantum*
+    simulated instructions."""
+    walker = StackWalker(proc, code_object)
+    prof = Profile()
+    while not proc.exited and prof.total_samples < max_samples:
+        stop = proc.machine.run(max_steps=quantum)
+        if stop.reason is StopReason.EXITED:
+            break
+        if stop.reason is not StopReason.STEPS_EXHAUSTED:
+            raise RuntimeError(f"unexpected stop while profiling: {stop}")
+        frames = walker.walk()
+        if not frames:
+            continue
+        prof.total_samples += 1
+        names = [f.function_name or "???" for f in frames]
+        prof.flat[names[0]] += 1
+        for name in set(names):
+            prof.cumulative[name] += 1
+        prof.call_paths[tuple(reversed(names))] += 1
+        # line-level attribution when debug info is available
+        hit = code_object.symtab.lines.lookup(frames[0].pc)
+        if hit is not None:
+            fn = code_object.function_containing(frames[0].pc)
+            if fn is not None and hit[0] >= fn.entry:
+                prof.line_flat[(names[0], hit[1])] += 1
+    return prof

@@ -1,0 +1,111 @@
+"""Software watchpoints: catch writes to a chosen address via
+instrumentation (the "every stack memory reference" §1 capability,
+focused into a debugging tool).
+
+RISC-V debug hardware offers few (or no) watchpoint registers;
+instrumenting every store with an address-compare snippet is the
+portable fallback — exactly the kind of tool the toolkit exists to make
+easy.  Each hit records (site pc, value written) into a ring buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..api.bpatch import BinaryEdit
+from ..codegen.snippets import (
+    BinExpr, Const, If, IncrementVar, RegExpr, Sequence, StoreSnippet,
+    VarExpr, Variable,
+)
+from ..parse.cfg import Function
+from ..patch.points import instruction_point
+
+
+@dataclass(frozen=True)
+class WatchHit:
+    pc: int
+    value: int
+
+
+@dataclass
+class WatchHandle:
+    address: int
+    head: Variable
+    buffer_base: int
+    capacity: int
+    #: site id -> pc
+    sites: dict[int, int]
+
+    def hits(self, machine) -> list[WatchHit]:
+        n = machine.mem.read_int(self.head.address, 8)
+        count = min(n, self.capacity)
+        out = []
+        for i in range(n - count, n):
+            slot = i % self.capacity
+            base = self.buffer_base + 16 * slot
+            sid = machine.mem.read_int(base, 8)
+            value = machine.mem.read_int(base + 8, 8)
+            out.append(WatchHit(self.sites[sid], value))
+        return out
+
+    def hit_count(self, machine) -> int:
+        return machine.mem.read_int(self.head.address, 8)
+
+
+def watch_writes(binary: BinaryEdit, address: int,
+                 functions: list[Function | str],
+                 capacity: int = 256) -> WatchHandle:
+    """Instrument every store in *functions* with a watch check on
+    *address* (any store whose byte range covers it records a hit)."""
+    if capacity & (capacity - 1):
+        raise ValueError("capacity must be a power of two")
+    head = binary.allocate_variable(f"watch$h${address:x}")
+    buf = binary.allocate_variable(f"watch$b${address:x}",
+                                   size=16 * capacity)
+    sites: dict[int, int] = {}
+    sid = 0
+    for fn in functions:
+        if isinstance(fn, str):
+            fn = binary.function(fn)
+        for insn in list(fn.instructions()):
+            acc = insn.memory_access()
+            if acc is None or not acc.is_write:
+                continue
+            ea = BinExpr("add", RegExpr(acc.base), Const(acc.displacement))
+            # hit iff ea <= address < ea + size
+            in_range = BinExpr(
+                "and",
+                BinExpr("le", ea, Const(address)),
+                BinExpr("lt", Const(address),
+                        BinExpr("add", ea, Const(acc.size))))
+            slot = BinExpr("shl",
+                           BinExpr("and", VarExpr(head),
+                                   Const(capacity - 1)),
+                           Const(4))
+            record_base = BinExpr("add", Const(buf.address), slot)
+            # stores read rs2 as the value; AMO/sc value is also rs2
+            value_reg = insn.raw.fields.get("rs2")
+            value_expr = (RegExpr(_reg_of(insn, value_reg))
+                          if value_reg is not None else Const(0))
+            body = Sequence([
+                StoreSnippet(record_base, Const(sid)),
+                StoreSnippet(BinExpr("add", record_base, Const(8)),
+                             value_expr),
+                IncrementVar(head),
+            ])
+            binary.insert(instruction_point(fn, insn.address),
+                          If(in_range, body))
+            sites[sid] = insn.address
+            sid += 1
+    return WatchHandle(address, head, buf.address, capacity, sites)
+
+
+def _reg_of(insn, n):
+    from ..riscv.registers import xreg
+
+    # FP stores carry the value in an FP register, which snippets cannot
+    # read; those hits record value 0 (the address is still exact).
+    for op in insn.raw.spec.operands:
+        if op in ("rs2",):
+            return xreg(n)
+    return xreg(0)

@@ -1,0 +1,12 @@
+"""Shared pytest fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.riscv import RV64GC, Assembler
+
+
+@pytest.fixture
+def assembler() -> Assembler:
+    return Assembler(text_base=0x1_0000, arch=RV64GC)

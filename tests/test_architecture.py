@@ -1,0 +1,85 @@
+"""Architectural invariants: the paper's Figure 2 component layering.
+
+The import structure of the package must match the Dyninst component
+graph: information flows from the binary-structure toolkits toward the
+instrumentation toolkits, never backward (e.g. SymtabAPI must not
+depend on PatchAPI).
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).parent.parent / "src" / "repro"
+
+COMPONENTS = ["symtab", "instruction", "parse", "dataflow", "codegen",
+              "patch", "proccontrol", "stackwalk"]
+
+ALLOWED = {
+    "symtab": set(),
+    "instruction": set(),
+    "parse": {"instruction", "symtab", "dataflow"},
+    "dataflow": {"instruction", "parse"},
+    "codegen": {"dataflow", "instruction"},
+    "patch": {"codegen", "dataflow", "parse", "instruction", "symtab"},
+    "proccontrol": {"instruction", "symtab"},
+    "stackwalk": {"dataflow", "parse", "proccontrol", "instruction"},
+}
+
+
+def _imports_of(component: str) -> set[str]:
+    found: set[str] = set()
+    for py in (SRC / component).rglob("*.py"):
+        tree = ast.parse(py.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                if node.level >= 2:
+                    target = node.module.split(".")[0]
+                elif node.module.startswith("repro."):
+                    target = node.module.split(".")[1]
+                else:
+                    continue
+                if target in COMPONENTS and target != component:
+                    found.add(target)
+    return found
+
+
+@pytest.mark.parametrize("component", COMPONENTS)
+def test_component_respects_figure2(component):
+    illegal = _imports_of(component) - ALLOWED[component]
+    assert not illegal, (
+        f"{component} imports {sorted(illegal)}: not a Figure-2 arrow")
+
+
+def test_no_component_imports_the_facade():
+    for comp in COMPONENTS + ["riscv", "elf", "sim", "semantics",
+                              "minicc"]:
+        for py in (SRC / comp).rglob("*.py"):
+            tree = ast.parse(py.read_text())
+            for node in ast.walk(tree):
+                if isinstance(node, ast.ImportFrom) and node.module:
+                    assert "api" != node.module.split(".")[0].replace(
+                        "repro.", ""), f"{py} imports the facade"
+                    assert not node.module.startswith("repro.api"), py
+
+
+def test_substrates_do_not_import_toolkits():
+    """riscv/elf/sim are substrates: no upward dependencies except the
+    documented ones (sim decodes instructions; elf knows nothing)."""
+    for comp, allowed in (("riscv", set()), ("elf", {"riscv"}),
+                          ("sim", {"riscv"})):
+        for py in (SRC / comp).rglob("*.py"):
+            tree = ast.parse(py.read_text())
+            for node in ast.walk(tree):
+                if isinstance(node, ast.ImportFrom) and node.module:
+                    if node.level >= 2:
+                        target = node.module.split(".")[0]
+                    elif node.module.startswith("repro."):
+                        target = node.module.split(".")[1]
+                    else:
+                        continue
+                    if target == comp:
+                        continue
+                    assert target in allowed, (
+                        f"substrate {comp} imports {target} ({py})")

@@ -1,0 +1,161 @@
+"""Tests for the CLI tools (objdump, minicc driver) and dynamic
+instrumentation removal."""
+
+import pytest
+
+from repro.api import open_binary
+from repro.codegen import IncrementVar
+from repro.minicc import compile_source, compile_to_elf, fib_source
+from repro.minicc.__main__ import main as minicc_main
+from repro.patch import PatchError, PointType
+from repro.proccontrol import EventType, Process
+from repro.sim import Machine, StopReason
+from repro.tools.objdump import (
+    format_cfg, format_disassembly, format_header, format_symbols,
+    main as objdump_main,
+)
+
+
+@pytest.fixture
+def elf_file(tmp_path):
+    path = tmp_path / "fib.elf"
+    path.write_bytes(compile_to_elf(fib_source(8)))
+    return path
+
+
+class TestObjdump:
+    def test_header(self, elf_file, capsys):
+        assert objdump_main(["-f", str(elf_file)]) == 0
+        out = capsys.readouterr().out
+        assert "rv64imafdc" in out
+        assert ".text" in out and "CODE" in out
+
+    def test_disassembly(self, elf_file, capsys):
+        assert objdump_main(["-d", str(elf_file)]) == 0
+        out = capsys.readouterr().out
+        assert "<fib>" in out
+        assert "addi sp, sp," in out
+        assert "jalr" in out or "ret" in out
+
+    def test_symbols(self, elf_file, capsys):
+        assert objdump_main(["--symbols", str(elf_file)]) == 0
+        out = capsys.readouterr().out
+        assert "fib" in out and "main" in out
+
+    def test_cfg(self, elf_file, capsys):
+        assert objdump_main(["--cfg", str(elf_file)]) == 0
+        out = capsys.readouterr().out
+        assert "blocks" in out
+        assert "cond-taken" in out
+        assert "call->" in out
+
+    def test_frames(self, elf_file, capsys):
+        assert objdump_main(["--frames", str(elf_file)]) == 0
+        out = capsys.readouterr().out
+        assert "frame" in out and "ra slot" in out
+        assert "fib" in out and "sp-" in out
+
+    def test_mix(self, elf_file, capsys):
+        assert objdump_main(["--mix", str(elf_file)]) == 0
+        out = capsys.readouterr().out
+        assert "insns" in out and "arithmetic" in out and "RVC" in out
+
+    def test_default_mode(self, elf_file, capsys):
+        assert objdump_main([str(elf_file)]) == 0
+        out = capsys.readouterr().out
+        assert "entry point" in out and "<fib>" in out
+
+    def test_format_helpers_direct(self):
+        from repro.symtab import Symtab
+        st = Symtab.from_bytes(compile_to_elf(fib_source(5)))
+        assert "fib" in format_symbols(st)
+        assert "Disassembly" in format_disassembly(st)
+        assert "blocks" in format_cfg(st)
+        assert "architecture" in format_header(st)
+
+
+class TestMiniccCLI:
+    def test_compile_to_file(self, tmp_path, capsys):
+        src = tmp_path / "p.c"
+        src.write_text("long main(void) { return 7; }")
+        out = tmp_path / "p.elf"
+        assert minicc_main([str(src), "-o", str(out)]) == 0
+        assert out.stat().st_size > 0
+        from repro.symtab import Symtab
+        assert Symtab.from_bytes(out.read_bytes()).isa.supports("c")
+
+    def test_emit_asm(self, tmp_path, capsys):
+        src = tmp_path / "p.c"
+        src.write_text("long main(void) { return 1 + 2; }")
+        assert minicc_main([str(src), "-S"]) == 0
+        out = capsys.readouterr().out
+        assert ".globl main" in out
+
+    def test_run(self, tmp_path, capsys):
+        src = tmp_path / "p.c"
+        src.write_text(
+            "long main(void) { print_long(99); return 3; }")
+        assert minicc_main([str(src), "--run"]) == 3
+        assert capsys.readouterr().out == "99\n"
+
+    def test_no_action_errors(self, tmp_path):
+        src = tmp_path / "p.c"
+        src.write_text("long main(void) { return 0; }")
+        assert minicc_main([str(src)]) == 2
+
+
+class TestInstrumentationRemoval:
+    def test_remove_stops_counting(self):
+        """Counter advances while instrumented, freezes after removal,
+        and the program still completes correctly."""
+        b = open_binary(compile_source(fib_source(10)))
+        c = b.allocate_variable("calls")
+        b.insert(b.points("fib", PointType.FUNC_ENTRY), IncrementVar(c))
+        res = b.commit()
+
+        proc = Process.create(b.symtab)
+        res.apply_to_machine(proc.machine)
+        # run partway: stop at an early breakpoint in main
+        main_fn = b.function("main")
+        # use a call-site in main as a stop point after some fib calls
+        proc.insert_breakpoint(
+            b.function("main").call_sites()[-1].last.address)
+        ev = proc.continue_to_event()
+        assert ev.type is EventType.STOPPED_BREAKPOINT
+        mid = proc.machine.mem.read_int(c.address, 8)
+        assert mid > 0
+
+        res.remove_from_machine(proc.machine)
+        proc.remove_breakpoint(ev.pc)
+        ev = proc.continue_to_event()
+        assert ev.type is EventType.EXITED
+        assert bytes(proc.machine.stdout).startswith(b"55\n")
+        # counter froze at removal time
+        assert proc.machine.mem.read_int(c.address, 8) == mid
+
+    def test_remove_and_reapply(self):
+        b = open_binary(compile_source(fib_source(8)))
+        c = b.allocate_variable("calls")
+        b.insert(b.points("fib", PointType.FUNC_ENTRY), IncrementVar(c))
+        res = b.commit()
+        m = Machine()
+        b.symtab.load_into(m)
+        res.apply_to_machine(m)
+        res.remove_from_machine(m)
+        res.apply_to_machine(m)
+        ev = m.run(max_steps=5_000_000)
+        assert ev.reason is StopReason.EXITED
+        assert m.mem.read_int(c.address, 8) == 67
+
+    def test_removed_text_matches_original(self):
+        b = open_binary(compile_source(fib_source(5)))
+        c = b.allocate_variable("calls")
+        b.insert(b.points("fib", PointType.FUNC_ENTRY), IncrementVar(c))
+        res = b.commit()
+        m = Machine()
+        b.symtab.load_into(m)
+        original = m.read_mem(res.text_base, len(res.text))
+        res.apply_to_machine(m)
+        assert m.read_mem(res.text_base, len(res.text)) != original
+        res.remove_from_machine(m)
+        assert m.read_mem(res.text_base, len(res.text)) == original

@@ -1,0 +1,293 @@
+"""CodeGenAPI tests: snippet lowering correctness (executed on the
+simulator), extension awareness, register allocation."""
+
+import pytest
+
+from repro.codegen import (
+    AllocationError, BinExpr, CallFunc, Const, DataArea,
+    ExtensionUnavailable, If, IncrementVar, LoadExpr, Nop, NotExpr,
+    RegExpr, Sequence, SetReg, SetVar, SnippetError, SnippetGenerator,
+    SpillArea, StoreSnippet, VarExpr, allocate_scratch, snippet_calls,
+)
+from repro.dataflow import analyze_liveness
+from repro.minicc import compile_source, matmul_source
+from repro.parse import parse_binary
+from repro.riscv import RV64GC, RV64I, lookup, xreg
+from repro.riscv.extensions import ISASubset
+from repro.sim import Machine
+from repro.symtab import Symtab
+
+DATA_BASE = 0x40_0000
+CODE_BASE = 0x30_0000
+SCRATCH = [lookup("t0"), lookup("t1"), lookup("t2"), lookup("t3")]
+
+
+def run_payload(snippet, isa=RV64GC, scratch=None, presets=None,
+                data_size=0x1000):
+    """Lower a snippet, execute it on a bare machine, return (machine,
+    data area)."""
+    area = DataArea(DATA_BASE, data_size)
+    # pre-allocate caller-declared variables
+    gen = SnippetGenerator(isa, scratch or SCRATCH)
+    code = gen.generate(snippet)
+    blob = code.encode()
+
+    m = Machine()
+    m.mem.map_region(CODE_BASE, max(len(blob) + 8, 0x1000))
+    m.mem.map_region(DATA_BASE, data_size)
+    m.mem.write_bytes(CODE_BASE, blob + b"\x00\x00\x00\x00")
+    # terminate with ebreak
+    from repro.riscv import encode
+    m.mem.write_bytes(CODE_BASE + len(blob),
+                      encode("ebreak").to_bytes(4, "little"))
+    m.pc = CODE_BASE
+    for reg, val in (presets or {}).items():
+        m.set_reg(lookup(reg).number, val)
+    ev = m.run(max_steps=10_000)
+    assert ev.reason.value == "breakpoint", ev
+    return m, area
+
+
+def var_at(name="v", addr=DATA_BASE):
+    from repro.codegen import Variable
+
+    return Variable(name, addr)
+
+
+class TestDataArea:
+    def test_allocation_and_alignment(self):
+        area = DataArea(0x1000, 64)
+        a = area.allocate("a", size=1)
+        b = area.allocate("b", size=8)
+        assert a.address == 0x1000
+        assert b.address == 0x1008  # aligned past the 1-byte var
+        assert area.used == 16
+
+    def test_exhaustion(self):
+        area = DataArea(0x1000, 16)
+        area.allocate("a")
+        area.allocate("b")
+        with pytest.raises(SnippetError):
+            area.allocate("c")
+
+    def test_duplicate_name(self):
+        area = DataArea(0x1000, 64)
+        area.allocate("x")
+        with pytest.raises(SnippetError):
+            area.allocate("x")
+
+
+class TestLoweringExecution:
+    def test_increment_variable(self):
+        v = var_at()
+        m, _ = run_payload(IncrementVar(v))
+        assert m.mem.read_int(v.address, 8) == 1
+
+    def test_increment_by_large_step(self):
+        v = var_at()
+        m, _ = run_payload(IncrementVar(v, step=1 << 40))
+        assert m.mem.read_int(v.address, 8) == 1 << 40
+
+    def test_set_var_constant(self):
+        v = var_at()
+        m, _ = run_payload(SetVar(v, Const(0xDEADBEEF)))
+        assert m.mem.read_int(v.address, 8) == 0xDEADBEEF
+
+    def test_read_register(self):
+        v = var_at()
+        m, _ = run_payload(SetVar(v, RegExpr(lookup("a0"))),
+                           presets={"a0": 777})
+        assert m.mem.read_int(v.address, 8) == 777
+
+    def test_set_register(self):
+        m, _ = run_payload(SetReg(lookup("a5"), Const(31337)))
+        assert m.get_reg(15) == 31337
+
+    def test_arithmetic_tree(self):
+        v = var_at()
+        expr = BinExpr("add", BinExpr("mul", Const(6), Const(7)),
+                       BinExpr("sub", Const(100), Const(58)))
+        m, _ = run_payload(SetVar(v, expr))
+        assert m.mem.read_int(v.address, 8) == 42 + 42
+
+    def test_comparisons(self):
+        v = var_at()
+        expr = BinExpr("add",
+                       BinExpr("lt", Const(3), Const(5)),       # 1
+                       BinExpr("add",
+                               BinExpr("ge", Const(5), Const(5)),  # 1
+                               BinExpr("eq", Const(4), Const(9))))  # 0
+        m, _ = run_payload(SetVar(v, expr))
+        assert m.mem.read_int(v.address, 8) == 2
+
+    def test_not_expr(self):
+        v = var_at()
+        m, _ = run_payload(SetVar(v, NotExpr(Const(0))))
+        assert m.mem.read_int(v.address, 8) == 1
+
+    def test_if_then(self):
+        v = var_at()
+        snip = If(BinExpr("gt", RegExpr(lookup("a0")), Const(10)),
+                  SetVar(v, Const(1)))
+        m, _ = run_payload(snip, presets={"a0": 50})
+        assert m.mem.read_int(v.address, 8) == 1
+        m, _ = run_payload(snip, presets={"a0": 5})
+        assert m.mem.read_int(v.address, 8) == 0
+
+    def test_if_else(self):
+        v = var_at()
+        snip = If(RegExpr(lookup("a0")),
+                  SetVar(v, Const(111)),
+                  SetVar(v, Const(222)))
+        m, _ = run_payload(snip, presets={"a0": 0})
+        assert m.mem.read_int(v.address, 8) == 222
+
+    def test_sequence(self):
+        v1, v2 = var_at("a", DATA_BASE), var_at("b", DATA_BASE + 8)
+        snip = Sequence([SetVar(v1, Const(5)),
+                         SetVar(v2, BinExpr("mul", VarExpr(v1), Const(3))),
+                         IncrementVar(v1)])
+        m, _ = run_payload(snip)
+        assert m.mem.read_int(v1.address, 8) == 6
+        assert m.mem.read_int(v2.address, 8) == 15
+
+    def test_load_store_through_address(self):
+        snip = Sequence([
+            StoreSnippet(Const(DATA_BASE + 64), Const(0x55), size=1),
+            SetVar(var_at(),
+                   LoadExpr(Const(DATA_BASE + 64), size=1)),
+        ])
+        m, _ = run_payload(snip)
+        assert m.mem.read_int(DATA_BASE, 8) == 0x55
+
+    def test_nop_generates_nothing(self):
+        gen = SnippetGenerator(RV64GC, SCRATCH)
+        assert gen.generate(Nop()).size == 0
+
+    def test_call_func(self):
+        # target function: a0 = a0 + 1000; ret
+        from repro.riscv import encode
+        fn_addr = CODE_BASE + 0x800
+        snip = Sequence([
+            CallFunc(fn_addr, [Const(7)]),
+            SetVar(var_at(), RegExpr(lookup("a0"))),
+        ])
+        area = DataArea(DATA_BASE, 64)
+        gen = SnippetGenerator(RV64GC, SCRATCH)
+        blob = gen.generate(snip).encode()
+        m = Machine()
+        m.mem.map_region(CODE_BASE, 0x1000)
+        m.mem.map_region(DATA_BASE, 0x100)
+        m.mem.write_bytes(CODE_BASE, blob)
+        m.mem.write_bytes(CODE_BASE + len(blob),
+                          encode("ebreak").to_bytes(4, "little"))
+        m.mem.write_bytes(fn_addr,
+                          encode("addi", rd=10, rs1=10, imm=1000).to_bytes(4, "little")
+                          + encode("jalr", rd=0, rs1=1, imm=0).to_bytes(4, "little"))
+        m.pc = CODE_BASE
+        m.set_reg(2, 0x7FFE0000)
+        m.mem.map_region(0x7FFD0000, 0x20000)
+        ev = m.run(max_steps=1000)
+        assert ev.reason.value == "breakpoint"
+        assert m.mem.read_int(DATA_BASE, 8) == 1007
+
+    def test_snippet_calls_detector(self):
+        assert snippet_calls(CallFunc(0x1000))
+        assert snippet_calls(Sequence([Nop(), CallFunc(0x1000)]))
+        assert snippet_calls(If(Const(1), CallFunc(0x1000)))
+        assert not snippet_calls(IncrementVar(var_at()))
+
+
+class TestExtensionAwareness:
+    def test_mul_rejected_on_rv64i(self):
+        """Paper §3.1.1: never generate instructions the mutatee's
+        processor may lack."""
+        gen = SnippetGenerator(RV64I, SCRATCH)
+        with pytest.raises(ExtensionUnavailable) as ei:
+            gen.generate(SetVar(var_at(),
+                                BinExpr("mul", RegExpr(lookup("a0")),
+                                        Const(3))))
+        assert ei.value.extension == "m"
+
+    def test_add_fine_on_rv64i(self):
+        gen = SnippetGenerator(RV64I, SCRATCH)
+        code = gen.generate(SetVar(var_at(),
+                                   BinExpr("add", Const(2), Const(3))))
+        assert code.size > 0
+
+    def test_div_requires_m(self):
+        isa = ISASubset(64, frozenset({"i"}))
+        gen = SnippetGenerator(isa, SCRATCH)
+        with pytest.raises(ExtensionUnavailable):
+            # non-constant operand so the division cannot fold away
+            gen.generate(SetVar(var_at(),
+                                BinExpr("div", RegExpr(lookup("a0")),
+                                        Const(3))))
+
+
+class TestScratchLimits:
+    def test_too_few_scratch_rejected(self):
+        with pytest.raises(SnippetError):
+            SnippetGenerator(RV64GC, [lookup("t0")])
+
+    def test_deep_expression_overflows(self):
+        # register leaves cannot constant-fold, so depth is preserved
+        expr = RegExpr(lookup("a0"))
+        for _ in range(8):
+            expr = BinExpr("add", expr,
+                           BinExpr("add", expr, RegExpr(lookup("a1"))))
+        gen = SnippetGenerator(RV64GC, SCRATCH[:2])
+        with pytest.raises(SnippetError):
+            gen.generate(SetVar(var_at(), expr))
+
+
+class TestRegisterAllocation:
+    def _liveness_at_entry(self, name="multiply"):
+        co = parse_binary(Symtab.from_program(
+            compile_source(matmul_source(4, 1))))
+        fn = co.function_by_name(name)
+        return analyze_liveness(fn), fn.entry
+
+    def test_dead_registers_preferred(self):
+        lv, point = self._liveness_at_entry()
+        plan = allocate_scratch(2, lv, point)
+        assert plan.n_dead == 2
+        assert plan.spilled == ()
+        assert plan.spill_bytes == 0
+
+    def test_optimization_off_spills_everything(self):
+        """The legacy (pre-optimisation x86) behaviour of §4.3."""
+        lv, point = self._liveness_at_entry()
+        plan = allocate_scratch(2, lv, point, use_dead_registers=False)
+        assert plan.n_dead == 0
+        assert len(plan.spilled) == 2
+        assert plan.spill_bytes == 16
+
+    def test_no_liveness_spills(self):
+        plan = allocate_scratch(3)
+        assert len(plan.spilled) == 3
+
+    def test_requesting_too_many(self):
+        with pytest.raises(AllocationError):
+            allocate_scratch(100)
+
+    def test_spill_area_instructions_roundtrip(self):
+        plan = allocate_scratch(2, use_dead_registers=False)
+        area = SpillArea(plan, extra=(lookup("ra"),))
+        saves = area.save_instructions()
+        restores = area.restore_instructions()
+        assert saves[0] == ("addi", {"rd": 2, "rs1": 2,
+                                     "imm": -area.frame_bytes})
+        assert restores[-1] == ("addi", {"rd": 2, "rs1": 2,
+                                         "imm": area.frame_bytes})
+        assert area.frame_bytes % 16 == 0
+        saved = {mn for mn, _ in saves}
+        assert "sd" in saved
+
+    def test_empty_spill_area(self):
+        plan = allocate_scratch(1, use_dead_registers=False)
+        # force a no-spill plan by faking liveness-free dead regs
+        from repro.codegen.regalloc import ScratchPlan
+        empty = SpillArea(ScratchPlan((xreg(5),), ()))
+        assert empty.save_instructions() == []
+        assert empty.frame_bytes == 0

@@ -1,0 +1,231 @@
+"""Instrumentation of binaries containing compressed instructions —
+the paper's §3.1.2 space problems, exercised end to end.
+
+Covers: block entries starting with 2-byte instructions (slot covers
+multiple originals), the c.j springboard rung (2-byte slot, trampoline
+within +-2KiB), functions shorter than 4 bytes, and ground-truth
+validation on compress=True MiniC binaries.
+"""
+
+import pytest
+
+from repro.api import open_binary
+from repro.codegen import IncrementVar
+from repro.minicc import Options, compile_source, fib_source
+from repro.parse import parse_binary
+from repro.patch import Patcher, PointType, function_entry, instruction_point
+from repro.riscv import assemble
+from repro.sim import Machine, StopReason
+from repro.symtab import Symtab
+
+
+class TestCompressedBinaryInstrumentation:
+    def test_compressed_minicc_counts_match_ground_truth(self):
+        program = compile_source(fib_source(7), Options(compress=True))
+        # ensure the binary actually contains compressed instructions
+        from repro.riscv import decode_all
+        assert any(i.length == 2 for _, i in
+                   decode_all(program.text, program.text_base))
+
+        symtab = Symtab.from_program(program)
+        cfg = parse_binary(symtab)
+        fib = cfg.function_by_name("fib")
+        starts = {b.start for b in fib.blocks.values() if b.insns}
+
+        m = Machine()
+        symtab.load_into(m)
+        truth = 0
+        while True:
+            if m.pc in starts:
+                truth += 1
+            if m.step() is not None:
+                break
+        base_out = bytes(m.stdout)
+
+        b = open_binary(program)
+        c = b.allocate_variable("bb")
+        for pt in b.points(b.function("fib"), PointType.BLOCK_ENTRY):
+            b.insert(pt, IncrementVar(c))
+        mi, ev = b.run_instrumented()
+        assert ev.reason is StopReason.EXITED
+        assert bytes(mi.stdout) == base_out
+        assert mi.mem.read_int(c.address, 8) == truth
+
+    def test_point_on_compressed_instruction(self):
+        program = compile_source(
+            "long main(void) { long a = 5; long b = a; return a + b; }",
+            Options(compress=True))
+        symtab = Symtab.from_program(program)
+        cfg = parse_binary(symtab)
+        main = cfg.function_by_name("main")
+        compressed = [i for i in main.instructions() if i.length == 2]
+        assert compressed
+        target = compressed[0]
+
+        b = open_binary(program)
+        c = b.allocate_variable("hits")
+        main2 = b.function("main")
+        b.insert(instruction_point(main2, target.address),
+                 IncrementVar(c))
+        m, ev = b.run_instrumented()
+        assert ev.reason is StopReason.EXITED
+        assert ev.exit_code == 10
+        assert m.mem.read_int(c.address, 8) == 1
+
+
+class TestDenseAutoCompressedBinaries:
+    """With assembler auto-RVC (GCC-like density), everything still
+    works: jump tables resolve, instrumentation counts exactly."""
+
+    def test_jump_table_resolves_in_compressed_code(self):
+        from repro.minicc import Options, switch_source
+        program = compile_source(switch_source(20), Options(compress=True))
+        co = parse_binary(Symtab.from_program(program))
+        d = co.function_by_name("dispatch")
+        assert len(d.jump_tables) == 1
+        assert not d.unresolved
+        targets = next(iter(d.jump_tables.values()))
+        assert len(targets) == 6
+
+    def test_dense_binary_block_counts_exact(self):
+        from repro.minicc import Options
+        program = compile_source(fib_source(7), Options(compress=True))
+        symtab = Symtab.from_program(program)
+        cfg = parse_binary(symtab)
+        fib = cfg.function_by_name("fib")
+        starts = {b.start for b in fib.blocks.values() if b.insns}
+        m = Machine()
+        symtab.load_into(m)
+        truth = 0
+        while True:
+            if m.pc in starts:
+                truth += 1
+            if m.step() is not None:
+                break
+        b = open_binary(program)
+        c = b.allocate_variable("bb")
+        for pt in b.points(b.function("fib"), PointType.BLOCK_ENTRY):
+            b.insert(pt, IncrementVar(c))
+        mi, ev = b.run_instrumented()
+        assert ev.reason is StopReason.EXITED
+        assert mi.mem.read_int(c.address, 8) == truth
+
+    def test_dense_rewrite_roundtrip(self):
+        from repro.minicc import Options
+        from repro.patch import function_entry, rewrite, load_instrumented
+        program = compile_source(fib_source(8), Options(compress=True))
+        st = Symtab.from_program(program)
+        co = parse_binary(st)
+        patcher = Patcher(st, co)
+        c = patcher.allocate_var("n")
+        patcher.insert(function_entry(co.function_by_name("fib")),
+                       IncrementVar(c))
+        blob = rewrite(st, patcher.commit())
+        m = Machine()
+        load_instrumented(m, blob)
+        ev = m.run(max_steps=5_000_000)
+        assert ev.reason is StopReason.EXITED
+        assert m.mem.read_int(c.address, 8) == 67
+
+
+class TestCJSpringboardRung:
+    def _two_byte_slot_program(self):
+        """A function ending in a compressed return (c.jr ra): a point
+        on it has only 2 overwritable bytes — the paper's 'functions
+        shorter than four bytes' squeeze."""
+        return assemble("""
+.globl _start
+_start:
+  li a0, 0
+  li s0, 50
+again:
+  call tick
+  addi s0, s0, -1
+  bnez s0, again
+  li a7, 93
+  ecall
+.type tick, @function
+tick:
+  addi a0, a0, 1
+  c.jr ra
+""")
+
+    @staticmethod
+    def _exit_site(p, co):
+        tick = co.function_by_name("tick")
+        ret = max(i.address for i in tick.instructions())
+        return tick, ret
+
+    def test_cj_rung_with_close_trampoline(self):
+        """Trampoline placed within +-2KiB: the 2-byte slot must take
+        the c.j rung, not the trap."""
+        p = self._two_byte_slot_program()
+        st = Symtab.from_program(p)
+        co = parse_binary(st)
+        tick, site = self._exit_site(p, co)
+        # patch area immediately after text (16-byte aligned, NOT page
+        # aligned): the trampoline must land within c.j's +-2KiB
+        patch_base = (p.text_base + len(p.text) + 15) & ~15
+        patcher = Patcher(st, co, patch_base=patch_base, data_size=0x100)
+        c = patcher.allocate_var("n")
+        patcher.insert(instruction_point(tick, site), IncrementVar(c))
+        res = patcher.commit()
+        assert res.stats.springboards.get("c.j", 0) == 1
+        m = Machine()
+        st.load_into(m)
+        res.apply_to_machine(m)
+        ev = m.run(max_steps=100_000)
+        assert ev.reason is StopReason.EXITED
+        assert ev.exit_code == 50
+        assert m.mem.read_int(c.address, 8) == 50
+
+    def test_trap_rung_when_far(self):
+        """Same point with a far patch area: only the trap fits."""
+        p = self._two_byte_slot_program()
+        st = Symtab.from_program(p)
+        co = parse_binary(st)
+        tick, site = self._exit_site(p, co)
+        patcher = Patcher(st, co, patch_base=0x1_0000 + (8 << 20))
+        c = patcher.allocate_var("n")
+        patcher.insert(instruction_point(tick, site), IncrementVar(c))
+        res = patcher.commit()
+        assert res.stats.springboards.get("trap", 0) == 1
+        m = Machine()
+        st.load_into(m)
+        res.apply_to_machine(m)
+        ev = m.run(max_steps=200_000)
+        assert ev.reason is StopReason.EXITED
+        assert ev.exit_code == 50
+        assert m.mem.read_int(c.address, 8) == 50
+
+    def test_springboard_slot_covering_two_compressed(self):
+        """A 4-byte springboard over two 2-byte originals relocates both."""
+        p = assemble("""
+.globl _start
+_start:
+  li a0, 0
+  li s0, 10
+loop:
+  c.addi a0, 2
+  c.addi a0, 3
+  addi s0, s0, -1
+  bnez s0, loop
+  li a7, 93
+  ecall
+""")
+        st = Symtab.from_program(p)
+        co = parse_binary(st)
+        fn = co.function_containing(p.entry)
+        loop_addr = p.symbols["loop"].address
+        patcher = Patcher(st, co)
+        c = patcher.allocate_var("n")
+        patcher.insert(instruction_point(fn, loop_addr), IncrementVar(c))
+        res = patcher.commit()
+        assert res.stats.springboards.get("jal", 0) == 1
+        m = Machine()
+        st.load_into(m)
+        res.apply_to_machine(m)
+        ev = m.run(max_steps=100_000)
+        assert ev.reason is StopReason.EXITED
+        assert ev.exit_code == 50  # 10 * (2 + 3): both originals ran
+        assert m.mem.read_int(c.address, 8) == 10

@@ -1,0 +1,135 @@
+"""Debug line-info tests: the .dyninst.lines section (DWARF .debug_line
+stand-in; paper: Dyninst uses optional debug data opportunistically)."""
+
+import pytest
+
+from repro.api import open_binary
+from repro.elf import read_elf, write_program
+from repro.elf.lines import (
+    LineTable, build_lines_section, parse_lines_section,
+)
+from repro.minicc import Options, compile_source, fib_source
+from repro.parse import parse_binary
+from repro.proccontrol import EventType, Process
+from repro.stackwalk import StackWalker
+from repro.symtab import Symtab
+
+SRC = """long add1(long x) {
+    long y = x + 1;
+    return y;
+}
+long main(void) {
+    long r = add1(41);
+    print_long(r);
+    return 0;
+}
+"""
+
+
+class TestLineTable:
+    def test_blob_roundtrip(self):
+        table = {0x10000: 1, 0x10010: 5, 0x10020: 9}
+        assert parse_lines_section(build_lines_section(table)) == table
+
+    def test_line_for_nearest_preceding(self):
+        t = LineTable({0x100: 3, 0x110: 7})
+        assert t.line_for(0x100) == 3
+        assert t.line_for(0x10C) == 3
+        assert t.line_for(0x110) == 7
+        assert t.line_for(0x200) == 7
+        assert t.line_for(0x50) is None
+
+    def test_empty_table(self):
+        t = LineTable({})
+        assert not t
+        assert t.line_for(0x100) is None
+
+    def test_addresses_for_line(self):
+        t = LineTable({0x100: 3, 0x110: 3, 0x120: 4})
+        assert t.addresses_for_line(3) == [0x100, 0x110]
+
+
+class TestPipeline:
+    def test_minicc_emits_line_markers(self):
+        program = compile_source(SRC)
+        assert program.line_map
+        # statement lines 2, 3 (add1 body) and 6, 7, 8 (main body)
+        lines = set(program.line_map.values())
+        assert {2, 3, 6, 7, 8} <= lines
+
+    def test_debug_info_off(self):
+        program = compile_source(SRC, Options(debug_info=False))
+        assert not program.line_map
+
+    def test_elf_roundtrip(self):
+        program = compile_source(SRC)
+        st = Symtab.from_bytes(write_program(program))
+        assert st.lines
+        # the marker addresses survive the ELF round trip exactly
+        for addr, line in program.line_map.items():
+            assert st.lines.exact(addr) == line
+
+    def test_section_present(self):
+        elf = read_elf(write_program(compile_source(SRC)))
+        assert elf.section(".dyninst.lines") is not None
+
+    def test_line_for_mid_statement_address(self):
+        program = compile_source(SRC)
+        st = Symtab.from_program(program)
+        add1 = next(s for s in st.function_symbols() if s.name == "add1")
+        # any address inside add1's body maps to one of its lines
+        line = st.line_for(add1.address + add1.size - 4)
+        assert line in (2, 3)
+
+
+class TestConsumers:
+    def test_stackwalk_annotates_lines(self):
+        program = compile_source(SRC)
+        st = Symtab.from_program(program)
+        co = parse_binary(st)
+        proc = Process.create(st)
+        add1 = co.function_by_name("add1")
+        # stop at add1's first statement marker (past the prologue)
+        target = min(a for a in st.lines._addrs if a >= add1.entry)
+        proc.insert_breakpoint(target)
+        ev = proc.continue_to_event()
+        assert ev.type is EventType.STOPPED_BREAKPOINT
+        text = StackWalker(proc, co).format()
+        assert "add1:" in text  # name:line annotation
+        assert "main:" in text
+        # _start has no debug info: must not inherit main's last line
+        assert "_start:" not in text
+        assert "_start" in text
+
+    def test_objdump_annotates_lines(self, tmp_path, capsys):
+        from repro.tools.objdump import main as objdump_main
+        path = tmp_path / "p.elf"
+        path.write_bytes(write_program(compile_source(SRC)))
+        objdump_main(["-d", str(path)])
+        out = capsys.readouterr().out
+        assert "; line" in out
+
+    def test_line_breakpoint(self):
+        """A debugger can set a breakpoint on a *source line* via the
+        line table."""
+        program = compile_source(SRC)
+        st = Symtab.from_program(program)
+        proc = Process.create(st)
+        addrs = st.lines.addresses_for_line(3)  # `return y;` in add1
+        assert addrs
+        for a in addrs:
+            proc.insert_breakpoint(a)
+        ev = proc.continue_to_event()
+        assert ev.type is EventType.STOPPED_BREAKPOINT
+        assert ev.pc in addrs
+        ev = proc.continue_to_event()
+        assert ev.type is EventType.EXITED
+
+    def test_rewritten_binary_keeps_lines(self):
+        from repro.codegen import IncrementVar
+        from repro.patch import PointType
+        b = open_binary(compile_source(SRC))
+        c = b.allocate_variable("n")
+        b.insert(b.points("add1", PointType.FUNC_ENTRY), IncrementVar(c))
+        st2 = Symtab.from_bytes(b.rewrite())
+        assert st2.lines

@@ -1,0 +1,143 @@
+"""ELF substrate tests: structs, attributes (ULEB), writer/reader
+round-trip, and execution of written ELFs on the simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.elf import (
+    AttributesError, EF_RISCV_FLOAT_ABI_DOUBLE, EF_RISCV_RVC, ElfFormatError,
+    build_attributes_section, decode_uleb, encode_uleb,
+    parse_attributes_section, read_elf, write_program,
+)
+from repro.riscv import RV64GC, RV64I, assemble
+
+SRC = """
+.globl _start
+.type _start, @function
+_start:
+  call compute
+  li a7, 93
+  ecall
+.type compute, @function
+compute:
+  li a0, 9
+  ret
+.data
+.globl table
+.type table, @object
+table: .dword 1, 2, 3
+.bss
+buf: .zero 128
+"""
+
+
+@pytest.fixture
+def elf_bytes():
+    return write_program(assemble(SRC))
+
+
+class TestULEB:
+    @pytest.mark.parametrize("v", [0, 1, 127, 128, 300, 1 << 20, (1 << 35) + 7])
+    def test_roundtrip(self, v):
+        blob = encode_uleb(v)
+        out, off = decode_uleb(blob, 0)
+        assert out == v and off == len(blob)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_uleb(-1)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(AttributesError):
+            decode_uleb(b"\x80", 0)
+
+    @settings(max_examples=200, deadline=None)
+    @given(v=st.integers(0, (1 << 60)))
+    def test_roundtrip_property(self, v):
+        out, _ = decode_uleb(encode_uleb(v), 0)
+        assert out == v
+
+
+class TestAttributes:
+    def test_roundtrip_arch_string(self):
+        blob = build_attributes_section("rv64imafdc_zicsr2p0_zifencei2p0")
+        attrs = parse_attributes_section(blob)
+        assert attrs.arch == "rv64imafdc_zicsr2p0_zifencei2p0"
+        assert attrs.stack_align == 16
+
+    def test_bad_format_byte(self):
+        with pytest.raises(AttributesError):
+            parse_attributes_section(b"B\x00\x00\x00\x00")
+
+    def test_other_vendor_ignored(self):
+        vendor = b"other\x00"
+        sub = (4 + len(vendor)).to_bytes(4, "little") + vendor
+        blob = b"A" + sub
+        attrs = parse_attributes_section(blob)
+        assert attrs.arch is None
+
+
+class TestWriterReader:
+    def test_header_fields(self, elf_bytes):
+        elf = read_elf(elf_bytes)
+        assert elf.is_riscv
+        assert elf.header.e_flags & EF_RISCV_RVC
+        assert elf.header.e_flags & EF_RISCV_FLOAT_ABI_DOUBLE
+        assert elf.entry == 0x1_0000
+
+    def test_sections_present(self, elf_bytes):
+        elf = read_elf(elf_bytes)
+        names = {s.name for s in elf.sections}
+        assert {".text", ".data", ".bss", ".riscv.attributes",
+                ".symtab", ".strtab", ".shstrtab"} <= names
+
+    def test_text_bytes_roundtrip(self, elf_bytes):
+        p = assemble(SRC)
+        elf = read_elf(elf_bytes)
+        assert elf.section(".text").data == p.text
+        assert elf.section(".text").addr == p.text_base
+
+    def test_symbols_roundtrip(self, elf_bytes):
+        elf = read_elf(elf_bytes)
+        by_name = elf.symbols_by_name()
+        assert by_name["_start"].st_value == 0x1_0000
+        assert by_name["compute"].type == 2  # STT_FUNC
+        assert by_name["table"].type == 1    # STT_OBJECT
+        funcs = [s.name for s in elf.function_symbols()]
+        assert funcs == ["_start", "compute"]
+
+    def test_load_segments(self, elf_bytes):
+        elf = read_elf(elf_bytes)
+        segs = elf.load_segments()
+        assert len(segs) == 3  # text, data, bss
+        text = next(s for s in segs if s[3])
+        assert text[0] == 0x1_0000
+
+    def test_bss_has_no_file_bytes(self, elf_bytes):
+        elf = read_elf(elf_bytes)
+        bss = elf.section(".bss")
+        assert bss.data == b""
+        assert bss.header.sh_size == 128
+
+    def test_truncated_input_rejected(self, elf_bytes):
+        with pytest.raises(ElfFormatError):
+            read_elf(elf_bytes[:32])
+
+    def test_non_elf_rejected(self):
+        with pytest.raises(ElfFormatError):
+            read_elf(b"\x00" * 200)
+
+    def test_no_rvc_flag_without_c(self):
+        p = assemble("nop\n", arch=RV64I)
+        elf = read_elf(write_program(p))
+        assert not elf.header.e_flags & EF_RISCV_RVC
+
+    def test_written_elf_runs_on_simulator(self, elf_bytes):
+        from repro.sim import Machine, StopReason
+        from repro.symtab import Symtab
+        symtab = Symtab.from_bytes(elf_bytes)
+        m = Machine()
+        symtab.load_into(m)
+        ev = m.run()
+        assert ev.reason is StopReason.EXITED
+        assert ev.exit_code == 9

@@ -1,0 +1,124 @@
+"""End-to-end property test: for *random programs*, instrumentation
+counts must equal ground truth and must not perturb the computation.
+
+hypothesis generates small MiniC programs (nested loops, branches,
+calls, integer arithmetic); each is compiled, parsed, and run twice:
+
+1. uninstrumented, single-stepping, counting true function entries and
+   block entries from the pc trace;
+2. instrumented (entry counter on every function + block counters),
+   at full speed.
+
+The counters must match the trace exactly, and stdout/exit code must be
+identical.  This exercises compiler, ELF, parser, liveness, codegen,
+patcher, springboards, trampolines, relocation, and simulator in one
+property.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.api import open_binary
+from repro.codegen import IncrementVar
+from repro.minicc import compile_source
+from repro.patch import PointType
+from repro.sim import Machine, StopReason
+from repro.symtab import Symtab
+
+from strategies import minic_program
+
+
+# -- ground truth ----------------------------------------------------------
+
+
+def _trace_ground_truth(symtab: Symtab, cfg, fn_names, max_steps=300_000):
+    entries = {cfg.function_by_name(n).entry: n for n in fn_names}
+    block_starts = {}
+    for n in fn_names:
+        fn = cfg.function_by_name(n)
+        for b in fn.blocks.values():
+            if b.insns:
+                block_starts.setdefault(b.start, []).append(n)
+
+    m = Machine()
+    symtab.load_into(m)
+    entry_counts = {n: 0 for n in fn_names}
+    block_counts = {n: 0 for n in fn_names}
+    steps = 0
+    while steps < max_steps:
+        pc = m.pc
+        if pc in entries:
+            entry_counts[entries[pc]] += 1
+        for n in block_starts.get(pc, ()):
+            block_counts[n] += 1
+        ev = m.step()
+        steps += 1
+        if ev is not None:
+            assert ev.reason is StopReason.EXITED, ev
+            break
+    else:
+        pytest.fail("trace did not terminate")
+    return entry_counts, block_counts, bytes(m.stdout), m.exit_code
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(source=minic_program())
+def test_random_program_instrumentation_exact(source):
+    _check_program(compile_source(source))
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(source=minic_program())
+def test_random_compressed_program_instrumentation_exact(source):
+    """The same exactness property over RVC-dense binaries (auto
+    compression on): mixed 2/4-byte layouts must not perturb any
+    counter."""
+    from repro.minicc import Options
+
+    _check_program(compile_source(source, Options(compress=True)))
+
+
+def _check_program(program):
+    symtab = Symtab.from_program(program)
+
+    binary = open_binary(program)
+    fn_names = [f"f{i}" for i in range(
+        sum(1 for f in binary.functions() if f.name.startswith("f")))]
+    fn_names = [n for n in fn_names
+                if binary.cfg.function_by_name(n) is not None]
+
+    truth_entries, truth_blocks, truth_out, truth_code = \
+        _trace_ground_truth(symtab, binary.cfg, fn_names)
+
+    entry_vars = {}
+    block_vars = {}
+    for n in fn_names:
+        fn = binary.function(n)
+        ev_ = binary.allocate_variable(f"e${n}")
+        bv = binary.allocate_variable(f"b${n}")
+        binary.insert(binary.points(fn, PointType.FUNC_ENTRY),
+                      IncrementVar(ev_))
+        binary.insert(binary.points(fn, PointType.BLOCK_ENTRY),
+                      IncrementVar(bv))
+        entry_vars[n] = ev_
+        block_vars[n] = bv
+
+    m, stop = binary.run_instrumented(max_steps=2_000_000)
+    assert stop.reason is StopReason.EXITED
+
+    # program behaviour unchanged
+    assert bytes(m.stdout) == truth_out
+    assert stop.exit_code == truth_code
+
+    # counters equal ground truth
+    for n in fn_names:
+        assert m.mem.read_int(entry_vars[n].address, 8) == \
+            truth_entries[n], f"entry count mismatch in {n}"
+        assert m.mem.read_int(block_vars[n].address, 8) == \
+            truth_blocks[n], f"block count mismatch in {n}"

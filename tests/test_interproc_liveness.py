@@ -1,0 +1,161 @@
+"""Interprocedural liveness tests: callee summaries sharpen call sites,
+and the sharpened analysis survives adversarial clobbering."""
+
+import pytest
+
+from repro.api import open_binary
+from repro.codegen import Const, Sequence, SetReg
+from repro.dataflow import (
+    CONSERVATIVE, analyze_interprocedural, analyze_liveness,
+)
+from repro.minicc import compile_source, fib_source
+from repro.parse import parse_binary
+from repro.riscv import assemble, lookup
+from repro.sim import StopReason
+from repro.symtab import Symtab
+
+# leaf reads only a0, writes only a0 and t0
+LEAF_PROGRAM = """
+.globl _start
+_start:
+  li a1, 111              # caller value in a1, live across the call
+  li a3, 333              # caller value in a3, also live across
+  li a0, 5
+  call leaf
+  add a0, a0, a1
+  add a0, a0, a3
+  li a7, 93
+  ecall
+.type leaf, @function
+leaf:
+  addi t0, a0, 1
+  addi a0, t0, 1
+  ret
+"""
+
+
+def _co(src):
+    st = Symtab.from_program(assemble(src))
+    return st, parse_binary(st)
+
+
+class TestSummaries:
+    def test_leaf_summary_minimal(self):
+        st, co = _co(LEAF_PROGRAM)
+        ip = analyze_interprocedural(co)
+        leaf = co.function_by_name("leaf")
+        s = ip.summary_for(leaf)
+        # reads: a0 (argument) and ra (for the ret)
+        assert lookup("a0") in s.uses
+        assert lookup("a1") not in s.uses
+        assert lookup("a7") not in s.uses
+        # writes: a0 and t0 only
+        assert lookup("a0") in s.kills and lookup("t0") in s.kills
+        assert lookup("t3") not in s.kills
+
+    def test_recursive_summary_converges(self):
+        program = compile_source(fib_source(6))
+        co = parse_binary(Symtab.from_program(program))
+        ip = analyze_interprocedural(co)
+        fib = co.function_by_name("fib")
+        s = ip.summary_for(fib)
+        assert lookup("a0") in s.uses  # its argument
+        assert s != CONSERVATIVE or True  # converged to something
+
+    def test_unknown_callee_conservative(self):
+        st, co = _co("""
+.type f, @function
+f:
+  jalr ra, 0(a5)      # unresolvable indirect call
+  ret
+""")
+        ip = analyze_interprocedural(co)
+        f = co.function_by_name("f")
+        lv = ip.result_for(f)
+        # before the indirect call, all argument registers must be live
+        assert lookup("a7") in lv.live_before(f.entry)
+
+
+class TestPrecisionGain:
+    def test_more_dead_registers_at_call_sites(self):
+        st, co = _co(LEAF_PROGRAM)
+        fn = co.function_containing(st.entry)
+        call_block = next(b for b in fn.blocks.values()
+                          if any(e.kind.value == "call"
+                                 for e in b.out_edges))
+        site = call_block.last.address
+
+        intra = analyze_liveness(fn)
+        sharp = analyze_interprocedural(co).result_for(fn)
+        dead_intra = set(intra.dead_before(site))
+        dead_sharp = set(sharp.dead_before(site))
+        # summaries can only add dead registers, never remove
+        assert dead_intra <= dead_sharp
+        # the leaf reads only a0: a2/a4..a7 become dead at the call
+        assert lookup("a2") in dead_sharp
+        assert lookup("a2") not in dead_intra
+        # a1/a3 carry live caller values: never dead
+        assert lookup("a1") not in dead_sharp
+        assert lookup("a3") not in dead_sharp
+
+    def test_patcher_option(self):
+        program = compile_source(fib_source(8))
+        st = Symtab.from_program(program)
+        from repro.codegen import IncrementVar
+        from repro.patch import Patcher, function_entry
+        co = parse_binary(st)
+        p = Patcher(st, co, interprocedural_liveness=True)
+        c = p.allocate_var("n")
+        p.insert(function_entry(co.function_by_name("fib")),
+                 IncrementVar(c))
+        res = p.commit()
+        from repro.sim import Machine
+        m = Machine()
+        st.load_into(m)
+        res.apply_to_machine(m)
+        ev = m.run(max_steps=5_000_000)
+        assert ev.reason is StopReason.EXITED
+        assert m.mem.read_int(c.address, 8) == 67
+
+
+class TestSharpenedSoundness:
+    GARBAGE = 0x0BAD_C0DE_0BAD_C0DE
+
+    @pytest.mark.parametrize("src", [fib_source(8), LEAF_PROGRAM],
+                             ids=["fib", "leaf"])
+    def test_clobbering_sharp_dead_registers_is_invisible(self, src):
+        """The adversarial clobber harness, run against the *sharpened*
+        analysis: every register it calls dead really is dead."""
+        if src.startswith("\n.globl") or ".globl _start" in src:
+            program = assemble(src)
+        else:
+            program = compile_source(src)
+        st = Symtab.from_program(program)
+
+        base = open_binary(st)
+        m0, ev0 = base.run_instrumented(max_steps=10_000_000)
+        assert ev0.reason is StopReason.EXITED
+
+        b = open_binary(st)
+        from repro.patch import Patcher, PointType
+        b._patcher = Patcher(st, b.cfg, interprocedural_liveness=True)
+        n = 0
+        seen = set()
+        for fn in b.functions():
+            for pt in b.points(fn, PointType.BLOCK_ENTRY):
+                if pt.address in seen:
+                    continue
+                seen.add(pt.address)
+                # the shared-block-safe view a real tool gets from the
+                # patcher
+                lv = b._patcher._liveness_at(pt.address, fn)
+                dead = lv.dead_before(pt.address)
+                if dead:
+                    b.insert(pt, Sequence(
+                        [SetReg(r, Const(self.GARBAGE)) for r in dead]))
+                    n += len(dead)
+        assert n > 0
+        m1, ev1 = b.run_instrumented(max_steps=20_000_000)
+        assert ev1.reason is StopReason.EXITED
+        assert bytes(m1.stdout) == bytes(m0.stdout)
+        assert ev1.exit_code == ev0.exit_code

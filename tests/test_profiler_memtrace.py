@@ -1,0 +1,180 @@
+"""Tests for the sampling profiler and the memory-access tracer (the
+performance-tool scenarios from the paper's §1)."""
+
+import pytest
+
+from repro.api import open_binary
+from repro.minicc import compile_source, fib_source, matmul_source
+from repro.parse import parse_binary
+from repro.proccontrol import Process
+from repro.sim import Machine, StopReason
+from repro.symtab import Symtab
+from repro.tools import profile_process, trace_memory
+
+
+class TestSamplingProfiler:
+    def test_hot_function_dominates(self):
+        program = compile_source(matmul_source(10, 6))
+        symtab = Symtab.from_program(program)
+        cfg = parse_binary(symtab)
+        proc = Process.create(symtab)
+        prof = profile_process(proc, cfg, quantum=500)
+        assert proc.exited
+        assert prof.total_samples > 50
+        top, _ = prof.flat.most_common(1)[0]
+        assert top == "multiply"
+        # multiply should own the vast majority of self samples
+        assert prof.flat["multiply"] / prof.total_samples > 0.6
+
+    def test_cumulative_includes_callers(self):
+        program = compile_source(matmul_source(8, 4))
+        symtab = Symtab.from_program(program)
+        cfg = parse_binary(symtab)
+        proc = Process.create(symtab)
+        prof = profile_process(proc, cfg, quantum=400)
+        # main sits above multiply on every sample taken inside multiply
+        assert prof.cumulative["main"] >= prof.flat["multiply"]
+        assert prof.cumulative["_start"] == prof.total_samples
+
+    def test_call_paths_recorded(self):
+        program = compile_source(fib_source(16))
+        symtab = Symtab.from_program(program)
+        cfg = parse_binary(symtab)
+        proc = Process.create(symtab)
+        prof = profile_process(proc, cfg, quantum=300)
+        assert prof.call_paths
+        # every path starts at the program entry
+        for path in prof.call_paths:
+            assert path[0] == "_start"
+        # recursion visible: some path contains fib at least twice
+        assert any(sum(1 for f in path if f == "fib") >= 2
+                   for path in prof.call_paths)
+
+    def test_report_format(self):
+        program = compile_source(fib_source(12))
+        symtab = Symtab.from_program(program)
+        cfg = parse_binary(symtab)
+        proc = Process.create(symtab)
+        prof = profile_process(proc, cfg, quantum=300)
+        text = prof.report()
+        assert "samples:" in text and "fib" in text
+        assert "->" in text  # call paths
+
+    def test_line_level_attribution(self):
+        """With debug info, the hottest source line must be inside the
+        innermost loop of multiply."""
+        src = matmul_source(10, 4)
+        program = compile_source(src)
+        symtab = Symtab.from_program(program)
+        cfg = parse_binary(symtab)
+        proc = Process.create(symtab)
+        prof = profile_process(proc, cfg, quantum=400)
+        assert prof.line_flat
+        (fn, line), _ = prof.line_flat.most_common(1)[0]
+        assert fn == "multiply"
+        # the inner-loop statement's source text mentions `sum`
+        assert "sum" in src.splitlines()[line - 1]
+
+    def test_profiling_does_not_perturb(self):
+        program = compile_source(fib_source(10))
+        symtab = Symtab.from_program(program)
+        m = Machine()
+        symtab.load_into(m)
+        ev = m.run()
+        base_out = bytes(m.stdout)
+
+        cfg = parse_binary(symtab)
+        proc = Process.create(symtab)
+        profile_process(proc, cfg, quantum=100)
+        assert bytes(proc.machine.stdout) == base_out
+
+
+class TestMemoryTracer:
+    SRC = """
+long data[8];
+long main(void) {
+    for (long i = 0; i < 8; i = i + 1) {
+        data[i] = i * 3;
+    }
+    long s = 0;
+    for (long i = 0; i < 8; i = i + 1) {
+        s = s + data[i];
+    }
+    return s;
+}
+"""
+
+    def test_array_addresses_recorded(self):
+        program = compile_source(self.SRC)
+        binary = open_binary(program)
+        handle = trace_memory(binary, ["main"])
+        m, ev = binary.run_instrumented()
+        assert ev.reason is StopReason.EXITED
+        assert ev.exit_code == sum(i * 3 for i in range(8))
+
+        base = binary.symtab.symbol("data").address
+        events = handle.read(m)
+        array_writes = [e for e in events
+                        if e.is_write and base <= e.address < base + 64]
+        array_reads = [e for e in events
+                       if not e.is_write and base <= e.address < base + 64]
+        assert [e.address for e in array_writes] == \
+            [base + 8 * i for i in range(8)]
+        assert [e.address for e in array_reads] == \
+            [base + 8 * i for i in range(8)]
+
+    def test_addresses_match_ground_truth_trace(self):
+        """Every traced (pc, address) pair must match what stepping the
+        uninstrumented binary observes at the same sites."""
+        program = compile_source(self.SRC)
+        symtab = Symtab.from_program(program)
+        cfg = parse_binary(symtab)
+        main = cfg.function_by_name("main")
+
+        # ground truth: step and compute effective addresses
+        sites = {}
+        for insn in main.instructions():
+            acc = insn.memory_access()
+            if acc is not None:
+                sites[insn.address] = acc
+        m = Machine()
+        symtab.load_into(m)
+        truth = []
+        while True:
+            pc = m.pc
+            if pc in sites:
+                acc = sites[pc]
+                ea = (m.get_reg(acc.base.number) + acc.displacement) \
+                    & 0xFFFFFFFFFFFFFFFF
+                truth.append((pc, ea))
+            if m.step() is not None:
+                break
+
+        binary = open_binary(program)
+        handle = trace_memory(binary, ["main"])
+        mi, _ = binary.run_instrumented()
+        got = [(e.pc, e.address) for e in handle.read(mi)]
+        assert got == truth
+
+    def test_loads_only_filter(self):
+        program = compile_source(self.SRC)
+        binary = open_binary(program)
+        handle = trace_memory(binary, ["main"], stores=False)
+        m, _ = binary.run_instrumented()
+        assert all(not e.is_write for e in handle.read(m))
+
+    def test_sp_relative_accesses_correct_under_spills(self):
+        """The sp-adjustment path: with dead registers disabled the
+        payload runs inside a spill frame, and sp-based effective
+        addresses must still be the mutatee's sp."""
+        program = compile_source(self.SRC)
+
+        def collect(use_dead):
+            binary = open_binary(program)
+            binary._patcher.use_dead_registers = use_dead
+            handle = trace_memory(binary, ["main"])
+            m, ev = binary.run_instrumented()
+            assert ev.reason is StopReason.EXITED
+            return [(e.pc, e.address) for e in handle.read(m)]
+
+        assert collect(True) == collect(False)

@@ -1,0 +1,144 @@
+"""Function replacement and call retargeting tests (the "modifying"
+part of §1: binary instrumentation can insert, delete, *or modify*
+instructions)."""
+
+import pytest
+
+from repro.api import open_binary
+from repro.codegen import IncrementVar
+from repro.minicc import compile_source
+from repro.patch import PatchError, PointType
+from repro.sim import StopReason
+
+SRC = """
+long slow_double(long x) {
+    long r = 0;
+    for (long i = 0; i < x; i = i + 1) { r = r + 2; }
+    return r;
+}
+
+long fast_double(long x) {
+    return x * 2;
+}
+
+long other(long x) {
+    return x + 100;
+}
+
+long main(void) {
+    long a = slow_double(21);      // 42 either way
+    long b = other(5);             // 105, or 10 if retargeted
+    print_long(a);
+    print_long(b);
+    return 0;
+}
+"""
+
+
+def run(binary):
+    m, ev = binary.run_instrumented()
+    assert ev.reason is StopReason.EXITED, ev
+    return bytes(m.stdout).decode().split()
+
+
+class TestFunctionReplacement:
+    def test_replace_function_same_semantics(self):
+        b = open_binary(compile_source(SRC))
+        b.replace_function("slow_double", "fast_double")
+        out = run(b)
+        assert out == ["42", "105"]
+
+    def test_replacement_actually_diverts(self):
+        """Count entries of both bodies: old body must never run."""
+        b = open_binary(compile_source(SRC))
+        slow_bb = b.allocate_variable("slow_hits")
+        fast_bb = b.allocate_variable("fast_hits")
+        # count a *non-entry* block of slow_double (the entry block is
+        # consumed by the redirect springboard itself)
+        slow = b.function("slow_double")
+        inner = [p for p in b.points(slow, PointType.BLOCK_ENTRY)
+                 if p.address != slow.entry]
+        assert inner
+        b.insert(inner, IncrementVar(slow_bb))
+        b.insert(b.points("fast_double", PointType.FUNC_ENTRY),
+                 IncrementVar(fast_bb))
+        b.replace_function("slow_double", "fast_double")
+        m, ev = b.run_instrumented()
+        assert ev.reason is StopReason.EXITED
+        assert m.mem.read_int(slow_bb.address, 8) == 0
+        assert m.mem.read_int(fast_bb.address, 8) == 1
+
+    def test_replace_with_different_semantics(self):
+        b = open_binary(compile_source(SRC))
+        b.replace_function("other", "fast_double")
+        out = run(b)
+        assert out == ["42", "10"]  # other(5) became fast_double(5)
+
+    def test_double_redirect_rejected(self):
+        b = open_binary(compile_source(SRC))
+        b.replace_function("other", "fast_double")
+        with pytest.raises(PatchError):
+            b.replace_function("other", "slow_double")
+            b.commit()
+
+
+class TestStaticReplacementRewrite:
+    def test_replacement_survives_rewrite(self):
+        """replaceFunction through the static-rewriting flow."""
+        from repro.api import load_rewritten
+        from repro.sim import Machine
+        b = open_binary(compile_source(SRC))
+        b.replace_function("other", "fast_double")
+        blob = b.rewrite()
+        m = Machine()
+        load_rewritten(m, blob)
+        ev = m.run(max_steps=2_000_000)
+        assert ev.reason is StopReason.EXITED
+        assert bytes(m.stdout).decode().split() == ["42", "10"]
+
+
+class TestCallRetargeting:
+    def test_retarget_single_call_site(self):
+        b = open_binary(compile_source(SRC))
+        main = b.function("main")
+        other = b.function("other")
+        # find the call site in main that calls `other`
+        site = next(
+            p for p in b.points(main, PointType.CALL_SITE)
+            if other.entry in {
+                e.target for e in p.block.out_edges if e.target})
+        b.replace_call(site, "fast_double")
+        out = run(b)
+        assert out == ["42", "10"]
+
+    def test_other_sites_unaffected(self):
+        b = open_binary(compile_source(SRC))
+        main = b.function("main")
+        slow = b.function("slow_double")
+        site = next(
+            p for p in b.points(main, PointType.CALL_SITE)
+            if slow.entry in {
+                e.target for e in p.block.out_edges if e.target})
+        b.replace_call(site, "other")
+        out = run(b)
+        assert out == ["121", "105"]  # slow_double(21) -> other(21)=121
+
+    def test_replace_call_requires_call_site(self):
+        b = open_binary(compile_source(SRC))
+        main = b.function("main")
+        entry_pt = b.points(main, PointType.FUNC_ENTRY)[0]
+        with pytest.raises(PatchError):
+            b._patcher.replace_call(entry_pt, 0x1000)
+
+    def test_redirect_plus_payload(self):
+        """Unconditional snippets at a redirected point still run."""
+        b = open_binary(compile_source(SRC))
+        c = b.allocate_variable("calls")
+        b.insert(b.points("other", PointType.FUNC_ENTRY),
+                 IncrementVar(c))
+        b.replace_function("other", "fast_double")
+        m, ev = b.run_instrumented()
+        assert ev.reason is StopReason.EXITED
+        # the payload at other's (diverted) entry still counted the call
+        assert m.mem.read_int(c.address, 8) == 1
+        assert bytes(m.stdout).decode().split() == ["42", "10"]

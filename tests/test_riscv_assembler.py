@@ -1,0 +1,294 @@
+"""Assembler/layout tests."""
+
+import struct
+
+import pytest
+
+from repro.riscv import (
+    AsmError, Assembler, RV64GC, RV64I, assemble, decode, decode_all,
+)
+
+
+def _disasm_all(program):
+    return [(a, i.disasm()) for a, i in decode_all(program.text, program.text_base)]
+
+
+class TestBasicAssembly:
+    def test_single_instruction(self):
+        p = assemble("addi a0, zero, 42\n")
+        ins = decode(p.text)
+        assert ins.mnemonic == "addi"
+        assert ins.fields == {"rd": 10, "rs1": 0, "imm": 42}
+
+    def test_memory_operand_syntax(self):
+        p = assemble("ld a0, -8(sp)\n")
+        assert decode(p.text).fields == {"rd": 10, "rs1": 2, "imm": -8}
+
+    def test_store_syntax(self):
+        p = assemble("sd a1, 16(s0)\n")
+        assert decode(p.text).fields == {"rs2": 11, "rs1": 8, "imm": 16}
+
+    def test_fp_load_store(self):
+        p = assemble("fld fa0, 0(a0)\nfsd fa0, 8(a0)\n")
+        ins = list(decode_all(p.text))
+        assert ins[0][1].mnemonic == "fld"
+        assert ins[1][1].mnemonic == "fsd"
+
+    def test_amo_paren_syntax(self):
+        p = assemble("amoadd.w a0, a1, (a2)\nlr.d a3, (a4)\n")
+        ins = [i for _, i in decode_all(p.text)]
+        assert ins[0].fields["rs1"] == 12
+        assert ins[1].mnemonic == "lr.d"
+
+    def test_branch_to_label(self):
+        p = assemble("top:\naddi a0, a0, -1\nbnez a0, top\n")
+        ins = [i for _, i in decode_all(p.text)]
+        assert ins[1].mnemonic == "bne"
+        assert ins[1].imm == -4
+
+    def test_forward_branch(self):
+        p = assemble("beq a0, a1, out\nnop\nout:\nret\n")
+        ins = [i for _, i in decode_all(p.text)]
+        assert ins[0].imm == 8
+
+    def test_jal_with_explicit_rd(self):
+        p = assemble("f:\njal s1, f\n")
+        assert decode(p.text).fields == {"rd": 9, "imm": 0}
+
+    def test_comments_stripped(self):
+        p = assemble("addi a0, a0, 1 # trailing\n// whole line\n; also\n")
+        assert len(p.text) == 4
+
+    def test_unknown_mnemonic_reports_line(self):
+        with pytest.raises(AsmError) as ei:
+            assemble("nop\nfrobnicate a0\n")
+        assert "line 2" in str(ei.value)
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AsmError):
+            assemble("add a0, a1\n")
+
+    def test_compressed_mnemonics(self):
+        p = assemble("c.nop\nc.mv a0, a1\nc.ebreak\n")
+        assert len(p.text) == 6
+        ins = [i for _, i in decode_all(p.text)]
+        assert [i.length for i in ins] == [2, 2, 2]
+        assert ins[1].compressed_mnemonic == "c.mv"
+
+    def test_c_j_to_label(self):
+        p = assemble("start:\nc.nop\nc.j start\n")
+        ins = [i for _, i in decode_all(p.text)]
+        assert ins[1].mnemonic == "jal"
+        assert ins[1].imm == -2
+
+
+class TestPseudoInstructions:
+    def test_ret(self):
+        p = assemble("ret\n")
+        assert decode(p.text).fields == {"rd": 0, "rs1": 1, "imm": 0}
+
+    def test_mv_not_neg(self):
+        p = assemble("mv a0, a1\nnot a2, a3\nneg a4, a5\n")
+        ins = [i.mnemonic for _, i in decode_all(p.text)]
+        assert ins == ["addi", "xori", "sub"]
+
+    def test_set_comparisons(self):
+        p = assemble("seqz a0, a1\nsnez a2, a3\nsltz a4, a5\nsgtz a6, a7\n")
+        ins = [i.mnemonic for _, i in decode_all(p.text)]
+        assert ins == ["sltiu", "sltu", "slt", "slt"]
+
+    def test_swapped_branches(self):
+        p = assemble("x:\nbgt a0, a1, x\nble a2, a3, x\n")
+        ins = [i for _, i in decode_all(p.text)]
+        assert ins[0].mnemonic == "blt"
+        assert ins[0].fields["rs1"] == 11 and ins[0].fields["rs2"] == 10
+
+    def test_li_variable_length(self):
+        small = assemble("li a0, 5\n")
+        wide = assemble("li a0, 0x123456789abcdef\n")
+        assert len(small.text) == 4
+        assert len(wide.text) > 8
+
+    def test_la_is_auipc_addi(self):
+        p = assemble(".data\nv: .dword 1\n.text\nla a0, v\n")
+        ins = [i for _, i in decode_all(p.text)]
+        assert [i.mnemonic for i in ins] == ["auipc", "addi"]
+
+    def test_call_far_is_auipc_jalr(self):
+        p = assemble("call.far f\nret\nf:\nret\n")
+        ins = [i for _, i in decode_all(p.text)]
+        assert [i.mnemonic for i in ins[:2]] == ["auipc", "jalr"]
+        assert ins[1].fields["rd"] == 1
+
+    def test_tail_far_uses_t1(self):
+        p = assemble("tail.far f\nf:\nret\n")
+        ins = [i for _, i in decode_all(p.text)]
+        assert ins[0].fields["rd"] == 6
+        # auipc at 0x10000 targeting f at 0x10008: hi=0, lo=8.
+        assert ins[1].fields == {"rd": 0, "rs1": 6, "imm": 8}
+
+    def test_fp_pseudos(self):
+        p = assemble("fmv.d fa0, fa1\nfneg.s fa2, fa3\nfabs.d fa4, fa5\n")
+        ins = [i.mnemonic for _, i in decode_all(p.text)]
+        assert ins == ["fsgnj.d", "fsgnjn.s", "fsgnjx.d"]
+
+    def test_csr_pseudos(self):
+        p = assemble("csrr a0, cycle\nrdinstret a1\ncsrw fcsr, a2\n")
+        ins = [i for _, i in decode_all(p.text)]
+        assert ins[0].fields["csr"] == 0xC00
+        assert ins[1].fields["csr"] == 0xC02
+        assert ins[2].mnemonic == "csrrw"
+
+
+class TestLayoutAndSymbols:
+    def test_sections_placed_on_pages(self):
+        p = assemble(".text\nnop\n.data\nd: .dword 7\n")
+        assert p.data_base % 0x1000 == 0
+        assert p.data_base >= p.text_base + len(p.text)
+
+    def test_data_directives(self):
+        p = assemble(
+            '.data\nb: .byte 1, 2\nh: .half 0x1234\nw: .word -1\n'
+            'd: .dword 0x1122334455667788\ns: .asciz "ab"\n')
+        data = p.data
+        assert data[0:2] == b"\x01\x02"
+        assert data[2:4] == struct.pack("<H", 0x1234)
+        assert data[4:8] == b"\xff\xff\xff\xff"
+        assert data[8:16] == struct.pack("<Q", 0x1122334455667788)
+        assert data[16:19] == b"ab\x00"
+
+    def test_double_directive(self):
+        p = assemble(".data\nx: .double 3.5, -1.25\n")
+        assert struct.unpack("<2d", p.data[:16]) == (3.5, -1.25)
+
+    def test_dword_with_symbol(self):
+        # Jump tables store absolute code addresses in .data.
+        p = assemble(".text\nf:\nret\n.data\ntable: .dword f\n")
+        assert struct.unpack("<Q", p.data[:8])[0] == p.symbols["f"].address
+
+    def test_align_directive(self):
+        p = assemble(".data\n.byte 1\n.align 3\nx: .dword 2\n")
+        assert p.symbols["x"].address % 8 == 0
+
+    def test_bss_sizing(self):
+        p = assemble(".bss\nbuf: .zero 4096\n")
+        assert p.bss_size == 4096
+        assert p.symbols["buf"].address == p.bss_base
+
+    def test_entry_is_start_symbol(self):
+        p = assemble("nop\n_start:\nret\n")
+        assert p.entry == p.symbols["_start"].address
+
+    def test_function_size_inferred(self):
+        p = assemble(
+            ".globl f\n.type f, @function\nf:\nnop\nnop\nret\n"
+            ".type g, @function\ng:\nret\n")
+        assert p.symbols["f"].size == 12
+        assert p.symbols["g"].size == 4
+        assert p.symbols["f"].is_global
+        assert not p.symbols["g"].is_global
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AsmError):
+            assemble("x:\nnop\nx:\nnop\n")
+
+    def test_undefined_symbol_rejected(self):
+        with pytest.raises(AsmError):
+            assemble("j nowhere\n")
+
+    def test_hi_lo_relocation_operators(self):
+        # GNU-style %hi/%lo: lui+addi must reconstruct the address
+        p = assemble(
+            ".data\nv: .dword 1\n.text\n"
+            "lui t0, %hi(v)\naddi t0, t0, %lo(v)\n")
+        ins = [i for _, i in decode_all(p.text, p.text_base)]
+        from repro.riscv.encoding import sign_extend
+        hi = sign_extend(ins[0].fields["imm"], 20)
+        lo = ins[1].fields["imm"]
+        assert ((hi << 12) + lo) & 0xFFFFFFFFFFFFFFFF == \
+            p.symbols["v"].address
+
+    def test_symbol_plus_offset(self):
+        p = assemble(".data\narr: .zero 16\n.text\nla a0, arr+8\n")
+        ins = [i for _, i in decode_all(p.text)]
+        auipc_imm = ins[0].fields["imm"]
+        target = 0x10000 + (auipc_imm << 12) + ins[1].fields["imm"]
+        assert target == p.symbols["arr"].address + 8
+
+
+class TestAutoCompression:
+    SRC = """
+.type f, @function
+f:
+  addi sp, sp, -32
+  sd ra, 0(sp)
+  sd a0, 16(sp)
+  ld t0, 16(sp)
+  addi t0, t0, 5
+  mv a0, t0
+  ld ra, 0(sp)
+  addi sp, sp, 32
+  ret
+"""
+
+    def test_compression_shrinks_and_preserves(self):
+        from repro.sim import Machine
+        plain = assemble("_start:\n li a0, 2\n call f\n li a7, 93\n ecall\n"
+                         + self.SRC)
+        dense = assemble("_start:\n li a0, 2\n call f\n li a7, 93\n ecall\n"
+                         + self.SRC, compress=True)
+        assert len(dense.text) < len(plain.text)
+        from repro.sim import run_program
+        _, e0 = run_program(plain)
+        _, e1 = run_program(dense)
+        assert e0.exit_code == e1.exit_code == 7
+
+    def test_compressed_forms_used(self):
+        p = assemble(self.SRC, compress=True)
+        kinds = {i.compressed_mnemonic for _, i in decode_all(p.text, p.text_base)
+                 if i.length == 2}
+        # sp-based save/restore and ALU ops compress
+        assert "c.sdsp" in kinds or "c.swsp" in kinds
+        assert "c.ldsp" in kinds
+        assert "c.addi" in kinds or "c.addi16sp" in kinds
+        assert "c.mv" in kinds
+        assert "c.jr" in kinds  # ret
+
+    def test_label_dependent_instructions_never_compressed(self):
+        # branches/jumps to labels must stay 4-byte (no relaxation)
+        p = assemble("""
+f:
+  beqz a0, out
+  j f
+out:
+  ret
+""", compress=True)
+        ins = [i for _, i in decode_all(p.text, p.text_base)]
+        assert ins[0].length == 4  # beq
+        assert ins[1].length == 4  # jal
+
+    def test_compress_requires_c_extension(self):
+        from repro.riscv.extensions import RV64G
+        p = assemble(self.SRC, compress=True, arch=RV64G)
+        assert all(i.length == 4
+                   for _, i in decode_all(p.text, p.text_base))
+
+    def test_symbolic_immediates_not_compressed(self):
+        p = assemble(".data\nv: .dword 1\n.text\nlui t0, %hi(v)\n",
+                     compress=True)
+        assert decode(p.text).length == 4
+
+
+class TestExtensionChecking:
+    def test_rv64i_rejects_mul(self):
+        with pytest.raises(AsmError) as ei:
+            assemble("mul a0, a1, a2\n", arch=RV64I)
+        assert "extension" in str(ei.value)
+
+    def test_rv64gc_accepts_everything(self):
+        assemble("mul a0, a1, a2\nfadd.d fa0, fa1, fa2\nlr.w a0, (a1)\n",
+                 arch=RV64GC)
+
+    def test_program_records_arch(self):
+        p = assemble("nop\n", arch=RV64I)
+        assert p.arch is RV64I

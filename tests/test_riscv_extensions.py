@@ -1,0 +1,105 @@
+"""Unit tests for the extension registry and ISA-string handling."""
+
+import pytest
+
+from repro.riscv.extensions import (
+    ArchStringError, Extension, ISASubset, PROFILES, RV64G, RV64GC, RV64I,
+    all_extensions, get_extension, parse_arch_string, register_extension,
+)
+
+
+class TestRegistry:
+    def test_standard_extensions_registered(self):
+        for name in ("i", "m", "a", "f", "d", "c", "zicsr", "zifencei"):
+            assert get_extension(name).name == name
+
+    def test_unknown_extension_raises(self):
+        with pytest.raises(KeyError):
+            get_extension("zmagic")
+
+    def test_d_implies_f_implies_zicsr(self):
+        sub = ISASubset(64, frozenset({"i", "d"}))
+        assert sub.supports("f")
+        assert sub.supports("zicsr")
+
+    def test_idempotent_reregistration(self):
+        ext = get_extension("m")
+        assert register_extension(ext) is ext
+
+    def test_conflicting_reregistration_rejected(self):
+        with pytest.raises(ValueError):
+            register_extension(Extension("m", "something else"))
+
+    def test_rva23_future_work_extensions_present(self):
+        # Paper §3.4: RVA23 support should be a table edit.
+        assert get_extension("zicond")
+        assert get_extension("zba")
+        assert "zicond" in {e.name for e in all_extensions()}
+
+
+class TestISASubset:
+    def test_rv64gc_contents(self):
+        for e in ("i", "m", "a", "f", "d", "c", "zicsr", "zifencei"):
+            assert RV64GC.supports(e)
+        assert not RV64GC.supports("zicond")
+
+    def test_contains_operator(self):
+        assert "c" in RV64GC
+        assert "c" not in RV64G
+
+    def test_without_drops_dependents(self):
+        sub = RV64GC.without("f")
+        assert not sub.supports("f")
+        assert not sub.supports("d")  # d implies f, so d must go too
+        assert sub.supports("m")
+
+    def test_arch_string_canonical_order(self):
+        s = RV64GC.arch_string()
+        assert s.startswith("rv64imafdc")
+        assert "zicsr" in s and "zifencei" in s
+
+    def test_bad_xlen_rejected(self):
+        with pytest.raises(ValueError):
+            ISASubset(16, frozenset({"i"}))
+
+
+class TestArchStringParsing:
+    def test_parse_simple(self):
+        sub = parse_arch_string("rv64imafdc")
+        assert sub.xlen == 64
+        for e in "imafdc":
+            assert sub.supports(e)
+
+    def test_parse_g_shorthand(self):
+        sub = parse_arch_string("rv64gc")
+        assert sub.supports("m") and sub.supports("zifencei") and sub.supports("c")
+
+    def test_parse_with_versions(self):
+        sub = parse_arch_string("rv64i2p1_m2p0_a2p1_f2p2_d2p2_c2p0_zicsr2p0")
+        for e in ("i", "m", "a", "f", "d", "c", "zicsr"):
+            assert sub.supports(e), e
+
+    def test_parse_multi_letter(self):
+        sub = parse_arch_string("rv64imac_zicsr_zifencei_zba1p0")
+        assert sub.supports("zba")
+
+    def test_parse_unknown_multi_letter_kept(self):
+        # Unknown extensions should not hard-fail analysis.
+        sub = parse_arch_string("rv64i_zfuture9p9")
+        assert sub.supports("zfuture")
+
+    def test_roundtrip_through_arch_string(self):
+        again = parse_arch_string(RV64GC.arch_string())
+        assert again.extensions == RV64GC.extensions
+
+    def test_rv32_supported_for_parsing(self):
+        assert parse_arch_string("rv32i").xlen == 32
+
+    @pytest.mark.parametrize("bad", ["x86", "rv128i", "rv64", "rv649"])
+    def test_bad_strings_rejected(self, bad):
+        with pytest.raises(ArchStringError):
+            parse_arch_string(bad)
+
+    def test_profiles_table(self):
+        assert PROFILES["rv64gc"] is RV64GC
+        assert PROFILES["rv64i"] is RV64I

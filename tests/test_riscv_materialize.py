@@ -1,0 +1,124 @@
+"""Immediate-materialization tests (paper §3.2.5).
+
+The property test evaluates the emitted lui/addi/addiw/slli sequence with
+a tiny arithmetic interpreter (independent of the full simulator) and
+checks the register ends up holding the requested 64-bit constant.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.riscv.encoding import sign_extend, to_unsigned
+from repro.riscv.materialize import (
+    materialize_imm, materialize_length, pcrel_hi_lo, split_hi_lo,
+)
+
+
+def _evaluate(seq, rd):
+    """Interpret a materialization sequence on a 64-bit register file."""
+    regs = [0] * 32
+    for mn, f in seq:
+        if mn == "addi":
+            regs[f["rd"]] = to_unsigned(
+                sign_extend(regs[f["rs1"]], 64) + f["imm"], 64)
+        elif mn == "addiw":
+            v = sign_extend(regs[f["rs1"]], 64) + f["imm"]
+            regs[f["rd"]] = to_unsigned(sign_extend(v, 32), 64)
+        elif mn == "lui":
+            regs[f["rd"]] = to_unsigned(sign_extend(f["imm"], 20) << 12, 64)
+        elif mn == "slli":
+            regs[f["rd"]] = to_unsigned(regs[f["rs1"]] << f["shamt"], 64)
+        else:  # pragma: no cover
+            raise AssertionError(f"unexpected instruction {mn}")
+        regs[0] = 0
+    return regs[rd]
+
+
+class TestSplitHiLo:
+    def test_simple(self):
+        hi, lo = split_hi_lo(0x12345678)
+        assert sign_extend(((hi << 12) + lo) & 0xFFFFFFFF, 32) == 0x12345678
+
+    def test_negative_lo_rounds_hi_up(self):
+        hi, lo = split_hi_lo(0x12345FFF)
+        assert lo < 0
+        assert (hi << 12) + lo == 0x12345FFF
+
+    def test_near_int32_max(self):
+        # The classic corner: values whose hi20 field wraps.
+        hi, lo = split_hi_lo(0x7FFFF800)
+        v = sign_extend((to_unsigned(hi << 12, 32) + to_unsigned(lo, 32)) & 0xFFFFFFFF, 32)
+        assert v == 0x7FFFF800
+
+
+class TestMaterialize:
+    def test_zero_single_instruction(self):
+        seq = materialize_imm(5, 0)
+        assert seq == [("addi", {"rd": 5, "rs1": 0, "imm": 0})]
+
+    def test_small_imm_single(self):
+        assert materialize_length(2047) == 1
+        assert materialize_length(-2048) == 1
+
+    def test_32bit_two_instructions(self):
+        assert materialize_length(0x12345678) == 2
+
+    def test_page_constant_single_lui(self):
+        seq = materialize_imm(6, 0x1000)
+        assert len(seq) == 1 and seq[0][0] == "lui"
+
+    def test_wide_constant_bounded(self):
+        # Worst case for the recursive construction is 8 instructions.
+        assert materialize_length(0x0123_4567_89AB_CDEF) <= 8
+
+    def test_power_of_two_shift_absorption(self):
+        # 1<<40 should be li + single shift, not a 12-step ladder.
+        assert materialize_length(1 << 40) == 2
+
+    def test_minus_one(self):
+        assert _evaluate(materialize_imm(7, -1), 7) == to_unsigned(-1, 64)
+
+    def test_int64_min(self):
+        v = -(1 << 63)
+        assert _evaluate(materialize_imm(7, v), 7) == to_unsigned(v, 64)
+
+
+@settings(max_examples=500, deadline=None)
+@given(value=st.one_of(
+    st.integers(-(1 << 63), (1 << 63) - 1),
+    st.sampled_from([0, 1, -1, 0x7FF, 0x800, -0x800, -0x801,
+                     0x7FFFFFFF, -0x80000000, 0x80000000,
+                     0x7FFFF800, 0xFFFFFFFF, 1 << 62, -(1 << 63)]),
+))
+def test_materialize_correct_for_random_values(value):
+    """PROPERTY: the emitted sequence computes exactly `value` (mod 2^64)
+    and never exceeds 8 instructions."""
+    seq = materialize_imm(9, value)
+    assert len(seq) <= 8
+    assert _evaluate(seq, 9) == to_unsigned(value, 64)
+    # The sequence must only clobber rd.
+    for _, f in seq:
+        assert f["rd"] == 9
+
+
+class TestPcrelHiLo:
+    def test_forward_target(self):
+        pc, target = 0x10000, 0x12345
+        hi, lo = pcrel_hi_lo(target, pc)
+        assert pc + sign_extend(to_unsigned(hi << 12, 32), 32) + lo == target
+
+    def test_backward_target(self):
+        pc, target = 0x20000, 0x10008
+        hi, lo = pcrel_hi_lo(target, pc)
+        assert pc + sign_extend(to_unsigned(hi << 12, 32), 32) + lo == target
+
+
+@settings(max_examples=300, deadline=None)
+@given(pc=st.integers(0x1000, 1 << 40),
+       delta=st.integers(-(1 << 31) + 0x1000, (1 << 31) - 0x1000))
+def test_pcrel_roundtrip(pc, delta):
+    """PROPERTY: auipc-style hi/lo always reconstructs the target."""
+    pc &= ~1
+    target = pc + delta
+    hi, lo = pcrel_hi_lo(target, pc)
+    assert -2048 <= lo <= 2047
+    assert pc + (sign_extend(hi, 20) << 12) + lo == target

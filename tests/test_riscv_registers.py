@@ -1,0 +1,59 @@
+"""Unit tests for the register model."""
+
+import pytest
+
+from repro.riscv.registers import (
+    A0, CALLEE_SAVED, CALLER_SAVED, C_REG_INT, FP, INT_REGS, RA, RegClass,
+    Register, S0, SP, ZERO, freg, is_c_encodable, lookup, names, xreg,
+)
+
+
+class TestRegisterModel:
+    def test_thirty_two_int_regs(self):
+        assert len(INT_REGS) == 32
+        assert INT_REGS[0].name == "x0"
+        assert INT_REGS[31].abi_name == "t6"
+
+    def test_zero_register(self):
+        assert ZERO.is_zero
+        assert not RA.is_zero
+        assert not freg(0).is_zero  # f0 is not the zero register
+
+    def test_lookup_by_arch_and_abi_name(self):
+        assert lookup("x10") is A0
+        assert lookup("a0") is A0
+        assert lookup("fp") is S0
+        assert lookup("s0") is S0
+        assert lookup("x8") is S0
+
+    def test_lookup_case_insensitive(self):
+        assert lookup("A0") is A0
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            lookup("x32")
+
+    def test_frame_pointer_is_x8(self):
+        assert FP.number == 8
+        assert FP.regclass is RegClass.INT
+
+    def test_fp_regs_distinct_from_int(self):
+        assert freg(10) != xreg(10)
+        assert freg(10).abi_name == "fa0"
+
+    def test_calling_convention_partition(self):
+        # Callee- and caller-saved sets are disjoint and (with zero/gp/tp)
+        # cover the integer file.
+        assert not (CALLEE_SAVED & CALLER_SAVED)
+        covered = CALLEE_SAVED | CALLER_SAVED
+        missing = set(INT_REGS) - covered
+        assert names(missing) == ["gp", "tp", "zero"]
+
+    def test_compressed_register_window(self):
+        assert [r.number for r in C_REG_INT] == list(range(8, 16))
+        assert is_c_encodable(xreg(8)) and is_c_encodable(xreg(15))
+        assert not is_c_encodable(xreg(7)) and not is_c_encodable(xreg(16))
+
+    def test_registers_hashable_and_ordered(self):
+        assert xreg(1) < xreg(2)
+        assert len({xreg(1), xreg(1), xreg(2)}) == 2

@@ -1,0 +1,137 @@
+"""Cross-validation of the SAIL-derived semantics against the hand-written
+fast simulator.
+
+The paper's pipeline generates semantic classes from the formal spec; our
+simulator implements the same instructions independently.  PROPERTY: for
+every integer instruction with precise semantics, evaluating the IR on a
+random machine state must produce exactly the register/pc/memory writes
+the simulator's execution produces.  This pins both implementations to
+each other (and, transitively, to the architecture).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.riscv.encoder import encode_fields, make
+from repro.riscv.opcodes import by_mnemonic
+from repro.semantics import evaluate, sail_semantics
+from repro.sim import Machine
+from repro.sim.memory import PAGE_SIZE
+
+_BASE = 0x2000  # scratch memory region the random state points into
+_CODE = 0x1000
+
+#: Instructions excluded from the cross-check: fences have no
+#: state-visible effect; ecall/ebreak trap.
+_SKIP = {"fence", "fence.i", "ecall", "ebreak"}
+
+_MNEMONICS = sorted(mn for mn in sail_semantics() if mn not in _SKIP)
+
+
+class _EvalAdapter:
+    """Expose a Machine as the evaluator's EvalState protocol."""
+
+    def __init__(self, m: Machine):
+        self._m = m
+        self.pc = m.pc
+
+    def read_xreg(self, n):
+        return self._m.x[n]
+
+    def read_freg(self, n):
+        return self._m.f[n]
+
+    def read_mem(self, addr, size):
+        return self._m.mem.read_int(addr, size)
+
+
+def _fresh_machine(reg_values, mem_bytes):
+    m = Machine()
+    m.mem.map_region(_CODE, PAGE_SIZE)
+    m.mem.map_region(_BASE, PAGE_SIZE)
+    m.mem.write_bytes(_BASE, mem_bytes)
+    for i in range(1, 32):
+        m.x[i] = reg_values[i - 1]
+    m.pc = _CODE + 0x100
+    return m
+
+
+def _random_fields(spec, draw):
+    reg = st.integers(0, 31)
+    f = {}
+    ops = {op if op[0] != "f" else op[1:] for op in spec.operands}
+    fmt = spec.fmt
+    if "rd" in ops:
+        f["rd"] = draw(reg)
+    if fmt in ("R", "SHIFT64", "SHIFT32", "I", "S", "B"):
+        if "rs1" in ops or fmt in ("I", "S", "B"):
+            f["rs1"] = draw(reg)
+    if fmt in ("S", "B") or "rs2" in ops:
+        f["rs2"] = draw(reg)
+    if fmt in ("I", "S"):
+        f["imm"] = draw(st.integers(-2048, 2047))
+    elif fmt == "B":
+        f["imm"] = draw(st.integers(-1024, 1023)) * 2
+    elif fmt == "U":
+        f["imm"] = draw(st.integers(-(1 << 19), (1 << 19) - 1))
+    elif fmt == "J":
+        f["imm"] = draw(st.integers(-(1 << 18), (1 << 18) - 1)) * 2
+    elif fmt == "SHIFT64":
+        f["shamt"] = draw(st.integers(0, 63))
+    elif fmt == "SHIFT32":
+        f["shamt"] = draw(st.integers(0, 31))
+    return f
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+@pytest.mark.parametrize("mnemonic", _MNEMONICS)
+def test_sail_semantics_match_simulator(mnemonic, data):
+    spec = by_mnemonic(mnemonic)
+    fields = _random_fields(spec, data.draw)
+
+    # Random register state; memory-addressing registers are redirected
+    # into the scratch region so loads/stores stay mapped.
+    regs = data.draw(st.lists(
+        st.integers(0, (1 << 64) - 1), min_size=31, max_size=31))
+    mem0 = data.draw(st.binary(min_size=256, max_size=256))
+
+    sem = sail_semantics()[mnemonic]
+    if sem.reads_memory() or sem.writes_memory():
+        rs1 = fields.get("rs1")
+        if rs1:
+            offset = data.draw(st.integers(0, 100))
+            regs = list(regs)
+            regs[rs1 - 1] = _BASE + 64 + offset  # keep addr+imm in range
+        elif rs1 == 0:
+            # address would be 0 + imm: force a mapped address via imm
+            fields["imm"] = _BASE + 64 if -2048 <= _BASE + 64 <= 2047 else 64
+            return  # unmappable without a base register; skip
+
+    m_sim = _fresh_machine(regs, mem0)
+    m_ref = _fresh_machine(regs, mem0)
+
+    instr = make(mnemonic, **fields)
+    word = encode_fields(spec, fields)
+    m_sim.mem.write_int(m_sim.pc, 4, word)
+
+    # Reference: evaluate IR semantics against the *pre* state.
+    writes = evaluate(sem, instr, _EvalAdapter(m_ref))
+
+    ev = m_sim.step()
+    assert ev is None, f"simulator stopped: {ev}"
+
+    # Apply reference writes to the reference machine.
+    expected_pc = None
+    for w in writes:
+        if w[0] == "x":
+            m_ref.x[w[1]] = w[2]
+        elif w[0] == "mem":
+            m_ref.mem.write_int(w[1], w[2], w[3])
+        elif w[0] == "pc":
+            expected_pc = w[1]
+
+    assert m_sim.pc == expected_pc, "pc mismatch"
+    assert m_sim.x == m_ref.x, "register file mismatch"
+    assert (m_sim.mem.read_bytes(_BASE, 256)
+            == m_ref.mem.read_bytes(_BASE, 256)), "memory mismatch"

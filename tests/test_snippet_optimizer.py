@@ -1,0 +1,128 @@
+"""Snippet constant-folding tests (paper §2: Dyninst converts the AST to
+native code and "optimizes the code when possible")."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codegen import (
+    BinExpr, Const, If, IncrementVar, LoadExpr, Nop, NotExpr, RegExpr,
+    Sequence, SetVar, SnippetGenerator, Variable, fold_constants,
+    fold_snippet,
+)
+from repro.riscv import RV64GC, lookup
+
+SCRATCH = [lookup("t0"), lookup("t1"), lookup("t2"), lookup("t3")]
+V = Variable("v", 0x40_0000)
+
+
+def gen(snippet, optimize=True):
+    return SnippetGenerator(RV64GC, SCRATCH).generate(snippet, optimize)
+
+
+class TestExpressionFolding:
+    def test_constant_arithmetic(self):
+        assert fold_constants(BinExpr("add", Const(2), Const(3))) == Const(5)
+        assert fold_constants(BinExpr("mul", Const(6), Const(7))) == Const(42)
+
+    def test_nested_folding(self):
+        e = BinExpr("sub", BinExpr("mul", Const(4), Const(5)), Const(8))
+        assert fold_constants(e) == Const(12)
+
+    def test_riscv_division_semantics(self):
+        # div by zero folds to the architectural -1, like the hardware
+        assert fold_constants(BinExpr("div", Const(5), Const(0))) == Const(-1)
+        assert fold_constants(BinExpr("rem", Const(5), Const(0))) == Const(5)
+
+    def test_signed_comparisons(self):
+        assert fold_constants(BinExpr("lt", Const(-1), Const(0))) == Const(1)
+        assert fold_constants(BinExpr("gt", Const(-1), Const(0))) == Const(0)
+        assert fold_constants(BinExpr("le", Const(3), Const(3))) == Const(1)
+
+    def test_identities(self):
+        r = RegExpr(lookup("a0"))
+        assert fold_constants(BinExpr("add", r, Const(0))) is r
+        assert fold_constants(BinExpr("mul", r, Const(1))) is r
+        assert fold_constants(BinExpr("add", Const(0), r)) is r
+
+    def test_not_folding(self):
+        assert fold_constants(NotExpr(Const(0))) == Const(1)
+        assert fold_constants(NotExpr(Const(7))) == Const(0)
+
+    def test_non_constant_preserved(self):
+        e = BinExpr("add", RegExpr(lookup("a0")), Const(5))
+        assert fold_constants(e) == e
+
+    def test_load_address_folded(self):
+        e = LoadExpr(BinExpr("add", Const(0x1000), Const(8)))
+        assert fold_constants(e) == LoadExpr(Const(0x1008))
+
+
+class TestSnippetFolding:
+    def test_if_true_drops_branch(self):
+        s = If(BinExpr("lt", Const(1), Const(2)),
+               IncrementVar(V), SetVar(V, Const(0)))
+        assert fold_snippet(s) == IncrementVar(V)
+
+    def test_if_false_keeps_else(self):
+        s = If(Const(0), IncrementVar(V), SetVar(V, Const(9)))
+        assert fold_snippet(s) == SetVar(V, Const(9))
+
+    def test_if_false_no_else_is_nop(self):
+        assert fold_snippet(If(Const(0), IncrementVar(V))) == Nop()
+
+    def test_sequence_flattens_nops(self):
+        s = Sequence([If(Const(0), IncrementVar(V)), IncrementVar(V)])
+        assert fold_snippet(s) == IncrementVar(V)
+
+    def test_empty_sequence_is_nop(self):
+        assert fold_snippet(Sequence([If(Const(0), IncrementVar(V))])) \
+            == Nop()
+
+
+class TestCodeSizeEffect:
+    def test_folding_shrinks_code(self):
+        deep = SetVar(V, BinExpr("add",
+                                 BinExpr("mul", Const(3), Const(9)),
+                                 BinExpr("shl", Const(1), Const(4))))
+        optimized = gen(deep, optimize=True)
+        naive = gen(deep, optimize=False)
+        assert optimized.size < naive.size
+
+    def test_dead_branch_emits_nothing(self):
+        s = If(Const(0), SetVar(V, Const(1)))
+        assert gen(s).size == 0
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    op=st.sampled_from(["add", "sub", "mul", "and", "or", "xor",
+                        "lt", "le", "gt", "ge", "eq", "ne", "shl",
+                        "shr", "div", "rem"]),
+    a=st.integers(-(1 << 40), 1 << 40),
+    b=st.integers(-(1 << 40), 1 << 40),
+)
+def test_folding_matches_lowered_execution(op, a, b):
+    """PROPERTY: folding BinExpr(op, a, b) gives exactly the value the
+    unoptimised lowered code computes on the simulator."""
+    from repro.sim import Machine
+
+    if op in ("shl", "shr"):
+        b %= 64
+    expr = BinExpr(op, Const(a), Const(b))
+    folded = fold_constants(expr)
+    assert isinstance(folded, Const)
+
+    snippet = SetVar(V, expr)
+    code = SnippetGenerator(RV64GC, SCRATCH).generate(
+        snippet, optimize=False)
+    m = Machine()
+    m.mem.map_region(0x30_0000, 0x1000)
+    m.mem.map_region(V.address, 0x1000)
+    blob = code.encode()
+    from repro.riscv import encode
+    m.mem.write_bytes(0x30_0000, blob + encode("ebreak").to_bytes(4, "little"))
+    m.pc = 0x30_0000
+    ev = m.run(max_steps=10_000)
+    assert ev.reason.value == "breakpoint"
+    from repro.riscv.encoding import to_unsigned
+    assert m.mem.read_int(V.address, 8) == to_unsigned(folded.value, 64)

@@ -1,0 +1,101 @@
+"""Property tests for the compression table: whenever ``try_compress``
+produces a halfword, decoding it must recover the exact standard
+instruction (mnemonic + fields) — compression may never change meaning.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.riscv.compressed import decode_compressed, try_compress
+
+#: mnemonic -> strategy for its field dict
+_reg = st.integers(0, 31)
+_FIELDS = {
+    "addi": st.fixed_dictionaries(
+        {"rd": _reg, "rs1": _reg, "imm": st.integers(-2048, 2047)}),
+    "addiw": st.fixed_dictionaries(
+        {"rd": _reg, "rs1": _reg, "imm": st.integers(-2048, 2047)}),
+    "andi": st.fixed_dictionaries(
+        {"rd": _reg, "rs1": _reg, "imm": st.integers(-2048, 2047)}),
+    "lui": st.fixed_dictionaries(
+        {"rd": _reg, "imm": st.integers(-(1 << 19), (1 << 19) - 1)}),
+    "add": st.fixed_dictionaries(
+        {"rd": _reg, "rs1": _reg, "rs2": _reg}),
+    "sub": st.fixed_dictionaries(
+        {"rd": _reg, "rs1": _reg, "rs2": _reg}),
+    "xor": st.fixed_dictionaries(
+        {"rd": _reg, "rs1": _reg, "rs2": _reg}),
+    "or": st.fixed_dictionaries(
+        {"rd": _reg, "rs1": _reg, "rs2": _reg}),
+    "and": st.fixed_dictionaries(
+        {"rd": _reg, "rs1": _reg, "rs2": _reg}),
+    "subw": st.fixed_dictionaries(
+        {"rd": _reg, "rs1": _reg, "rs2": _reg}),
+    "addw": st.fixed_dictionaries(
+        {"rd": _reg, "rs1": _reg, "rs2": _reg}),
+    "slli": st.fixed_dictionaries(
+        {"rd": _reg, "rs1": _reg, "shamt": st.integers(0, 63)}),
+    "srli": st.fixed_dictionaries(
+        {"rd": _reg, "rs1": _reg, "shamt": st.integers(0, 63)}),
+    "srai": st.fixed_dictionaries(
+        {"rd": _reg, "rs1": _reg, "shamt": st.integers(0, 63)}),
+    "ld": st.fixed_dictionaries(
+        {"rd": _reg, "rs1": _reg, "imm": st.integers(-128, 600)}),
+    "lw": st.fixed_dictionaries(
+        {"rd": _reg, "rs1": _reg, "imm": st.integers(-128, 300)}),
+    "fld": st.fixed_dictionaries(
+        {"rd": _reg, "rs1": _reg, "imm": st.integers(-128, 600)}),
+    "sd": st.fixed_dictionaries(
+        {"rs2": _reg, "rs1": _reg, "imm": st.integers(-128, 600)}),
+    "sw": st.fixed_dictionaries(
+        {"rs2": _reg, "rs1": _reg, "imm": st.integers(-128, 300)}),
+    "fsd": st.fixed_dictionaries(
+        {"rs2": _reg, "rs1": _reg, "imm": st.integers(-128, 600)}),
+    "jalr": st.fixed_dictionaries(
+        {"rd": st.integers(0, 1), "rs1": _reg,
+         "imm": st.sampled_from([0, 4])}),
+}
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.data())
+@pytest.mark.parametrize("mnemonic", sorted(_FIELDS), ids=str)
+def test_compression_is_meaning_preserving(mnemonic, data):
+    fields = dict(data.draw(_FIELDS[mnemonic]))
+    hw = try_compress(mnemonic, fields)
+    if hw is None:
+        return
+    back = decode_compressed(hw)
+    # commutative operand swaps are allowed for xor/or/and/addw/add
+    if back.fields != fields:
+        g = dict(back.fields)
+        swapped = dict(fields)
+        swapped["rs1"], swapped["rs2"] = (fields.get("rs2"),
+                                          fields.get("rs1"))
+        assert back.mnemonic == mnemonic
+        assert g == swapped, (mnemonic, fields, hw, back.fields)
+    else:
+        assert back.mnemonic == mnemonic
+
+
+def test_specific_encodings():
+    # c.sdsp: sd ra, 8(sp)
+    hw = try_compress("sd", {"rs2": 1, "rs1": 2, "imm": 8})
+    assert hw is not None
+    back = decode_compressed(hw)
+    assert back.compressed_mnemonic == "c.sdsp"
+    assert back.fields == {"rs2": 1, "rs1": 2, "imm": 8}
+    # c.ldsp: ld a0, 16(sp)
+    hw = try_compress("ld", {"rd": 10, "rs1": 2, "imm": 16})
+    assert decode_compressed(hw).compressed_mnemonic == "c.ldsp"
+    # c.addi16sp
+    hw = try_compress("addi", {"rd": 2, "rs1": 2, "imm": -64})
+    assert decode_compressed(hw).compressed_mnemonic == "c.addi16sp"
+    # c.addi4spn: addi a0, sp, 16
+    hw = try_compress("addi", {"rd": 10, "rs1": 2, "imm": 16})
+    assert decode_compressed(hw).compressed_mnemonic == "c.addi4spn"
+    # c.sub with window regs
+    hw = try_compress("sub", {"rd": 8, "rs1": 8, "rs2": 9})
+    assert decode_compressed(hw).compressed_mnemonic == "c.sub"
+    # misaligned offset: no compression
+    assert try_compress("sd", {"rs2": 1, "rs1": 2, "imm": 4}) is None

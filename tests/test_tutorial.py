@@ -1,0 +1,27 @@
+"""Executable documentation: run every Python block in docs/TUTORIAL.md
+in one shared namespace — the tutorial cannot rot."""
+
+import re
+from pathlib import Path
+
+TUTORIAL = Path(__file__).parent.parent / "docs" / "TUTORIAL.md"
+
+
+def test_tutorial_blocks_execute():
+    text = TUTORIAL.read_text()
+    blocks = re.findall(r"```python\n(.*?)```", text, re.DOTALL)
+    assert len(blocks) >= 5
+    namespace: dict = {}
+    for i, block in enumerate(blocks):
+        try:
+            exec(compile(block, f"<tutorial block {i}>", "exec"), namespace)
+        except Exception as e:  # pragma: no cover - doc bug reporting
+            raise AssertionError(
+                f"tutorial block {i} failed: {e}\n---\n{block}") from e
+
+    # the tutorial's own claims
+    binary = namespace["binary"]
+    machine = namespace["machine"]
+    assert binary.read_variable(machine, namespace["all_calls"]) == 40
+    assert binary.read_variable(machine, namespace["big_calls"]) == 20
+    assert namespace["value"] == 33

@@ -1,0 +1,103 @@
+"""Tests for software watchpoints and conditional breakpoints."""
+
+import pytest
+
+from repro.api import open_binary
+from repro.minicc import compile_source, fib_source
+from repro.proccontrol import EventType, ProcControlError, Process
+from repro.sim import StopReason
+from repro.symtab import Symtab
+from repro.tools import watch_writes
+
+ARRAY_PROGRAM = """
+long cells[8];
+
+long main(void) {
+    for (long i = 0; i < 8; i = i + 1) {
+        cells[i] = i * i;
+    }
+    cells[3] = 99;
+    return cells[3];
+}
+"""
+
+
+class TestWatchpoints:
+    def test_watch_catches_all_writes_to_cell(self):
+        program = compile_source(ARRAY_PROGRAM)
+        b = open_binary(program)
+        target = b.symtab.symbol("cells").address + 3 * 8
+        h = watch_writes(b, target, ["main"])
+        m, ev = b.run_instrumented()
+        assert ev.reason is StopReason.EXITED
+        assert ev.exit_code == 99
+        hits = h.hits(m)
+        # cells[3] written twice: 9 (loop) then 99
+        assert [hit.value for hit in hits] == [9, 99]
+        assert hits[0].pc != hits[1].pc  # two distinct store sites
+
+    def test_unwatched_address_no_hits(self):
+        program = compile_source(ARRAY_PROGRAM)
+        b = open_binary(program)
+        # watch an address in the array's page but outside it
+        target = b.symtab.symbol("cells").address + 64 + 256
+        h = watch_writes(b, target, ["main"])
+        m, _ = b.run_instrumented()
+        assert h.hit_count(m) == 0
+
+    def test_partial_overlap_detected(self):
+        """A watch on a *byte* inside an 8-byte store still hits."""
+        program = compile_source(ARRAY_PROGRAM)
+        b = open_binary(program)
+        target = b.symtab.symbol("cells").address + 3 * 8 + 5
+        h = watch_writes(b, target, ["main"])
+        m, _ = b.run_instrumented()
+        assert h.hit_count(m) == 2
+
+    def test_behaviour_unchanged(self):
+        program = compile_source(ARRAY_PROGRAM)
+        base = open_binary(program)
+        m0, ev0 = base.run_instrumented()
+        b = open_binary(program)
+        watch_writes(b, b.symtab.symbol("cells").address, ["main"])
+        m1, ev1 = b.run_instrumented()
+        assert ev1.exit_code == ev0.exit_code
+
+
+class TestConditionalBreakpoints:
+    def test_condition_on_argument(self):
+        """Classic conditional breakpoint: stop in fib only when the
+        argument is exactly 3."""
+        program = compile_source(fib_source(8))
+        symtab = Symtab.from_program(program)
+        from repro.parse import parse_binary
+        cfg = parse_binary(symtab)
+        proc = Process.create(symtab)
+        fib = cfg.function_by_name("fib")
+        proc.insert_breakpoint(fib.entry)
+        ev = proc.continue_until(
+            lambda p, e: p.get_register("a0") == 3)
+        assert ev.type is EventType.STOPPED_BREAKPOINT
+        assert proc.get_register("a0") == 3
+
+    def test_condition_never_met_returns_exit(self):
+        program = compile_source(fib_source(6))
+        symtab = Symtab.from_program(program)
+        from repro.parse import parse_binary
+        cfg = parse_binary(symtab)
+        proc = Process.create(symtab)
+        fib = cfg.function_by_name("fib")
+        proc.insert_breakpoint(fib.entry)
+        ev = proc.continue_until(
+            lambda p, e: p.get_register("a0") == 999)
+        assert ev.type is EventType.EXITED
+
+    def test_event_budget_enforced(self):
+        program = compile_source(fib_source(10))
+        symtab = Symtab.from_program(program)
+        from repro.parse import parse_binary
+        cfg = parse_binary(symtab)
+        proc = Process.create(symtab)
+        proc.insert_breakpoint(cfg.function_by_name("fib").entry)
+        with pytest.raises(ProcControlError):
+            proc.continue_until(lambda p, e: False, max_events=5)

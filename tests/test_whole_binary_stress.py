@@ -1,0 +1,137 @@
+"""Stress tests: instrument *everything* and verify nothing breaks.
+
+Instrumenting every basic block of every function — including the MiniC
+runtime's hand-written assembly (print_long's digit loop, clock_ns) —
+exercises relocation of branch-heavy, byte-store-heavy code, entry
+points that are also call targets, and large trampoline populations.
+Also covers ParamExpr/RetValExpr at entry/exit points.
+"""
+
+import pytest
+
+from repro.api import open_binary
+from repro.codegen import (
+    BinExpr, Const, If, IncrementVar, ParamExpr, RetValExpr,
+)
+from repro.minicc import compile_source, fib_source, matmul_source
+from repro.patch import PointType
+from repro.sim import StopReason
+
+
+def run(binary, max_steps=10_000_000):
+    m, ev = binary.run_instrumented(max_steps=max_steps)
+    assert ev.reason is StopReason.EXITED, ev
+    return m
+
+
+class TestWholeBinaryInstrumentation:
+    def test_every_block_of_every_function(self):
+        src = compile_source(matmul_source(5, 2))
+        base = open_binary(src)
+        m0 = run(base)
+
+        b = open_binary(src)
+        total = b.allocate_variable("all_blocks")
+        n_points = 0
+        for fn in b.functions():
+            pts = b.points(fn, PointType.BLOCK_ENTRY)
+            b.insert(pts, IncrementVar(total))
+            n_points += len(pts)
+        assert n_points > 30
+        m = run(b)
+        assert bytes(m.stdout).split()[1] == bytes(m0.stdout).split()[1]
+        # >= 2 * 5^3 inner-loop blocks plus loop/call overhead blocks
+        assert m.mem.read_int(total.address, 8) > 500
+
+    def test_runtime_functions_instrumentable(self):
+        """print_long's digit loop relocates correctly under entry+exit
+        instrumentation."""
+        src = compile_source("""
+long main(void) {
+    print_long(-1234567);
+    print_long(0);
+    print_long(987654321);
+    return 0;
+}
+""")
+        base = open_binary(src)
+        m0 = run(base)
+
+        b = open_binary(src)
+        c = b.allocate_variable("pl")
+        pl = b.function("print_long")
+        b.insert(b.points(pl, PointType.BLOCK_ENTRY), IncrementVar(c))
+        m = run(b)
+        assert bytes(m.stdout) == bytes(m0.stdout) == \
+            b"-1234567\n0\n987654321\n"
+        assert m.mem.read_int(c.address, 8) > 0
+
+    def test_entries_and_exits_and_edges_together(self):
+        src = compile_source(fib_source(9))
+        b = open_binary(src)
+        fib = b.function("fib")
+        ce = b.allocate_variable("e")
+        cx = b.allocate_variable("x")
+        cb = b.allocate_variable("b")
+        b.insert(b.points(fib, PointType.FUNC_ENTRY), IncrementVar(ce))
+        for pt in b.points(fib, PointType.FUNC_EXIT):
+            b.insert(pt, IncrementVar(cx))
+        for pt in b.points(fib, PointType.EDGE_TAKEN):
+            b.insert(pt, IncrementVar(cb))
+        m = run(b)
+        e = m.mem.read_int(ce.address, 8)
+        x = m.mem.read_int(cx.address, 8)
+        assert e == x == 109
+        assert 0 < m.mem.read_int(cb.address, 8) <= e
+
+
+class TestParamAndRetvalSnippets:
+    def test_param_expr_reads_argument(self):
+        src = compile_source(fib_source(8))
+        b = open_binary(src)
+        fib = b.function("fib")
+        # sum of all arguments passed to fib
+        arg_sum = b.allocate_variable("args")
+        from repro.codegen import Sequence, SetVar, VarExpr
+        b.insert(b.points(fib, PointType.FUNC_ENTRY),
+                 SetVar(arg_sum,
+                        BinExpr("add", VarExpr(arg_sum), ParamExpr(0))))
+        m = run(b)
+        # sum of n over all fib(n) invocations for fib(8):
+        # S(n) = n + S(n-1) + S(n-2); S(0)=0, S(1)=1
+        def calls(n):
+            if n < 2:
+                return {n: 1}
+            out = {n: 1}
+            for sub in (n - 1, n - 2):
+                for k, v in calls(sub).items():
+                    out[k] = out.get(k, 0) + v
+            return out
+        expected = sum(k * v for k, v in calls(8).items())
+        assert m.mem.read_int(arg_sum.address, 8) == expected
+
+    def test_retval_expr_at_exit(self):
+        src = compile_source("""
+long square(long x) { return x * x; }
+long main(void) {
+    long s = 0;
+    for (long i = 1; i <= 4; i = i + 1) { s = s + square(i); }
+    return s;
+}
+""")
+        b = open_binary(src)
+        sq = b.function("square")
+        big = b.allocate_variable("big_returns")
+        # count returns with value > 5 (i.e. squares of 3 and 4)
+        for pt in b.points(sq, PointType.FUNC_EXIT):
+            b.insert(pt, If(BinExpr("gt", RetValExpr(), Const(5)),
+                            IncrementVar(big)))
+        m = run(b)
+        assert m.mem.read_int(big.address, 8) == 2
+
+    def test_param_index_bounds(self):
+        from repro.codegen import SnippetError
+        with pytest.raises(SnippetError):
+            ParamExpr(8)
+        with pytest.raises(SnippetError):
+            ParamExpr(-1)

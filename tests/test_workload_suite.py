@@ -1,0 +1,88 @@
+"""Workload-suite integration: the full toolkit against each workload
+class (recursive sort, FP kernel, bit-twiddling, switch dispatch),
+plain and RVC-dense — instrumentation exactness checked against
+single-step ground truth everywhere."""
+
+import pytest
+
+from repro.api import open_binary
+from repro.codegen import IncrementVar
+from repro.minicc import (
+    Options, compile_source, crc_source, linked_list_source,
+    nbody_source, qsort_source, switch_source,
+)
+from repro.patch import PointType
+from repro.proccontrol import Process
+from repro.sim import Machine, StopReason
+from repro.symtab import Symtab
+from repro.parse import parse_binary
+from repro.tools import count_basic_blocks, profile_process
+
+WORKLOADS = {
+    "list": (linked_list_source(24), "sum_list"),
+    "qsort": (qsort_source(32), "qsort_range"),
+    "nbody": (nbody_source(3, 6), "step"),
+    "crc": (crc_source(64, 2), "checksum"),
+    "switch": (switch_source(40), "dispatch"),
+}
+
+
+def _ground_truth_blocks(symtab, cfg, fn_name, max_steps=3_000_000):
+    fn = cfg.function_by_name(fn_name)
+    starts = {b.start for b in fn.blocks.values() if b.insns}
+    m = Machine()
+    symtab.load_into(m)
+    count = 0
+    for _ in range(max_steps):
+        if m.pc in starts:
+            count += 1
+        if m.step() is not None:
+            break
+    return count, bytes(m.stdout)
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS), ids=str)
+@pytest.mark.parametrize("compress", [False, True],
+                         ids=["plain", "rvc"])
+def test_block_counts_exact(name, compress):
+    src, hot = WORKLOADS[name]
+    program = compile_source(
+        src, Options(compress=True) if compress else None)
+    symtab = Symtab.from_program(program)
+    cfg = parse_binary(symtab)
+    truth, base_out = _ground_truth_blocks(symtab, cfg, hot)
+    assert truth > 0
+
+    b = open_binary(program)
+    h = count_basic_blocks(b, hot)
+    m, ev = b.run_instrumented(max_steps=10_000_000)
+    assert ev.reason is StopReason.EXITED
+    assert bytes(m.stdout) == base_out
+    assert h.read(m) == truth
+
+
+def test_profiler_on_qsort():
+    program = compile_source(qsort_source(48))
+    symtab = Symtab.from_program(program)
+    cfg = parse_binary(symtab)
+    proc = Process.create(symtab)
+    prof = profile_process(proc, cfg, quantum=300)
+    hot = {name for name, _ in prof.flat.most_common(2)}
+    assert hot & {"partition", "qsort_range"}
+
+
+def test_nbody_fp_instrumentation_preserves_math():
+    """FP-heavy trampolining: relocated fld/fsd/fmul sequences must not
+    disturb double-precision results."""
+    src = nbody_source(4, 10)
+    base = open_binary(compile_source(src))
+    m0, _ = base.run_instrumented(max_steps=10_000_000)
+
+    b = open_binary(compile_source(src))
+    for fn in ("init", "step", "main"):
+        c = b.allocate_variable(f"c${fn}")
+        for pt in b.points(fn, PointType.BLOCK_ENTRY):
+            b.insert(pt, IncrementVar(c))
+    m1, ev = b.run_instrumented(max_steps=20_000_000)
+    assert ev.reason is StopReason.EXITED
+    assert bytes(m1.stdout) == bytes(m0.stdout)  # bit-exact checksum
