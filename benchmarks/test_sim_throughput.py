@@ -1,0 +1,104 @@
+"""Ablation: superblock trace compilation in the simulator hot loop.
+
+Measures interpreter throughput (simulated instructions per host
+second) on the matmul mutatee with the trace compiler on vs. off, and
+checks the two modes are architecturally indistinguishable (registers,
+memory-visible output, exit code, instruction/cycle counts).
+
+Writes ``benchmarks/results/ablation_trace.txt`` and a machine-readable
+``BENCH_sim.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.minicc import compile_source
+from repro.minicc.workloads import matmul_source
+from repro.sim import Machine, P550
+
+from conftest import MATMUL_N, MATMUL_REPS
+
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_sim.json"
+
+#: timing repetitions; throughput is taken from the fastest run
+REPEATS = 3
+
+
+def _run_once(prog, trace_compile: bool):
+    m = Machine(P550, trace_compile=trace_compile)
+    m.load_program(prog)
+    t0 = time.perf_counter()
+    ev = m.run()
+    elapsed = time.perf_counter() - t0
+    return m, ev, elapsed
+
+
+def _measure(prog, trace_compile: bool):
+    best = None
+    for _ in range(REPEATS):
+        m, ev, elapsed = _run_once(prog, trace_compile)
+        if best is None or elapsed < best[2]:
+            best = (m, ev, elapsed)
+    return best
+
+
+def _arch_state(m, ev):
+    return {
+        "reason": ev.reason.value,
+        "exit_code": m.exit_code,
+        "pc": m.pc,
+        "x": list(m.x),
+        "f": list(m.f),
+        "instret": m.instret,
+        "ucycles": m.ucycles,
+        "stdout": bytes(m.stdout).decode(),
+    }
+
+
+def test_trace_compilation_throughput(record):
+    prog = compile_source(matmul_source(MATMUL_N, MATMUL_REPS))
+
+    m_off, ev_off, dt_off = _measure(prog, trace_compile=False)
+    m_on, ev_on, dt_on = _measure(prog, trace_compile=True)
+
+    # identical architectural results, traces on vs. off
+    assert _arch_state(m_on, ev_on) == _arch_state(m_off, ev_off)
+    assert ev_on.reason.value == "exited" and m_on.exit_code == 0
+
+    ips_off = m_off.instret / dt_off
+    ips_on = m_on.instret / dt_on
+    speedup = ips_on / ips_off
+
+    lines = [
+        "Ablation: superblock trace compilation (matmul mutatee, "
+        f"N={MATMUL_N}, reps={MATMUL_REPS})",
+        "",
+        f"{'mode':<24}{'instructions':>14}{'seconds':>10}"
+        f"{'Minstr/s':>12}",
+        f"{'interpreter (traces off)':<24}{m_off.instret:>14,}"
+        f"{dt_off:>10.3f}{ips_off / 1e6:>12.2f}",
+        f"{'traced (superblocks)':<24}{m_on.instret:>14,}"
+        f"{dt_on:>10.3f}{ips_on / 1e6:>12.2f}",
+        "",
+        f"speedup: {speedup:.2f}x   traces compiled: "
+        f"{m_on.traces.compiles}   chain links: {m_on.traces.links}",
+    ]
+    record("ablation_trace", "\n".join(lines) + "\n")
+
+    BENCH_JSON.write_text(json.dumps({
+        "benchmark": "sim_throughput_matmul",
+        "matmul_n": MATMUL_N,
+        "matmul_reps": MATMUL_REPS,
+        "instructions": m_on.instret,
+        "instr_per_sec_interp": round(ips_off),
+        "instr_per_sec_traced": round(ips_on),
+        "speedup": round(speedup, 3),
+        "traces_compiled": m_on.traces.compiles,
+        "chain_links": m_on.traces.links,
+    }, indent=2) + "\n")
+
+    # the tentpole's acceptance bar: >= 2x over the closure interpreter
+    assert speedup >= 2.0, f"trace speedup only {speedup:.2f}x"

@@ -45,16 +45,70 @@ CALL_KILLS: frozenset[Register] = frozenset(
 ALL_REGS: frozenset[Register] = frozenset(
     r for r in INT_REGS if not r.is_zero) | frozenset(FP_REGS)
 
+# -- int bitmask register sets -------------------------------------------
+#
+# The fixpoint (and the hot per-instruction refinement) runs on plain
+# ints: x0..x31 map to bits 0..31, f0..f31 to bits 32..63.  Set
+# union/difference become single-word |, &~ — the dead-register ablation
+# spends most of its time here.  The public API stays frozenset-based
+# (LivenessResult, insn_uses_defs); masks are an internal representation
+# attached to results built by :func:`analyze_liveness`.
 
-def _block_flow(block: Block) -> tuple[frozenset, frozenset]:
-    """(use, def) summary of a block for backward liveness."""
-    use: set[Register] = set()
-    defs: set[Register] = set()
+REG_BIT: dict[Register, int] = {
+    **{r: 1 << i for i, r in enumerate(INT_REGS)},
+    **{r: 1 << (32 + i) for i, r in enumerate(FP_REGS)},
+}
+_BIT_REG: tuple[Register, ...] = tuple(INT_REGS) + tuple(FP_REGS)
+
+
+def mask_of(regs) -> int:
+    """Fold an iterable of Registers into a 64-bit liveness mask."""
+    m = 0
+    for r in regs:
+        m |= REG_BIT[r]
+    return m
+
+
+def regs_of(mask: int) -> frozenset[Register]:
+    """Expand a liveness mask back into a Register frozenset."""
+    out = []
+    while mask:
+        low = mask & -mask
+        out.append(_BIT_REG[low.bit_length() - 1])
+        mask ^= low
+    return frozenset(out)
+
+
+EXIT_LIVE_MASK = mask_of(EXIT_LIVE)
+CALL_USES_MASK = mask_of(CALL_USES)
+CALL_KILLS_MASK = mask_of(CALL_KILLS)
+ALL_REGS_MASK = mask_of(ALL_REGS)
+
+
+def _insn_masks(insn: Insn, block: Block | None = None) -> tuple[int, int]:
+    """Per-instruction (uses, defs) as masks, with call augmentation —
+    the bitmask twin of :func:`insn_uses_defs`."""
+    uses = mask_of(insn.read_set())
+    defs = mask_of(insn.write_set())
+    if block is not None and insn is block.last:
+        kinds = {e.kind for e in block.out_edges}
+        if EdgeType.CALL in kinds:
+            uses |= CALL_USES_MASK
+            defs |= CALL_KILLS_MASK
+        if EdgeType.TAILCALL in kinds:
+            uses |= CALL_USES_MASK
+    return uses, defs
+
+
+def _block_flow(block: Block) -> tuple[int, int]:
+    """(use, def) mask summary of a block for backward liveness."""
+    use = 0
+    defs = 0
     for insn in block.insns:
-        u, d = insn_uses_defs(insn, block)
-        use |= (u - defs)
+        u, d = _insn_masks(insn, block)
+        use |= u & ~defs
         defs |= d
-    return frozenset(use), frozenset(defs)
+    return use, defs
 
 
 def insn_uses_defs(insn: Insn, block: Block | None = None
@@ -76,11 +130,21 @@ def insn_uses_defs(insn: Insn, block: Block | None = None
 @dataclass
 class LivenessResult:
     """Fixpoint solution: live-in/live-out per block, with
-    per-instruction queries."""
+    per-instruction queries.
+
+    The constructor keeps its frozenset-based signature (interprocedural
+    analysis and external callers build these directly); results from
+    :func:`analyze_liveness` additionally carry bitmask tables
+    (``_out_masks``) that the per-instruction queries prefer.
+    """
 
     function: Function
     live_in: dict[int, frozenset[Register]]
     live_out: dict[int, frozenset[Register]]
+
+    #: block start -> live-out mask (set by analyze_liveness; absent on
+    #: hand-built / interprocedural results, which use the set path)
+    _out_masks = None
 
     def live_before(self, addr: int) -> frozenset[Register]:
         """Registers live immediately before the instruction at *addr*."""
@@ -88,6 +152,15 @@ class LivenessResult:
         if block is None:
             raise KeyError(f"{addr:#x} is not in function "
                            f"{self.function.name!r}")
+        masks = self._out_masks
+        if masks is not None:
+            live = masks.get(block.start, ALL_REGS_MASK)
+            for insn in reversed(block.insns):
+                u, d = _insn_masks(insn, block)
+                live = (live & ~d) | u
+                if insn.address == addr:
+                    return regs_of(live)
+            raise KeyError(f"{addr:#x} not at an instruction boundary")
         live = set(self.live_out.get(block.start, ALL_REGS))
         for insn in reversed(block.insns):
             u, d = insn_uses_defs(insn, block)
@@ -110,44 +183,51 @@ class LivenessResult:
 
 
 def analyze_liveness(fn: Function) -> LivenessResult:
-    """Solve backward may-liveness over the function's blocks."""
+    """Solve backward may-liveness over the function's blocks.
+
+    The fixpoint iterates on int bitmasks; the result exposes the usual
+    frozenset dicts (plus the mask tables for fast queries).
+    """
     blocks = fn.blocks
     summaries = {a: _block_flow(b) for a, b in blocks.items()}
 
     # successor map (intraprocedural) + exit seeding
     succs: dict[int, list[int]] = {}
-    seed: dict[int, set[Register]] = {}
+    seed: dict[int, int] = {}
     for addr, block in blocks.items():
         succs[addr] = fn.intraproc_successors(block)
-        s: set[Register] = set()
+        s = 0
         for e in block.out_edges:
             if e.kind in (EdgeType.RET, EdgeType.TAILCALL):
-                s |= EXIT_LIVE
+                s |= EXIT_LIVE_MASK
             elif not e.resolved or (
                     e.kind is EdgeType.INDIRECT and e.target is None):
-                s |= ALL_REGS  # unresolved flow: fail safe
+                s |= ALL_REGS_MASK  # unresolved flow: fail safe
             elif e.kind is EdgeType.CALL and e.target is None:
-                s |= ALL_REGS
+                s |= ALL_REGS_MASK
         if not block.out_edges:
-            s |= EXIT_LIVE  # fell off the parse: conservative
+            s |= EXIT_LIVE_MASK  # fell off the parse: conservative
         seed[addr] = s
 
-    live_in: dict[int, frozenset[Register]] = {
-        a: frozenset() for a in blocks}
-    live_out: dict[int, frozenset[Register]] = {
-        a: frozenset() for a in blocks}
+    in_masks: dict[int, int] = {a: 0 for a in blocks}
+    out_masks: dict[int, int] = {a: 0 for a in blocks}
 
     changed = True
     while changed:
         changed = False
         for addr in blocks:
-            out = set(seed[addr])
+            out = seed[addr]
             for s in succs[addr]:
-                out |= live_in[s]
+                out |= in_masks[s]
             use, defs = summaries[addr]
-            inn = frozenset(use | (out - defs))
-            if frozenset(out) != live_out[addr] or inn != live_in[addr]:
-                live_out[addr] = frozenset(out)
-                live_in[addr] = inn
+            inn = use | (out & ~defs)
+            if out != out_masks[addr] or inn != in_masks[addr]:
+                out_masks[addr] = out
+                in_masks[addr] = inn
                 changed = True
-    return LivenessResult(fn, live_in, live_out)
+
+    live_in = {a: regs_of(v) for a, v in in_masks.items()}
+    live_out = {a: regs_of(v) for a, v in out_masks.items()}
+    result = LivenessResult(fn, live_in, live_out)
+    result._out_masks = out_masks
+    return result

@@ -78,15 +78,35 @@ class PatchResult:
     data_area: DataArea
     #: the pre-instrumentation text image (for removal)
     original_text: bytes = b""
+    #: [lo, hi) text spans overwritten by springboards.  Mid-run
+    #: patching writes (and invalidates) only these spans, so compiled
+    #: traces elsewhere in the text survive the install.
+    patched_ranges: list[tuple[int, int]] = field(default_factory=list)
+
+    def _text_spans(self) -> list[tuple[int, int]]:
+        if self.patched_ranges:
+            return self.patched_ranges
+        return [(self.text_base, self.text_base + len(self.text))]
 
     def apply_to_machine(self, machine) -> None:
-        """Dynamic instrumentation: patch a loaded simulator machine."""
-        machine.write_mem(self.text_base, self.text)
+        """Dynamic instrumentation: patch a loaded simulator machine.
+
+        Only the springboard spans are written; each write is followed
+        by an explicit ``invalidate_code_range`` so stale compiled code
+        is dropped even on machines whose memory write watch is not
+        armed (e.g. images loaded without an exec range).
+        """
+        for lo, hi in self._text_spans():
+            off = lo - self.text_base
+            machine.write_mem(lo, self.text[off:off + (hi - lo)])
+            machine.invalidate_code_range(lo, hi - lo)
         if self.trampoline_code:
             machine.add_exec_range(
                 self.trampoline_base,
                 self.trampoline_base + len(self.trampoline_code))
             machine.write_mem(self.trampoline_base, self.trampoline_code)
+            machine.invalidate_code_range(
+                self.trampoline_base, len(self.trampoline_code))
         machine.mem.map_region(self.data_base, self.data_size)
         machine.trap_redirects.update(self.trap_map)
 
@@ -102,7 +122,10 @@ class PatchResult:
         """
         if not self.original_text:
             raise PatchError("original text not recorded; cannot remove")
-        machine.write_mem(self.text_base, self.original_text)
+        for lo, hi in self._text_spans():
+            off = lo - self.text_base
+            machine.write_mem(lo, self.original_text[off:off + (hi - lo)])
+            machine.invalidate_code_range(lo, hi - lo)
         for site in self.trap_map:
             machine.trap_redirects.pop(site, None)
 
@@ -254,6 +277,7 @@ class Patcher:
         ordered = sorted(self._requests.values(),
                          key=lambda r: r.point.address)
         prev_end = 0
+        patched_ranges: list[tuple[int, int]] = []
 
         for req in ordered:
             point = req.point
@@ -356,6 +380,7 @@ class Patcher:
             # splice the springboard into the text image
             off = site - text_region.addr
             text[off:off + slot] = sb.code
+            patched_ranges.append(sb.patched_range(site))
 
         stats.trampoline_bytes = len(trampolines)
         return PatchResult(
@@ -369,6 +394,7 @@ class Patcher:
             trap_map=trap_map,
             stats=stats,
             data_area=self.data_area,
+            patched_ranges=patched_ranges,
         )
 
     # -- helpers ---------------------------------------------------------------------

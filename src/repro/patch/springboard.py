@@ -46,6 +46,12 @@ class Springboard:
     #: register spilled by the auipc+jalr form (restored by trampoline)
     clobbers: int | None = None
 
+    def patched_range(self, site: int) -> tuple[int, int]:
+        """The [lo, hi) code bytes this springboard overwrites at *site*
+        — the span a live machine must invalidate (closures and traces)
+        when the springboard is installed or removed."""
+        return site, site + len(self.code)
+
 
 class SpringboardError(ValueError):
     pass

@@ -76,17 +76,55 @@ def _extract_fields(spec: InstrSpec, word: int) -> dict[str, int]:
     return f
 
 
+# Decode memoization: identical encodings decode to the *same*
+# Instruction object across parsing, patching, and simulation.  Safe
+# because Instruction is a frozen dataclass and no caller mutates its
+# fields dict (audited: semantics/evaluate.py and all dataflow/patch
+# users only read).  Only successful decodes are cached — errors carry
+# a per-call-site address annotation.  The caps bound memory under
+# adversarial input (fuzzed byte soup); real programs use a few hundred
+# distinct encodings.
+_WORD_CACHE: dict[int, Instruction] = {}
+_HALF_CACHE: dict[int, Instruction] = {}
+_CACHE_CAP = 1 << 16
+
+
+def clear_decode_cache() -> None:
+    """Drop the memoized decodes (test isolation hook)."""
+    _WORD_CACHE.clear()
+    _HALF_CACHE.clear()
+
+
 def decode_word(word: int) -> Instruction:
     """Decode a 32-bit standard instruction word."""
-    spec = lookup_word(word & enc.MASK32)
+    word &= enc.MASK32
+    ins = _WORD_CACHE.get(word)
+    if ins is not None:
+        return ins
+    spec = lookup_word(word)
     if spec is None:
-        raise DecodeError(f"unknown instruction word {word & enc.MASK32:#010x}")
-    return Instruction(
+        raise DecodeError(f"unknown instruction word {word:#010x}")
+    ins = Instruction(
         spec=spec,
         fields=_extract_fields(spec, word),
         length=4,
-        raw=word & enc.MASK32,
+        raw=word,
     )
+    if len(_WORD_CACHE) >= _CACHE_CAP:
+        _WORD_CACHE.clear()
+    _WORD_CACHE[word] = ins
+    return ins
+
+
+def _decode_half(hw: int) -> Instruction:
+    ins = _HALF_CACHE.get(hw)
+    if ins is not None:
+        return ins
+    ins = decode_compressed(hw)
+    if len(_HALF_CACHE) >= _CACHE_CAP:
+        _HALF_CACHE.clear()
+    _HALF_CACHE[hw] = ins
+    return ins
 
 
 def decode(data: bytes | memoryview, offset: int = 0,
@@ -100,7 +138,7 @@ def decode(data: bytes | memoryview, offset: int = 0,
     hw = data[offset] | (data[offset + 1] << 8)
     if enc.is_compressed(hw):
         try:
-            return decode_compressed(hw)
+            return _decode_half(hw)
         except IllegalCompressed as e:
             raise DecodeError(str(e), address) from e
     if offset + 4 > len(data):

@@ -8,10 +8,12 @@ from .executor import BreakpointHit, ExitTrap, SimFault
 from .machine import Machine, STACK_TOP, StopEvent, StopReason, run_program
 from .memory import Memory, MemoryFault, PAGE_SIZE
 from .timing import MODELS, P550, TimingModel, UCYCLE, X86PROXY, category_of
+from .trace import TraceCache
 
 __all__ = [
     "BreakpointHit", "ExitTrap", "SimFault",
     "Machine", "STACK_TOP", "StopEvent", "StopReason", "run_program",
     "Memory", "MemoryFault", "PAGE_SIZE",
     "MODELS", "P550", "TimingModel", "UCYCLE", "X86PROXY", "category_of",
+    "TraceCache",
 ]

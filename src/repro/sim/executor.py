@@ -236,84 +236,80 @@ FMA_SIGNS = {  # mnemonic root -> (product sign, addend sign)
 }
 
 
-def build_closure(m: "Machine", pc: int, instr: Instruction) -> Closure:
-    """Compile one decoded instruction into an executable closure.
+def build_body(m: "Machine", pc: int, instr: Instruction
+               ) -> Closure | None:
+    """Compile the *state update* of one straight-line instruction.
 
-    The closure updates registers/memory/pc and charges cycle cost.
+    Returns a bookkeeping-free callable that mutates registers/memory
+    only (no pc/ucycles/instret updates) — the unit the superblock trace
+    compiler (:mod:`repro.sim.trace`) stitches into block functions.
+
+    Returns ``None`` for instructions that transfer control, trap, or
+    must observe exact per-instruction machine state (branches, jumps,
+    ecall/ebreak, fences, CSR accesses, atomics): those always run
+    through the full closure path.
     """
     mn = instr.mnemonic
     f = instr.fields
-    length = instr.length
-    next_pc = pc + length
-    cost = m.timing.ucycles(category_of(mn, instr.spec.match & 0x7F))
     x = m.x
-    fr = m.f
     mem = m.mem
-
-    def _finish_simple(body: Callable[[], None]) -> Closure:
-        def run() -> None:
-            body()
-            m.pc = next_pc
-            m.ucycles += cost
-            m.instret += 1
-        return run
 
     # ---- Zbb unary -----------------------------------------------------
     if mn in UNARY_OPS:
         op = UNARY_OPS[mn]
         rd, rs1 = f["rd"], f["rs1"]
         if rd == 0:
-            return _finish_simple(lambda: None)
+            return lambda: None
         def body():
             x[rd] = op(x[rs1])
-        return _finish_simple(body)
+        return body
 
     # ---- integer register-register -----------------------------------
     if mn in RR_OPS:
         op = RR_OPS[mn]
         rd, rs1, rs2 = f["rd"], f["rs1"], f["rs2"]
         if rd == 0:
-            return _finish_simple(lambda: None)
+            return lambda: None
         def body():
             x[rd] = op(x[rs1], x[rs2])
-        return _finish_simple(body)
+        return body
 
     # ---- integer register-immediate -----------------------------------
     if mn in RI_OPS:
         op = RI_OPS[mn]
         rd, rs1, imm = f["rd"], f["rs1"], f["imm"]
         if rd == 0:
-            return _finish_simple(lambda: None)
+            return lambda: None
         def body():
             x[rd] = op(x[rs1], imm)
-        return _finish_simple(body)
+        return body
 
     if mn in SHIFT_OPS:
         op = SHIFT_OPS[mn]
         rd, rs1, sh = f["rd"], f["rs1"], f["shamt"]
         if rd == 0:
-            return _finish_simple(lambda: None)
+            return lambda: None
         def body():
             x[rd] = op(x[rs1], sh)
-        return _finish_simple(body)
+        return body
 
     if mn == "lui":
         rd = f["rd"]
         val = to_unsigned(sign_extend(f["imm"], 20) << 12, 64)
         if rd == 0:
-            return _finish_simple(lambda: None)
+            return lambda: None
         def body():
             x[rd] = val
-        return _finish_simple(body)
+        return body
 
     if mn == "auipc":
         rd = f["rd"]
         val = to_unsigned(pc + (sign_extend(f["imm"], 20) << 12), 64)
         if rd == 0:
-            return _finish_simple(lambda: None)
+            return lambda: None
         def body():
             x[rd] = val
-        return _finish_simple(body)
+        return body
 
     # ---- loads / stores -------------------------------------------------
     if mn in LOADS:
@@ -331,18 +327,45 @@ def build_closure(m: "Machine", pc: int, instr: Instruction) -> Closure:
         if rd == 0:
             def body():  # noqa: F811 - load to x0 still accesses memory
                 read_int((x[rs1] + imm) & M64, size)
-        return _finish_simple(body)
+        return body
 
     if mn in STORES:
         size = STORES[mn]
         rs1, rs2, imm = f["rs1"], f["rs2"], f["imm"]
+        write_int = mem.write_int
+        def body():
+            # code-range invalidation rides on Memory's write watch
+            write_int((x[rs1] + imm) & M64, size, x[rs2])
+        return body
+
+    # ---- F/D (loads, stores, arithmetic, moves, conversions) ----------
+    return _build_fp(m, mn, f, pc)
+
+
+def build_closure(m: "Machine", pc: int, instr: Instruction) -> Closure:
+    """Compile one decoded instruction into an executable closure.
+
+    The closure updates registers/memory/pc and charges cycle cost.
+    """
+    mn = instr.mnemonic
+    f = instr.fields
+    length = instr.length
+    next_pc = pc + length
+    cost = m.timing.ucycles(category_of(mn, instr.spec.match & 0x7F))
+    x = m.x
+
+    def _finish_simple(body: Callable[[], None]) -> Closure:
         def run() -> None:
-            addr = (x[rs1] + imm) & M64
-            m.store_int(addr, size, x[rs2])
+            body()
             m.pc = next_pc
             m.ucycles += cost
             m.instret += 1
         return run
+
+    # ---- straight-line instructions (shared with the trace compiler) --
+    simple = build_body(m, pc, instr)
+    if simple is not None:
+        return _finish_simple(simple)
 
     # ---- control transfer ----------------------------------------------
     if mn in BRANCH_OPS:
@@ -407,11 +430,6 @@ def build_closure(m: "Machine", pc: int, instr: Instruction) -> Closure:
     # ---- A extension ------------------------------------------------------
     if mn.startswith(("lr.", "sc.", "amo")):
         return _build_amo(m, mn, f, _finish_simple)
-
-    # ---- F/D --------------------------------------------------------------
-    cl = _build_fp(m, mn, f, pc, _finish_simple)
-    if cl is not None:
-        return cl
 
     raise SimFault(f"no handler for instruction {mn!r}", pc)
 
@@ -493,7 +511,7 @@ def _build_amo(m, mn, f, finish):
     return finish(body)
 
 
-def _build_fp(m, mn, f, pc, finish):
+def _build_fp(m, mn, f, pc):
     x = m.x
     fr = m.f
     mem = m.mem
@@ -507,14 +525,14 @@ def _build_fp(m, mn, f, pc, finish):
         else:
             def body():
                 fr[rd] = mem.read_int((x[rs1] + imm) & M64, 8)
-        return finish(body)
+        return body
 
     if mn in ("fsw", "fsd"):
         size = 4 if mn == "fsw" else 8
         rs1, rs2, imm = f["rs1"], f["rs2"], f["imm"]
         def run_body():
             m.store_int((x[rs1] + imm) & M64, size, fr[rs2])
-        return finish(run_body)
+        return run_body
 
     parts = mn.split(".")
     root = parts[0]
@@ -527,7 +545,7 @@ def _build_fp(m, mn, f, pc, finish):
         rd, rs1, rs2 = f["rd"], f["rs1"], f["rs2"]
         def body():
             fr[rd] = put(op(get(fr[rs1]), get(fr[rs2])))
-        return finish(body)
+        return body
 
     if root in FP_CMP:
         single = parts[1] == "s"
@@ -538,7 +556,7 @@ def _build_fp(m, mn, f, pc, finish):
             if rd:
                 a, b = get(fr[rs1]), get(fr[rs2])
                 x[rd] = 0 if (math.isnan(a) or math.isnan(b)) else op(a, b)
-        return finish(body)
+        return body
 
     if root == "fsqrt":
         single = parts[1] == "s"
@@ -547,7 +565,7 @@ def _build_fp(m, mn, f, pc, finish):
         rd, rs1 = f["rd"], f["rs1"]
         def body():
             fr[rd] = put(fp.fp_sqrt(get(fr[rs1])))
-        return finish(body)
+        return body
 
     if root in ("fsgnj", "fsgnjn", "fsgnjx"):
         single = parts[1] == "s"
@@ -567,7 +585,7 @@ def _build_fp(m, mn, f, pc, finish):
                 b_sign ^= (a >> sbit) & 1
             res = (a & ~(1 << sbit)) | (b_sign << sbit)
             fr[rd] = (fp.NAN_BOX | res) if single else res
-        return finish(body)
+        return body
 
     if root == "fclass":
         single = parts[1] == "s"
@@ -577,7 +595,7 @@ def _build_fp(m, mn, f, pc, finish):
             if rd:
                 bits = fr[rs1] & (0xFFFF_FFFF if single else M64)
                 x[rd] = fp.classify(get(fr[rs1]), bits, single)
-        return finish(body)
+        return body
 
     if root in FMA_SIGNS and len(parts) == 2:
         psign, asign = FMA_SIGNS[root]
@@ -588,7 +606,7 @@ def _build_fp(m, mn, f, pc, finish):
         def body():
             fr[rd] = put(psign * (get(fr[rs1]) * get(fr[rs2]))
                          + asign * get(fr[rs3]))
-        return finish(body)
+        return body
 
     if root == "fmv":
         rd, rs1 = f["rd"], f["rs1"]
@@ -607,15 +625,15 @@ def _build_fp(m, mn, f, pc, finish):
         else:  # fmv.d.x
             def body():
                 fr[rd] = x[rs1]
-        return finish(body)
+        return body
 
     if root == "fcvt":
-        return _build_fcvt(m, mn, parts, f, finish)
+        return _build_fcvt(m, mn, parts, f)
 
     return None
 
 
-def _build_fcvt(m, mn, parts, f, finish):
+def _build_fcvt(m, mn, parts, f):
     x = m.x
     fr = m.f
     rd, rs1 = f["rd"], f["rs1"]
@@ -637,7 +655,7 @@ def _build_fcvt(m, mn, parts, f, finish):
                 x[rd] = to_unsigned(
                     sign_extend(to_unsigned(v, width), width)
                     if width == 32 else v, 64)
-        return finish(body)
+        return body
 
     if src in int_widths:  # int -> fp
         width, signed = int_widths[src]
@@ -647,16 +665,16 @@ def _build_fcvt(m, mn, parts, f, finish):
             raw = x[rs1] & ((1 << width) - 1)
             v = sign_extend(raw, width) if signed else raw
             fr[rd] = put(float(v))
-        return finish(body)
+        return body
 
     if dst == "s" and src == "d":
         def body():
             fr[rd] = fp.bits_from_f32(fp.f64_from_bits(fr[rs1]))
-        return finish(body)
+        return body
 
     if dst == "d" and src == "s":
         def body():
             fr[rd] = fp.bits_from_f64(fp.f32_from_bits(fr[rs1]))
-        return finish(body)
+        return body
 
     return None

@@ -5,13 +5,26 @@ Linux-ish syscall layer, and exposes the debug port ProcControlAPI talks
 to (read/write registers and memory, step, run-until-event).
 
 Performance notes (per the HPC guides): the run loop binds hot
-attributes to locals, instructions are compiled to closures once per pc
-(cache invalidated on code patching), and per-step allocation is zero.
+attributes to locals, and instructions are compiled at two tiers —
+
+* a per-pc closure cache (``_icache``) used for single-stepping, bounded
+  ``run(max_steps=...)``, and instructions the trace compiler rejects;
+* a superblock trace cache (:class:`repro.sim.trace.TraceCache`) used by
+  unbounded ``run()``: straight-line blocks execute as one Python
+  function with batched timing and direct chaining to successor blocks.
+
+Both tiers are **patch-safe**: every write overlapping a registered
+executable range — self-modifying stores, ``write_mem`` from the
+patcher/ProcControl, breakpoint insertion — flows through the
+:class:`Memory` write watch into :meth:`_code_written`, which drops the
+overlapping closures and traces.  See docs/INTERNALS.md ("Trace cache &
+invalidation rules").
 """
 
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass
 
 from ..riscv.assembler import Program
@@ -19,6 +32,7 @@ from ..riscv.decoder import DecodeError, decode
 from .executor import BreakpointHit, ExitTrap, SimFault, build_closure
 from .memory import Memory, MemoryFault
 from .timing import P550, TimingModel, UCYCLE
+from .trace import TraceCache
 
 #: Default stack placement: 8 MiB ending just below 2 GiB.
 STACK_TOP = 0x7FFF_F000
@@ -51,6 +65,10 @@ SYS_EXIT_GROUP = 94
 SYS_CLOCK_GETTIME = 113
 
 
+def _traces_default() -> bool:
+    return os.environ.get("REPRO_SIM_TRACES", "1") != "0"
+
+
 class Machine:
     """One simulated RV64GC hart plus memory.
 
@@ -59,9 +77,15 @@ class Machine:
     timing:
         The :class:`TimingModel` charged per instruction; determines
         what ``clock_gettime``/``rdcycle`` report.
+    trace_compile:
+        Enable the superblock trace compiler for unbounded ``run()``.
+        Defaults to on; set ``REPRO_SIM_TRACES=0`` (or pass ``False``)
+        to force the per-pc closure interpreter everywhere — results are
+        architecturally identical either way.
     """
 
-    def __init__(self, timing: TimingModel = P550):
+    def __init__(self, timing: TimingModel = P550,
+                 trace_compile: bool | None = None):
         self.timing = timing
         self.mem = Memory()
         self.x: list[int] = [0] * 32
@@ -74,13 +98,20 @@ class Machine:
         self.stdout = bytearray()
         self.exit_code: int | None = None
         self._icache: dict[int, object] = {}
-        #: [lo, hi) ranges treated as code: stores into them flush the
-        #: closure cache (self-modifying code / runtime patching).
+        #: [lo, hi) ranges treated as code: writes into them invalidate
+        #: compiled closures/traces (self-modifying code / patching).
         self.exec_ranges: list[tuple[int, int]] = []
         #: trap-springboard map: ebreak pc -> redirect pc.  The paper's
         #: worst-case 2-byte trap springboards (§3.1.2) divert through
         #: here instead of stopping the hart (one "system" cycle charge).
         self.trap_redirects: dict[int, int] = {}
+        self.trace_compile = (_traces_default() if trace_compile is None
+                              else trace_compile)
+        self.traces = TraceCache(self)
+        #: set by the trace cache when an invalidation drops any trace;
+        #: a running trace checks it after each store and exits early
+        #: (state fully synced) so rewritten code is re-fetched.
+        self.code_dirty = False
 
     # -- program loading --------------------------------------------------
 
@@ -116,14 +147,18 @@ class Machine:
         self.instret = 0
         self.exit_code = None
         self.stdout = bytearray()
+        # full flush: compiled code binds the (re-created) register lists
         self._icache.clear()
+        self.traces.clear()
         if exec_range is not None:
             self.exec_ranges = [exec_range]
+        self.mem.set_write_watch(self.exec_ranges, self._code_written)
 
     def add_exec_range(self, lo: int, hi: int) -> None:
         """Register an additional code range (e.g. a patch area)."""
         self.exec_ranges.append((lo, hi))
         self.mem.map_region(lo, hi - lo)
+        self.mem.set_write_watch(self.exec_ranges, self._code_written)
 
     # -- debug port (ProcControlAPI) ---------------------------------------
 
@@ -131,31 +166,34 @@ class Machine:
         return self.mem.read_bytes(addr, n)
 
     def write_mem(self, addr: int, data: bytes) -> None:
-        """Write memory, invalidating compiled code it overlaps."""
+        """Write memory; the write watch invalidates compiled code."""
         self.mem.write_bytes(addr, data)
-        self._maybe_flush(addr, len(data))
 
     def store_int(self, addr: int, size: int, value: int) -> None:
-        """Store from executing code (checks code ranges like write_mem)."""
+        """Store from executing code (invalidation rides on the watch)."""
         self.mem.write_int(addr, size, value)
-        for lo, hi in self.exec_ranges:
-            if addr < hi and addr + size > lo:
-                self._flush_range(addr, size)
-                break
 
-    def _maybe_flush(self, addr: int, size: int) -> None:
-        for lo, hi in self.exec_ranges:
-            if addr < hi and addr + size > lo:
-                self._flush_range(addr, size)
-                return
-
-    def _flush_range(self, addr: int, size: int) -> None:
-        # A patched instruction may start up to 3 bytes before addr.
+    def _code_written(self, addr: int, size: int) -> None:
+        """Memory write-watch callback: a write overlapped a code range.
+        Drop per-pc closures and traces covering the written bytes."""
+        pop = self._icache.pop
+        # a patched instruction may start up to 3 bytes before addr
         for a in range(addr - 3, addr + size):
-            self._icache.pop(a, None)
+            pop(a, None)
+        self.traces.invalidate_range(addr, size)
+
+    def invalidate_code_range(self, addr: int, size: int) -> None:
+        """Explicitly drop compiled code overlapping [addr, addr+size).
+
+        The write watch already catches writes through this machine's
+        memory; patch/unpatch paths call this as well so invalidation
+        never depends on *how* the bytes got there.
+        """
+        self._code_written(addr, size)
 
     def flush_icache(self) -> None:
         self._icache.clear()
+        self.traces.clear()
 
     def get_reg(self, n: int) -> int:
         return self.x[n]
@@ -253,7 +291,54 @@ class Machine:
         return None
 
     def run(self, max_steps: int | None = None) -> StopEvent:
-        """Run until exit, breakpoint, fault, or *max_steps*."""
+        """Run until exit, breakpoint, fault, or *max_steps*.
+
+        Unbounded runs use the superblock trace compiler (when enabled);
+        bounded runs need a per-instruction step budget and stay on the
+        closure interpreter.
+        """
+        if max_steps is None and self.trace_compile:
+            return self._run_traced()
+        return self._run_interp(max_steps)
+
+    def _run_traced(self) -> StopEvent:
+        """Trace-mode hot loop: execute compiled superblocks, following
+        chained successors without re-entering this loop; fall back to
+        one closure step for pcs the trace compiler rejects."""
+        fns_get = self.traces.fns.get
+        compile_at = self.traces.compile_at
+        icache = self._icache
+        closure_at = self._closure_at
+        self.code_dirty = False
+        while True:
+            try:
+                while True:
+                    fn = fns_get(self.pc)
+                    if fn is None:
+                        fn = compile_at(self.pc)
+                    if fn:
+                        while fn is not None:
+                            fn = fn()
+                    else:
+                        # negative cache entry: ecall/ebreak/csr/amo/...
+                        cl = icache.get(self.pc)
+                        if cl is None:
+                            cl = closure_at(self.pc)
+                        cl()
+            except ExitTrap as e:
+                self.exit_code = e.code
+                return StopEvent(StopReason.EXITED, self.pc,
+                                 exit_code=e.code)
+            except BreakpointHit as e:
+                if self._redirect(e.pc):
+                    continue
+                return StopEvent(StopReason.BREAKPOINT, e.pc)
+            except (SimFault, MemoryFault, DecodeError) as e:
+                return StopEvent(StopReason.FAULT, self.pc, fault=str(e))
+
+    def _run_interp(self, max_steps: int | None = None) -> StopEvent:
+        """Seed per-pc closure loop (also the `REPRO_SIM_TRACES=0` and
+        bounded-run path)."""
         icache = self._icache
         closure_at = self._closure_at
         remaining = max_steps

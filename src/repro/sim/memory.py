@@ -26,12 +26,44 @@ class MemoryFault(Exception):
 class Memory:
     """Sparse byte-addressable memory."""
 
-    __slots__ = ("_pages", "_cache_idx", "_cache_page")
+    __slots__ = ("_pages", "_cache_idx", "_cache_page",
+                 "_watch_lo", "_watch_hi", "_watch_ranges", "_watch_cb")
 
     def __init__(self) -> None:
         self._pages: dict[int, bytearray] = {}
         self._cache_idx = -1
         self._cache_page: bytearray | None = None
+        # write-range notification (code-write detection): callback fired
+        # after any write overlapping a watched range.  [_watch_lo,
+        # _watch_hi) is the bounding box of all ranges — the hot-path
+        # store check is two comparisons for the common data write.
+        self._watch_lo = 0
+        self._watch_hi = 0
+        self._watch_ranges: list[tuple[int, int]] = []
+        self._watch_cb = None
+
+    # -- write-range notification -----------------------------------------
+
+    def set_write_watch(self, ranges, callback) -> None:
+        """Notify *callback(addr, size)* after every write overlapping
+        one of *ranges* ([lo, hi) pairs).  The machine registers its
+        executable ranges here so code writes (self-modifying stores,
+        runtime patching, breakpoint insertion) invalidate compiled
+        instructions and traces.  Pass ``callback=None`` to clear."""
+        self._watch_ranges = [(lo, hi) for lo, hi in ranges]
+        self._watch_cb = callback if self._watch_ranges else None
+        if self._watch_cb is not None:
+            self._watch_lo = min(lo for lo, _ in self._watch_ranges)
+            self._watch_hi = max(hi for _, hi in self._watch_ranges)
+        else:
+            self._watch_lo = self._watch_hi = 0
+
+    def _notify_write(self, addr: int, n: int) -> None:
+        end = addr + n
+        for lo, hi in self._watch_ranges:
+            if addr < hi and end > lo:
+                self._watch_cb(addr, n)
+                return
 
     # -- mapping --------------------------------------------------------
 
@@ -77,6 +109,7 @@ class Memory:
 
     def write_bytes(self, addr: int, data: bytes) -> None:
         n = len(data)
+        base = addr
         pos = 0
         while pos < n:
             idx = addr >> PAGE_BITS
@@ -85,6 +118,8 @@ class Memory:
             self._page(idx, addr)[off:off + chunk] = data[pos:pos + chunk]
             addr += chunk
             pos += chunk
+        if base < self._watch_hi and base + n > self._watch_lo:
+            self._notify_write(base, n)
 
     # -- integer access (little-endian) ----------------------------------
 
@@ -92,7 +127,9 @@ class Memory:
         idx = addr >> PAGE_BITS
         off = addr & PAGE_MASK
         if off + size <= PAGE_SIZE:
-            page = self._page(idx, addr)
+            # hand-inlined _page(): this is the simulator's hottest call
+            page = self._cache_page if idx == self._cache_idx \
+                else self._page(idx, addr)
             return int.from_bytes(page[off:off + size], "little")
         return int.from_bytes(self.read_bytes(addr, size), "little")
 
@@ -101,7 +138,10 @@ class Memory:
         idx = addr >> PAGE_BITS
         off = addr & PAGE_MASK
         if off + size <= PAGE_SIZE:
-            page = self._page(idx, addr)
+            page = self._cache_page if idx == self._cache_idx \
+                else self._page(idx, addr)
             page[off:off + size] = value.to_bytes(size, "little")
+            if addr < self._watch_hi and addr + size > self._watch_lo:
+                self._notify_write(addr, size)
             return
         self.write_bytes(addr, value.to_bytes(size, "little"))

@@ -1,0 +1,559 @@
+"""Superblock (trace) compiler for the simulator hot loop.
+
+The per-pc closure interpreter in :mod:`repro.sim.executor` pays a dict
+lookup, two Python calls and three attribute read-modify-writes per
+dynamic instruction.  This module removes most of that: straight-line
+runs of instructions (ended by a branch/jump, or by anything that needs
+exact per-instruction machine state — ecall/ebreak/fences/CSR
+reads/atomics) are compiled **once** into a single Python function that
+
+* executes the whole block with machine state bound to locals,
+* inlines the common ALU/load/store forms as plain expressions (no
+  per-instruction call at all) and falls back to the executor's
+  bookkeeping-free bodies for the rest,
+* charges timing as **one batched ucycle charge** per block
+  (:meth:`TimingModel.block_ucycles`) and bumps ``instret`` once,
+* **chains** directly to the successor trace when the (static) branch
+  target has already been compiled, skipping even the per-block cache
+  lookup.
+
+Patch safety
+------------
+Dynamic instrumentation rewrites code while it runs, so the trace cache
+must never execute stale bytes:
+
+* every write overlapping an executable range (self-modifying stores,
+  ``Machine.write_mem`` from the patcher/ProcControl, breakpoint
+  insertion) reaches :meth:`TraceCache.invalidate_range` through the
+  :class:`~repro.sim.memory.Memory` write watch;
+* invalidation drops every trace overlapping the written bytes (with
+  the same 3-byte pre-slack as the per-pc icache: a patched instruction
+  may start up to 3 bytes before the written address) and severs every
+  chain link pointing at a dropped trace;
+* a store *inside* a running trace that invalidates any trace sets
+  ``machine.code_dirty``; the generated code syncs architectural state
+  and exits the block right after that store, so the remaining (possibly
+  rewritten) tail is re-fetched through the cache.
+
+Traces keep architectural state exact at every *observable* boundary:
+block entry/exit, any store, and any faulting load/store (a per-block
+side table maps the fault site back to precise pc/ucycles/instret).
+Single-stepping, watchpoint runs and bounded ``run(max_steps=...)``
+stay on the per-pc closure interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..riscv.decoder import DecodeError, decode
+from ..riscv.encoding import sign_extend, to_unsigned
+from . import fp
+from .executor import (
+    BRANCH_OPS, FMA_SIGNS, LOADS, RI_OPS, RR_OPS, SHIFT_OPS, STORES,
+    SimFault, _sx, build_body,
+)
+from .memory import MemoryFault
+from .timing import category_of
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .machine import Machine
+
+#: maximum instructions per superblock
+MAX_BLOCK = 64
+
+#: 64-bit mask literal used throughout generated code
+_M64 = "0xFFFFFFFFFFFFFFFF"
+
+PAGE_BITS = 12
+
+
+class Trace:
+    """One compiled superblock: ``[entry, end)`` plus its function."""
+
+    __slots__ = ("entry", "end", "fn", "backrefs", "n_insns")
+
+    def __init__(self, entry: int, end: int, fn, n_insns: int):
+        self.entry = entry
+        self.end = end
+        #: the compiled block function (``False`` marks a negative entry:
+        #: the pc starts with an untraceable instruction)
+        self.fn = fn
+        #: chain cells (cells-list, index) that point at ``self.fn``;
+        #: severed on invalidation
+        self.backrefs: list[tuple[list, int]] = []
+        self.n_insns = n_insns
+
+
+class TraceCache:
+    """Compiled-superblock cache with range invalidation and chaining."""
+
+    def __init__(self, machine: "Machine", max_block: int = MAX_BLOCK):
+        self.m = machine
+        self.max_block = max_block
+        #: entry pc -> block function (``False`` = negative entry).  The
+        #: run loop binds ``fns.get``; mutate in place only.
+        self.fns: dict[int, object] = {}
+        self._traces: dict[int, Trace] = {}
+        self._pages: dict[int, set[Trace]] = {}
+        # -- statistics (reported by the throughput ablation)
+        self.compiles = 0
+        self.invalidations = 0
+        self.links = 0
+
+    # -- management ------------------------------------------------------
+
+    def clear(self) -> None:
+        """Full flush (fence.i / load_image)."""
+        if self._traces or self.fns:
+            self.invalidations += 1
+        self.fns.clear()
+        self._traces.clear()
+        self._pages.clear()
+
+    def invalidate_range(self, addr: int, size: int) -> None:
+        """Drop every trace overlapping the written bytes
+        ``[addr, addr+size)`` (3-byte pre-slack: an instruction starting
+        just before *addr* may extend into the write)."""
+        lo = addr - 3
+        hi = addr + size
+        first = lo >> PAGE_BITS
+        last = (hi - 1) >> PAGE_BITS
+        dropped = False
+        for page in range(first, last + 1):
+            bucket = self._pages.get(page)
+            if not bucket:
+                continue
+            for tr in [t for t in bucket if t.entry < hi and t.end > lo]:
+                self._drop(tr)
+                dropped = True
+        if dropped:
+            self.invalidations += 1
+            # a running trace exits at its next store / block boundary
+            self.m.code_dirty = True
+
+    def _register(self, tr: Trace) -> None:
+        self._traces[tr.entry] = tr
+        self.fns[tr.entry] = tr.fn
+        for page in range(tr.entry >> PAGE_BITS,
+                          ((tr.end - 1) >> PAGE_BITS) + 1):
+            self._pages.setdefault(page, set()).add(tr)
+
+    def _drop(self, tr: Trace) -> None:
+        self._traces.pop(tr.entry, None)
+        self.fns.pop(tr.entry, None)
+        for page in range((tr.entry >> PAGE_BITS),
+                          ((tr.end - 1) >> PAGE_BITS) + 1):
+            bucket = self._pages.get(page)
+            if bucket is not None:
+                bucket.discard(tr)
+        fn = tr.fn
+        for cells, idx in tr.backrefs:
+            if cells[idx] is fn:
+                cells[idx] = None
+        tr.backrefs.clear()
+        tr.fn = None
+
+    def _link(self, cells: list, idx: int, pc: int):
+        """Resolve a chain cell: bind the trace at *pc* into *cells[idx]*
+        so the block jumps straight to its successor next time."""
+        tr = self._traces.get(pc)
+        if tr is None:
+            return None
+        fn = tr.fn
+        if not fn:
+            return None
+        cells[idx] = fn
+        tr.backrefs.append((cells, idx))
+        self.links += 1
+        return fn
+
+    # -- compilation -----------------------------------------------------
+
+    def compile_at(self, pc: int):
+        """Compile the superblock entered at *pc*.
+
+        Returns the block function, or ``False`` when *pc* starts with an
+        instruction that must run through the closure interpreter (the
+        negative result is cached and invalidated like a real trace).
+        """
+        try:
+            fn, end, count = self._compile(pc)
+        except (DecodeError, MemoryFault):
+            fn, end, count = False, pc + 4, 0
+        if fn is False:
+            end = pc + 4
+        tr = Trace(pc, end, fn, count)
+        self._register(tr)
+        if fn is not False:
+            self.compiles += 1
+        return fn
+
+    def _fetch(self, pc: int):
+        mem = self.m.mem
+        try:
+            raw = mem.read_bytes(pc, 4)
+        except MemoryFault:
+            raw = mem.read_bytes(pc, 2)  # page-end compressed instr
+        return decode(raw, 0, pc)
+
+    def _compile(self, entry: int):
+        m = self.m
+        emit = _Emitter(m, entry, self._link)
+        pc = entry
+        for _ in range(self.max_block):
+            try:
+                instr = self._fetch(pc)
+            except (DecodeError, MemoryFault):
+                if emit.count == 0:
+                    return False, pc, 0
+                emit.finish_cut(pc, chain=False)
+                return emit.build(), pc, emit.count
+            mn = instr.mnemonic
+            if mn in BRANCH_OPS:
+                emit.emit_branch(pc, instr)
+                return emit.build(), pc + instr.length, emit.count
+            if mn == "jal":
+                emit.emit_jal(pc, instr)
+                return emit.build(), pc + instr.length, emit.count
+            if mn == "jalr":
+                emit.emit_jalr(pc, instr)
+                return emit.build(), pc + instr.length, emit.count
+            if not emit.emit_straight(pc, instr):
+                # untraceable (ecall/ebreak/fence/csr/amo/unknown)
+                if emit.count == 0:
+                    return False, pc, 0
+                emit.finish_cut(pc, chain=False)
+                return emit.build(), pc, emit.count
+            pc += instr.length
+        emit.finish_cut(pc, chain=True)
+        return emit.build(), pc, emit.count
+
+
+class _Emitter:
+    """Generates the Python source of one block function."""
+
+    def __init__(self, m: "Machine", entry: int, link):
+        self.m = m
+        self.entry = entry
+        self.lines: list[str] = []
+        # namespace bound into the function via default arguments
+        self.ns = {
+            "m": m, "x": m.x, "fr": m.f,
+            "ri": m.mem.read_int, "si": m.mem.write_int,
+            "PG": m.mem._pages.get, "FB": int.from_bytes,
+            "sx": _sx, "L": link,
+            "F64": fp.f64_from_bits, "B64": fp.bits_from_f64,
+            "F32": fp.f32_from_bits, "B32": fp.bits_from_f32,
+            "MF": MemoryFault, "SF": SimFault,
+        }
+        self.count = 0
+        self.cost = 0
+        self.cells = 0
+        # fault side table: ip -> (pc, ucycles-before, instret-before)
+        self.sync_pc = [entry]
+        self.sync_cost = [0]
+        self.sync_count = [0]
+        self._tmp = 0
+
+    # -- helpers ---------------------------------------------------------
+
+    def _bind(self, prefix: str, value) -> str:
+        name = f"{prefix}{self.count}"
+        self.ns[name] = value
+        return name
+
+    def _mark(self, pc: int) -> None:
+        """Record a sync point for a possibly-faulting statement."""
+        ip = len(self.sync_pc)
+        self.sync_pc.append(pc)
+        self.sync_cost.append(self.cost)
+        self.sync_count.append(self.count)
+        self.lines.append(f"ip = {ip}")
+
+    def _charge(self, mn: str, instr) -> None:
+        self.cost += self.m.timing.ucycles(
+            category_of(mn, instr.spec.match & 0x7F))
+        self.count += 1
+
+    def _bookkeep(self) -> None:
+        self.lines.append(f"m.ucycles += {self.cost}")
+        self.lines.append(f"m.instret += {self.count}")
+
+    def _chain_cell(self) -> int:
+        k = self.cells
+        self.cells += 1
+        return k
+
+    def _chain_return(self, target: int) -> None:
+        k = self._chain_cell()
+        self.lines.append(f"t = S[{k}]")
+        self.lines.append(f"if t is None:")
+        self.lines.append(f"    t = L(S, {k}, {target:#x})")
+        self.lines.append("return t")
+
+    # -- straight-line instructions --------------------------------------
+
+    def emit_straight(self, pc: int, instr) -> bool:
+        """Emit one non-control instruction; False if untraceable."""
+        mn = instr.mnemonic
+        f = instr.fields
+        line = self._inline(pc, mn, f)
+        if line is not None:
+            for ln in (line if isinstance(line, list) else [line]):
+                self.lines.append(ln)
+            self._charge(mn, instr)
+            return True
+        if mn in STORES or mn in ("fsw", "fsd"):
+            self._emit_store(pc, mn, f, instr)
+            return True
+        if mn in ("ecall", "ebreak", "fence", "fence.i") or \
+                mn.startswith(("csr", "lr.", "sc.", "amo")):
+            return False
+        body = build_body(self.m, pc, instr)
+        if body is None:
+            return False
+        self._mark(pc)
+        self.lines.append(f"{self._bind('b', body)}()")
+        self._charge(mn, instr)
+        return True
+
+    def _emit_store(self, pc: int, mn: str, f: dict, instr) -> None:
+        size = STORES.get(mn) or (4 if mn == "fsw" else 8)
+        src = "fr" if mn in ("fsw", "fsd") else "x"
+        addr = f"(x[{f['rs1']}] + {f['imm']}) & {_M64}"
+        self._mark(pc)
+        self.lines.append(f"si({addr}, {size}, {src}[{f['rs2']}])")
+        self._charge(mn, instr)
+        # patch safety: if this store invalidated any trace, sync state
+        # and leave the block — the tail is re-fetched through the cache.
+        self.lines.append("if m.code_dirty:")
+        self.lines.append("    m.code_dirty = False")
+        self.lines.append(f"    m.pc = {pc + instr.length:#x}")
+        self.lines.append(f"    m.ucycles += {self.cost}")
+        self.lines.append(f"    m.instret += {self.count}")
+        self.lines.append("    return None")
+
+    def _inline(self, pc: int, mn: str, f: dict):
+        """Source line(s) for the hot straight-line forms, else None."""
+        if mn in RI_OPS:
+            rd, rs1, imm = f["rd"], f["rs1"], f["imm"]
+            if rd == 0:
+                return "pass"
+            if mn == "addi":
+                if imm == 0:
+                    return f"x[{rd}] = x[{rs1}]"
+                return f"x[{rd}] = (x[{rs1}] + {imm}) & {_M64}"
+            u = imm & ((1 << 64) - 1)
+            if mn == "andi":
+                return f"x[{rd}] = x[{rs1}] & {u:#x}"
+            if mn == "ori":
+                return f"x[{rd}] = x[{rs1}] | {u:#x}"
+            if mn == "xori":
+                return f"x[{rd}] = x[{rs1}] ^ {u:#x}"
+            if mn == "slti":
+                return f"x[{rd}] = 1 if sx(x[{rs1}]) < {imm} else 0"
+            if mn == "sltiu":
+                return f"x[{rd}] = 1 if x[{rs1}] < {u:#x} else 0"
+            if mn == "addiw":
+                v = self._temp()
+                return [f"{v} = (x[{rs1}] + {imm}) & 0xFFFFFFFF",
+                        f"x[{rd}] = {v} | 0xFFFFFFFF00000000 "
+                        f"if {v} & 0x80000000 else {v}"]
+            return None
+        if mn in SHIFT_OPS:
+            rd, rs1, sh = f["rd"], f["rs1"], f["shamt"]
+            if rd == 0:
+                return "pass"
+            if mn == "slli":
+                return f"x[{rd}] = (x[{rs1}] << {sh}) & {_M64}"
+            if mn == "srli":
+                return f"x[{rd}] = x[{rs1}] >> {sh}"
+            if mn == "srai":
+                return f"x[{rd}] = (sx(x[{rs1}]) >> {sh}) & {_M64}"
+            return None
+        if mn in RR_OPS:
+            rd, a, b = f["rd"], f["rs1"], f["rs2"]
+            if rd == 0:
+                return "pass"
+            if mn == "add":
+                return f"x[{rd}] = (x[{a}] + x[{b}]) & {_M64}"
+            if mn == "sub":
+                return f"x[{rd}] = (x[{a}] - x[{b}]) & {_M64}"
+            if mn == "mul":
+                return f"x[{rd}] = (x[{a}] * x[{b}]) & {_M64}"
+            if mn == "and":
+                return f"x[{rd}] = x[{a}] & x[{b}]"
+            if mn == "or":
+                return f"x[{rd}] = x[{a}] | x[{b}]"
+            if mn == "xor":
+                return f"x[{rd}] = x[{a}] ^ x[{b}]"
+            if mn == "sltu":
+                return f"x[{rd}] = 1 if x[{a}] < x[{b}] else 0"
+            if mn == "slt":
+                return f"x[{rd}] = 1 if sx(x[{a}]) < sx(x[{b}]) else 0"
+            if mn in ("addw", "subw", "mulw"):
+                op = {"addw": "+", "subw": "-", "mulw": "*"}[mn]
+                v = self._temp()
+                return [f"{v} = (x[{a}] {op} x[{b}]) & 0xFFFFFFFF",
+                        f"x[{rd}] = {v} | 0xFFFFFFFF00000000 "
+                        f"if {v} & 0x80000000 else {v}"]
+            return None
+        if mn == "lui" or mn == "auipc":
+            rd = f["rd"]
+            if rd == 0:
+                return "pass"
+            val = sign_extend(f["imm"], 20) << 12
+            if mn == "auipc":
+                val += pc
+            return f"x[{rd}] = {to_unsigned(val, 64):#x}"
+        if mn in LOADS:
+            size, signed = LOADS[mn]
+            rd, rs1, imm = f["rd"], f["rs1"], f["imm"]
+            addr = f"(x[{rs1}] + {imm}) & {_M64}"
+            if rd == 0:
+                self._mark(pc)
+                return [f"ri({addr}, {size})"]
+            v = self._temp()
+            self._mark(pc)
+            lines = self._load_lines(v, addr, size)
+            if not signed or size == 8:
+                lines.append(f"x[{rd}] = {v}")
+            else:
+                sbit = 1 << (size * 8 - 1)
+                ext = ((1 << 64) - 1) ^ ((1 << (size * 8)) - 1)
+                lines.append(f"x[{rd}] = {v} | {ext:#x} "
+                             f"if {v} & {sbit:#x} else {v}")
+            return lines
+        if mn in ("flw", "fld"):
+            rd, rs1, imm = f["rd"], f["rs1"], f["imm"]
+            addr = f"(x[{rs1}] + {imm}) & {_M64}"
+            size = 4 if mn == "flw" else 8
+            v = self._temp()
+            self._mark(pc)
+            lines = self._load_lines(v, addr, size)
+            if mn == "flw":
+                lines.append(f"fr[{rd}] = 0xFFFFFFFF00000000 | {v}")
+            else:
+                lines.append(f"fr[{rd}] = {v}")
+            return lines
+        parts = mn.split(".")
+        if len(parts) == 2 and parts[1] in ("s", "d"):
+            root, fmt = parts
+            G = "F32" if fmt == "s" else "F64"
+            B = "B32" if fmt == "s" else "B64"
+            if root in ("fadd", "fsub", "fmul"):
+                op = {"fadd": "+", "fsub": "-", "fmul": "*"}[root]
+                rd, a, b = f["rd"], f["rs1"], f["rs2"]
+                return f"fr[{rd}] = {B}({G}(fr[{a}]) {op} {G}(fr[{b}]))"
+            if root in FMA_SIGNS:
+                ps, qs = FMA_SIGNS[root]
+                rd, a, b, c = f["rd"], f["rs1"], f["rs2"], f["rs3"]
+                return (f"fr[{rd}] = {B}({ps} * ({G}(fr[{a}]) * "
+                        f"{G}(fr[{b}])) + {qs} * {G}(fr[{c}]))")
+        return None
+
+    def _temp(self) -> str:
+        self._tmp += 1
+        return f"v{self._tmp}"
+
+    def _load_lines(self, v: str, addr: str, size: int) -> list[str]:
+        """Memory read with the page-dict access inlined; falls back to
+        ``read_int`` off-page-fastpath (cross-page or unmapped — the
+        latter raises MemoryFault with ``ip`` already synced).  Reads
+        never touch the write watch, so inlining is invalidation-safe;
+        stores always go through ``write_int``."""
+        return [
+            f"a = {addr}",
+            "pg = PG(a >> 12)",
+            "o = a & 4095",
+            f"if pg is None or o > {4096 - size}:",
+            f"    {v} = ri(a, {size})",
+            "else:",
+            f"    {v} = FB(pg[o:o + {size}], 'little')",
+        ]
+
+    # -- terminators -----------------------------------------------------
+
+    def emit_branch(self, pc: int, instr) -> None:
+        f = instr.fields
+        a, b = f["rs1"], f["rs2"]
+        taken = pc + f["imm"]
+        fall = pc + instr.length
+        cond = {
+            "beq": f"x[{a}] == x[{b}]",
+            "bne": f"x[{a}] != x[{b}]",
+            "bltu": f"x[{a}] < x[{b}]",
+            "bgeu": f"x[{a}] >= x[{b}]",
+            "blt": f"sx(x[{a}]) < sx(x[{b}])",
+            "bge": f"sx(x[{a}]) >= sx(x[{b}])",
+        }[instr.mnemonic]
+        self._charge(instr.mnemonic, instr)
+        self._bookkeep()
+        self.lines.append(f"if {cond}:")
+        k = self._chain_cell()
+        self.lines.append(f"    m.pc = {taken:#x}")
+        self.lines.append(f"    t = S[{k}]")
+        self.lines.append("    if t is None:")
+        self.lines.append(f"        t = L(S, {k}, {taken:#x})")
+        self.lines.append("    return t")
+        self.lines.append(f"m.pc = {fall:#x}")
+        self._chain_return(fall)
+
+    def emit_jal(self, pc: int, instr) -> None:
+        f = instr.fields
+        rd = f["rd"]
+        target = (pc + f["imm"]) & ((1 << 64) - 1)
+        self._charge("jal", instr)
+        if rd:
+            self.lines.append(f"x[{rd}] = {pc + instr.length:#x}")
+        self._bookkeep()
+        self.lines.append(f"m.pc = {target:#x}")
+        self._chain_return(target)
+
+    def emit_jalr(self, pc: int, instr) -> None:
+        f = instr.fields
+        rd, rs1, imm = f["rd"], f["rs1"], f["imm"]
+        self._charge("jalr", instr)
+        self.lines.append(
+            f"t = (x[{rs1}] + {imm}) & 0xFFFFFFFFFFFFFFFE")
+        if rd:
+            self.lines.append(f"x[{rd}] = {pc + instr.length:#x}")
+        self._bookkeep()
+        self.lines.append("m.pc = t")
+        self.lines.append("return None")
+
+    def finish_cut(self, next_pc: int, chain: bool) -> None:
+        """End a block without a control transfer (max length reached or
+        the next instruction is untraceable)."""
+        self._bookkeep()
+        self.lines.append(f"m.pc = {next_pc:#x}")
+        if chain:
+            self._chain_return(next_pc)
+        else:
+            self.lines.append("return None")
+
+    # -- assembly --------------------------------------------------------
+
+    def build(self):
+        self.ns["S"] = [None] * self.cells
+        self.ns["P"] = tuple(self.sync_pc)
+        self.ns["U"] = tuple(self.sync_cost)
+        self.ns["N"] = tuple(self.sync_count)
+        params = ", ".join(f"{k}={k}" for k in self.ns)
+        body = "\n        ".join(self.lines) or "pass"
+        src = (
+            f"def __trace__({params}):\n"
+            f"    ip = 0\n"
+            f"    try:\n"
+            f"        {body}\n"
+            f"    except (MF, SF):\n"
+            f"        m.pc = P[ip]\n"
+            f"        m.ucycles += U[ip]\n"
+            f"        m.instret += N[ip]\n"
+            f"        raise\n"
+        )
+        code = compile(src, f"<trace@{self.entry:#x}>", "exec")
+        env = dict(self.ns)
+        exec(code, env)
+        return env["__trace__"]

@@ -1,0 +1,306 @@
+"""Patch-safe invalidation of compiled code (closures *and* traces).
+
+Dynamic instrumentation rewrites code while it runs.  These tests patch
+code mid-run through every channel — self-modifying stores, the
+ProcControl debug port, breakpoint insertion, runtime instrumentation —
+and check the subsequent execution observes the new code, with the
+superblock trace compiler enabled and disabled.  Both modes must also
+agree on the full architectural outcome (registers, counters, stdout).
+"""
+
+import pytest
+
+from repro.api import open_binary
+from repro.codegen import IncrementVar
+from repro.minicc import compile_source, fib_source
+from repro.patch import PointType
+from repro.proccontrol import EventType, Process
+from repro.riscv import assemble
+from repro.riscv.encoder import encode
+from repro.sim import Machine, P550, StopReason
+
+MODES = [pytest.param(True, id="traced"),
+         pytest.param(False, id="interp")]
+
+#: encoding of ``addi a0, a0, <imm>`` — the replacement instructions the
+#: tests patch in over an original ``addi a0, a0, 1``
+def _addi_a0(imm: int) -> int:
+    return encode("addi", rd=10, rs1=10, imm=imm)
+
+
+def _machine(prog, trace_compile):
+    m = Machine(P550, trace_compile=trace_compile)
+    m.load_program(prog)
+    return m
+
+
+class TestSelfModifyingStores:
+    @pytest.mark.parametrize("trace_compile", MODES)
+    def test_store_patches_upcoming_instruction(self, trace_compile):
+        """A store rewrites an instruction *later in the same
+        straight-line run*; the new instruction must execute (the trace
+        containing both was compiled from the old bytes)."""
+        src = f"""
+_start:
+  la t0, target
+  li t1, {_addi_a0(100):#x}
+  li a0, 0
+  sw t1, 0(t0)
+target:
+  addi a0, a0, 1
+  li a7, 93
+  ecall
+"""
+        m = _machine(assemble(src), trace_compile)
+        ev = m.run()
+        assert ev.reason is StopReason.EXITED
+        assert ev.exit_code == 100  # not 1: the patched addi ran
+
+    @pytest.mark.parametrize("trace_compile", MODES)
+    def test_store_patches_hot_loop_body(self, trace_compile):
+        """Code already executed (and trace-compiled) is rewritten by a
+        later iteration's store; following iterations run the new
+        body."""
+        src = f"""
+_start:
+  li a0, 0
+  li t2, 0
+  la t0, target
+  li t1, {_addi_a0(10):#x}
+loop:
+target:
+  addi a0, a0, 1
+  addi t2, t2, 1
+  li t4, 3
+  bne t2, t4, skip
+  sw t1, 0(t0)
+skip:
+  li t3, 6
+  blt t2, t3, loop
+  li a7, 93
+  ecall
+"""
+        m = _machine(assemble(src), trace_compile)
+        ev = m.run()
+        assert ev.reason is StopReason.EXITED
+        # iterations 1-3 add 1 each, the store fires at i==3,
+        # iterations 4-6 add 10 each
+        assert ev.exit_code == 3 + 30
+
+    def test_modes_agree_on_counts(self):
+        """Self-modifying run: identical instret/ucycles traced vs not."""
+        src = f"""
+_start:
+  li a0, 0
+  li t2, 0
+  la t0, target
+  li t1, {_addi_a0(7):#x}
+loop:
+target:
+  addi a0, a0, 1
+  addi t2, t2, 1
+  li t4, 2
+  bne t2, t4, skip
+  sw t1, 0(t0)
+skip:
+  li t3, 5
+  blt t2, t3, loop
+  li a7, 93
+  ecall
+"""
+        prog = assemble(src)
+        runs = []
+        for tc in (True, False):
+            m = _machine(prog, tc)
+            ev = m.run()
+            runs.append((ev.exit_code, m.instret, m.ucycles, m.x, m.pc))
+        assert runs[0] == runs[1]
+
+
+class TestDebugPortPatching:
+    @pytest.mark.parametrize("trace_compile", MODES)
+    def test_patch_at_breakpoint_mid_run(self, trace_compile):
+        """Stop a hot loop at a breakpoint, rewrite an instruction the
+        loop (and its compiled traces) already executed, continue: the
+        remaining iterations must run the new code."""
+        src = """
+_start:
+  li a0, 0
+  li t0, 0
+loop:
+  addi t0, t0, 1
+patch_me:
+  addi a0, a0, 1
+  li t4, 2
+  bne t0, t4, cont
+trigger:
+  nop
+cont:
+  li t3, 5
+  blt t0, t3, loop
+  li a7, 93
+  ecall
+"""
+        prog = assemble(src)
+        m = _machine(prog, trace_compile)
+        proc = Process.attach(m)
+        proc.insert_breakpoint(prog.symbol("trigger").address)
+        ev = proc.continue_to_event()
+        assert ev.type is EventType.STOPPED_BREAKPOINT
+        assert m.x[10] == 2  # two iterations of the original body ran
+
+        patch_addr = prog.symbol("patch_me").address
+        proc.write_memory(patch_addr, _addi_a0(10).to_bytes(4, "little"))
+        proc.remove_breakpoint(patch_addr)  # no-op; bp is at trigger
+        proc.remove_breakpoint(prog.symbol("trigger").address)
+
+        ev = proc.continue_to_event()
+        assert ev.type is EventType.EXITED
+        # iterations 3-5 ran the patched body
+        assert ev.exit_code == 2 + 3 * 10
+
+    @pytest.mark.parametrize("trace_compile", MODES)
+    def test_breakpoint_inserted_into_compiled_loop(self, trace_compile):
+        """Breakpoint insertion is itself a code write: planting one in
+        a loop that already ran (so its traces exist) must fire on the
+        next iteration, not execute a stale block past it."""
+        src = """
+_start:
+  li a0, 0
+  li t0, 0
+loop:
+  addi t0, t0, 1
+body:
+  addi a0, a0, 1
+  li t3, 2
+  bne t0, t3, cont
+mid:
+  nop
+cont:
+  li t4, 6
+  blt t0, t4, loop
+  li a7, 93
+  ecall
+"""
+        prog = assemble(src)
+        m = _machine(prog, trace_compile)
+        proc = Process.attach(m)
+        proc.insert_breakpoint(prog.symbol("mid").address)
+        ev = proc.continue_to_event()
+        assert ev.type is EventType.STOPPED_BREAKPOINT
+
+        # the loop body's traces are hot now; plant a breakpoint inside
+        body = prog.symbol("body").address
+        proc.insert_breakpoint(body)
+        ev = proc.continue_to_event()
+        assert ev.type is EventType.STOPPED_BREAKPOINT
+        assert ev.pc == body
+        assert m.x[5] == 3  # t0: stopped in iteration 3, before the addi
+
+        proc.remove_breakpoint(body)
+        ev = proc.continue_to_event()
+        assert ev.type is EventType.EXITED
+        assert ev.exit_code == 6
+
+
+class TestRuntimeInstrumentation:
+    def _attach_run(self, trace_compile):
+        """Dynamic attach: run to the first fib call (compiling traces
+        over the whole program), install entry counters mid-run, finish.
+        The springboard install must invalidate the compiled blocks."""
+        b = open_binary(compile_source(fib_source(9)))
+        m = Machine(P550, trace_compile=trace_compile)
+        b.symtab.load_into(m)
+        proc = Process.attach(m, b.symtab)
+        fib_entry = b.function("fib").entry
+        proc.insert_breakpoint(fib_entry)
+        ev = proc.continue_to_event()
+        assert ev.type is EventType.STOPPED_BREAKPOINT
+        proc.remove_breakpoint(fib_entry)
+
+        c = b.allocate_variable("entries")
+        b.insert(b.points("fib", PointType.FUNC_ENTRY), IncrementVar(c))
+        proc2 = b.attach_and_instrument(m)
+        ev = proc2.continue_to_event()
+        assert ev.type is EventType.EXITED
+        count = b.read_variable(m, c)
+        assert count > 0
+        return count, m.exit_code, m.instret, m.ucycles
+
+    @pytest.mark.parametrize("trace_compile", MODES)
+    def test_attach_and_instrument_mid_run(self, trace_compile):
+        self._attach_run(trace_compile)
+
+    def test_attach_modes_agree(self):
+        assert self._attach_run(True) == self._attach_run(False)
+
+
+class TestTraceCacheInternals:
+    def _hot_machine(self):
+        """A machine stopped at a breakpoint with loop traces compiled."""
+        src = """
+_start:
+  li a0, 0
+  li t0, 0
+loop:
+  addi t0, t0, 1
+  addi a0, a0, 1
+  li t3, 2
+  bne t0, t3, cont
+mid:
+  nop
+cont:
+  li t4, 6
+  blt t0, t4, loop
+  li a7, 93
+  ecall
+"""
+        prog = assemble(src)
+        m = _machine(prog, True)
+        proc = Process.attach(m)
+        proc.insert_breakpoint(prog.symbol("mid").address)
+        ev = proc.continue_to_event()
+        assert ev.type is EventType.STOPPED_BREAKPOINT
+        return m, prog, proc
+
+    def test_write_mem_drops_overlapping_traces(self):
+        m, prog, _ = self._hot_machine()
+        assert m.traces.fns, "loop should have compiled traces"
+        target = prog.symbol("loop").address
+        before = dict(m.traces.fns)
+        m.write_mem(target, _addi_a0(0).to_bytes(4, "little"))
+        assert all(e >= target + 4 or e < target - 3 + 1
+                   for e in m.traces.fns
+                   if e in before) or target not in m.traces.fns
+
+    def test_invalidation_severs_chain_links(self):
+        m, prog, proc = self._hot_machine()
+        target = prog.symbol("loop").address
+        m.invalidate_code_range(target, 4)
+        # every remaining trace's chain cells must not point at a
+        # dropped function: simply finishing the run proves it (a stale
+        # chained call would run old code or crash)
+        proc.remove_breakpoint(prog.symbol("mid").address)
+        ev = proc.continue_to_event()
+        assert ev.type is EventType.EXITED
+        assert ev.exit_code == 6
+
+    def test_flush_icache_clears_traces(self):
+        m, _, _ = self._hot_machine()
+        assert m.traces.fns
+        m.flush_icache()  # fence.i semantics: full flush
+        assert not m.traces.fns
+
+    def test_negative_entries_are_invalidated_too(self):
+        """A pc rejected by the trace compiler (e.g. an ebreak planted
+        by a breakpoint) is negatively cached; rewriting it must drop
+        the negative entry so the new instruction compiles."""
+        m, prog, proc = self._hot_machine()
+        mid = prog.symbol("mid").address
+        # 'mid' currently holds the breakpoint's ebreak -> negative entry
+        assert m.traces.fns.get(mid) is False
+        proc.remove_breakpoint(mid)  # restores the nop (a code write)
+        assert mid not in m.traces.fns
+        ev = proc.continue_to_event()
+        assert ev.type is EventType.EXITED
+        assert ev.exit_code == 6
