@@ -1,9 +1,17 @@
 # Convenience targets (pure-Python project; no compilation involved)
 
-.PHONY: install test bench examples artifacts api-docs all
+.PHONY: install lint test bench examples artifacts api-docs all
 
 install:
 	pip install -e . || python setup.py develop
+
+# ruff config lives in pyproject.toml; skip gracefully offline
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests tools benchmarks examples; \
+	else \
+		echo "ruff not installed (pip install ruff) — skipping lint"; \
+	fi
 
 test:
 	pytest tests/

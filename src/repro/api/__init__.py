@@ -1,9 +1,19 @@
-"""High-level toolkit facade (the BPatch analogue)."""
+"""High-level toolkit facade (the BPatch analogue).
 
+The v2 session surface: :func:`open_binary` (a context manager),
+:class:`InstrumentOptions` configuration, the :class:`ReproError`-rooted
+exception hierarchy, and per-session telemetry snapshots.
+"""
+
+from ..errors import ReproError
 from .bpatch import (
-    ApiError, BinaryEdit, attach, load_rewritten, one_time_code,
-    open_binary,
+    AlreadyCommittedError, ApiError, BinaryEdit, ClosedEditError, attach,
+    load_rewritten, one_time_code, open_binary,
 )
+from .options import DEFAULT_OPTIONS, InstrumentOptions
 
-__all__ = ["ApiError", "BinaryEdit", "attach", "load_rewritten",
-           "one_time_code", "open_binary"]
+__all__ = [
+    "AlreadyCommittedError", "ApiError", "BinaryEdit", "ClosedEditError",
+    "DEFAULT_OPTIONS", "InstrumentOptions", "ReproError", "attach",
+    "load_rewritten", "one_time_code", "open_binary",
+]

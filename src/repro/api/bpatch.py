@@ -11,11 +11,30 @@ One import gives tools the whole stack with the paper's Figure 1 flows:
 
 Tools written against this layer contain no RISC-V specifics: points and
 snippets are the machine-independent abstractions of §2.2.
+
+The v2 session surface (this PR's API redesign):
+
+* configuration travels in a frozen :class:`InstrumentOptions` instead
+  of scattered boolean kwargs (legacy keywords still accepted, with a
+  ``DeprecationWarning``);
+* :func:`open_binary` returns a context-manager session —
+  ``with open_binary(prog) as edit: ...``;
+* :meth:`BinaryEdit.batch` scopes a group of insertions and commits
+  them once on exit;
+* every user mistake raises an :class:`ApiError` (a
+  :class:`repro.errors.ReproError`), never a bare builtin;
+* :attr:`BinaryEdit.telemetry` exposes the pipeline's telemetry
+  snapshot (see :mod:`repro.telemetry`).
 """
 
 from __future__ import annotations
 
+import warnings
+from contextlib import contextmanager
+
+from .. import telemetry
 from ..codegen.snippets import Snippet, Variable
+from ..errors import ReproError
 from ..parse.cfg import Function
 from ..parse.parser import CodeObject, parse_binary
 from ..patch.patcher import Patcher, PatchResult
@@ -26,19 +45,68 @@ from ..riscv.assembler import Program
 from ..sim.machine import Machine
 from ..sim.timing import P550, TimingModel
 from ..symtab.symtab import Symtab
+from .options import DEFAULT_OPTIONS, InstrumentOptions
 
 
-class ApiError(RuntimeError):
-    pass
+class ApiError(ReproError, RuntimeError):
+    """The BPatch facade was misused (bad argument, wrong state...)."""
 
 
-def open_binary(source: bytes | Program | Symtab, *,
-                gap_parsing: bool = True) -> "BinaryEdit":
+class AlreadyCommittedError(ApiError):
+    """Instrumentation was modified after :meth:`BinaryEdit.commit`.
+
+    A :class:`BinaryEdit` commits exactly once; ``insert`` /
+    ``replace_*`` / ``delete_instruction`` calls after that cannot take
+    effect and raise this error.  Open a fresh edit (or queue
+    everything inside one :meth:`BinaryEdit.batch` block) instead.
+    """
+
+
+class ClosedEditError(ApiError):
+    """A :class:`BinaryEdit` session was used after it was closed."""
+
+
+#: sentinel distinguishing "not passed" from any real value
+_UNSET = object()
+
+
+def _merge_legacy_options(options: InstrumentOptions | None,
+                          legacy: dict) -> InstrumentOptions:
+    """Fold deprecated keyword arguments into an options object."""
+    passed = {k: v for k, v in legacy.items() if v is not _UNSET}
+    if not passed:
+        return options if options is not None else DEFAULT_OPTIONS
+    if options is not None:
+        raise ApiError(
+            "pass configuration either as InstrumentOptions or as "
+            f"legacy keywords, not both ({', '.join(sorted(passed))})")
+    warnings.warn(
+        f"keyword argument(s) {', '.join(sorted(passed))} are "
+        f"deprecated; pass options=InstrumentOptions(...) instead",
+        DeprecationWarning, stacklevel=3)
+    return DEFAULT_OPTIONS.replace(**passed)
+
+
+def open_binary(source: bytes | Program | Symtab,
+                options: InstrumentOptions | None = None, *,
+                gap_parsing=_UNSET, use_dead_registers=_UNSET,
+                patch_base=_UNSET) -> "BinaryEdit":
     """Open a mutatee for analysis and instrumentation.
 
     Accepts raw ELF bytes, an assembled/compiled :class:`Program`, or an
-    existing :class:`Symtab`.
+    existing :class:`Symtab`.  The returned :class:`BinaryEdit` is a
+    context manager::
+
+        with open_binary(program) as edit:
+            edit.insert(edit.points("main", PointType.FUNC_ENTRY), snip)
+            blob = edit.rewrite()
+
+    Configuration goes in *options* (an :class:`InstrumentOptions`);
+    the old boolean keywords are accepted for one deprecation cycle.
     """
+    opts = _merge_legacy_options(options, dict(
+        gap_parsing=gap_parsing, use_dead_registers=use_dead_registers,
+        patch_base=patch_base))
     if isinstance(source, Symtab):
         symtab = source
     elif isinstance(source, Program):
@@ -47,21 +115,64 @@ def open_binary(source: bytes | Program | Symtab, *,
         symtab = Symtab.from_bytes(bytes(source))
     else:
         raise ApiError(f"cannot open {type(source).__name__}")
-    return BinaryEdit(symtab, gap_parsing=gap_parsing)
+    return BinaryEdit(symtab, opts)
 
 
 class BinaryEdit:
-    """An opened mutatee: analysis results plus snippet insertion."""
+    """An opened mutatee session: analysis results plus snippet
+    insertion.  Usable directly or as a context manager (the session
+    closes on scope exit; a closed session rejects further
+    instrumentation)."""
 
-    def __init__(self, symtab: Symtab, *, gap_parsing: bool = True,
-                 use_dead_registers: bool = True,
-                 patch_base: int | None = None):
+    def __init__(self, symtab: Symtab,
+                 options: InstrumentOptions | None = None, *,
+                 gap_parsing=_UNSET, use_dead_registers=_UNSET,
+                 patch_base=_UNSET):
+        opts = _merge_legacy_options(options, dict(
+            gap_parsing=gap_parsing,
+            use_dead_registers=use_dead_registers,
+            patch_base=patch_base))
         self.symtab = symtab
-        self.cfg: CodeObject = parse_binary(symtab, gap_parsing=gap_parsing)
+        self.options = opts
+        self._telemetry = telemetry.current()
+        self.cfg: CodeObject = parse_binary(
+            symtab, gap_parsing=opts.gap_parsing)
         self._patcher = Patcher(
-            symtab, self.cfg, use_dead_registers=use_dead_registers,
-            patch_base=patch_base)
+            symtab, self.cfg,
+            use_dead_registers=opts.use_dead_registers,
+            patch_base=opts.patch_base,
+            data_size=opts.data_size,
+            interprocedural_liveness=opts.interprocedural_liveness)
         self._result: PatchResult | None = None
+        self._closed = False
+        self._in_batch = False
+
+    # -- session lifecycle -------------------------------------------------
+
+    def __enter__(self) -> "BinaryEdit":
+        if self._closed:
+            raise ClosedEditError("BinaryEdit session already closed")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def close(self) -> None:
+        """End the session.  Idempotent; analysis results stay readable
+        but further instrumentation raises :class:`ClosedEditError`."""
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def telemetry(self) -> dict:
+        """Snapshot of the telemetry recorder observing this session
+        (empty unless telemetry is enabled — see
+        :mod:`repro.telemetry`)."""
+        return self._telemetry.snapshot()
 
     # -- analysis ----------------------------------------------------------
 
@@ -119,15 +230,51 @@ class BinaryEdit:
         self._ensure_uncommitted()
         self._patcher.delete_instruction(point)
 
+    @contextmanager
+    def batch(self):
+        """Scope a group of ``insert``/``replace_*`` calls and commit
+        them once on exit::
+
+            with edit.batch() as b:
+                b.insert(entry_points, IncrementVar(calls))
+                b.replace_call(site, "fast_path")
+            # committed here — exactly once, only on success
+
+        The block body only *queues* requests (exactly like bare
+        ``insert`` calls); leaving the block normally triggers the
+        single :meth:`commit`.  If the body raises, nothing is
+        committed.  Entering a batch on an already-committed (or
+        closed) edit raises immediately, and batches do not nest.
+        """
+        self._ensure_uncommitted()
+        if self._in_batch:
+            raise ApiError("batch() blocks cannot nest")
+        self._in_batch = True
+        try:
+            yield self
+        finally:
+            self._in_batch = False
+        self.commit()
+
     def commit(self) -> PatchResult:
         """Build all trampolines/springboards (idempotent)."""
+        if self._closed and self._result is None:
+            raise ClosedEditError(
+                "cannot commit: BinaryEdit session is closed")
         if self._result is None:
             self._result = self._patcher.commit()
         return self._result
 
     def _ensure_uncommitted(self) -> None:
+        if self._closed:
+            raise ClosedEditError(
+                "BinaryEdit session is closed; open a new one to "
+                "instrument again")
         if self._result is not None:
-            raise ApiError("instrumentation already committed")
+            raise AlreadyCommittedError(
+                "instrumentation already committed; a BinaryEdit "
+                "commits once — queue further changes in a new edit "
+                "(or group them in one batch() block)")
 
     # -- the three Figure-1 flows --------------------------------------------------
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..errors import ReproError
 from ..dataflow.liveness import LivenessResult
 from ..riscv.registers import Register, SCRATCH_CANDIDATES
 
@@ -40,7 +41,7 @@ class ScratchPlan:
         return 8 * len(self.spilled)
 
 
-class AllocationError(RuntimeError):
+class AllocationError(ReproError, RuntimeError):
     pass
 
 

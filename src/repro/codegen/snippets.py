@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence as Seq
 
+from ..errors import ReproError
 from ..riscv.registers import Register
 
 
@@ -27,7 +28,7 @@ class Variable:
     size: int = 8
 
 
-class SnippetError(ValueError):
+class SnippetError(ReproError, ValueError):
     """Raised for malformed snippet trees or lowering failures."""
 
 

@@ -17,8 +17,10 @@ per-instruction refinement.  Conservative boundary conditions:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
+from .. import telemetry
 from ..instruction.insn import Insn
 from ..parse.cfg import Block, EdgeType, Function
 from ..riscv.registers import (
@@ -188,6 +190,8 @@ def analyze_liveness(fn: Function) -> LivenessResult:
     The fixpoint iterates on int bitmasks; the result exposes the usual
     frozenset dicts (plus the mask tables for fast queries).
     """
+    rec = telemetry.current()
+    t0 = time.perf_counter() if rec.enabled else 0.0
     blocks = fn.blocks
     summaries = {a: _block_flow(b) for a, b in blocks.items()}
 
@@ -212,9 +216,11 @@ def analyze_liveness(fn: Function) -> LivenessResult:
     in_masks: dict[int, int] = {a: 0 for a in blocks}
     out_masks: dict[int, int] = {a: 0 for a in blocks}
 
+    iterations = 0
     changed = True
     while changed:
         changed = False
+        iterations += 1
         for addr in blocks:
             out = seed[addr]
             for s in succs[addr]:
@@ -230,4 +236,9 @@ def analyze_liveness(fn: Function) -> LivenessResult:
     live_out = {a: regs_of(v) for a, v in out_masks.items()}
     result = LivenessResult(fn, live_in, live_out)
     result._out_masks = out_masks
+    if rec.enabled:
+        rec.record_span("liveness.analyze", time.perf_counter() - t0)
+        rec.count("liveness.functions")
+        rec.count("liveness.fixpoint_iterations", iterations)
+        rec.observe("liveness.blocks_per_function", len(blocks))
     return result

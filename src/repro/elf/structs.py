@@ -10,6 +10,8 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, field
 
+from ..errors import ReproError
+
 ELF_MAGIC = b"\x7fELF"
 ELFCLASS64 = 2
 ELFDATA2LSB = 1
@@ -94,7 +96,7 @@ class ElfHeader:
                    e_flags, e_phnum, e_shnum, e_shstrndx)
 
 
-class ElfFormatError(ValueError):
+class ElfFormatError(ReproError, ValueError):
     """Raised for malformed ELF input."""
 
 

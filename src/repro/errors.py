@@ -1,0 +1,47 @@
+"""The toolkit-wide exception hierarchy.
+
+Every error the toolkit raises for *user-facing* conditions — bad API
+arguments, malformed binaries, impossible patches, simulator faults —
+derives from :class:`ReproError`, so tools can catch one base class
+instead of enumerating layer-specific types::
+
+    from repro.errors import ReproError
+
+    try:
+        edit = open_binary(blob)
+        edit.insert(points, snippet)
+        edit.commit()
+    except ReproError as e:
+        sys.exit(f"instrumentation failed: {e}")
+
+For backward compatibility the concrete subclasses keep their historic
+builtin bases as mixins (``ApiError`` remains a ``RuntimeError``,
+``DecodeError`` remains a ``ValueError``, ...), so pre-existing
+``except RuntimeError`` / ``except ValueError`` callers keep working.
+
+This module is a dependency leaf: it imports nothing from the toolkit,
+so any layer (ELF, ISA, sim, parse, patch, api) may import it freely.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every toolkit-raised error.
+
+    Layer bases (all defined in their home modules, all deriving from
+    this class):
+
+    * ``repro.api.bpatch.ApiError`` — BPatch-facade misuse
+    * ``repro.riscv.decoder.DecodeError`` — undecodable instruction bytes
+    * ``repro.parse.points.PointError`` — invalid instrumentation point
+    * ``repro.patch.patcher.PatchError`` — uncommittable instrumentation
+    * ``repro.patch.springboard.SpringboardError`` — no springboard fits
+    * ``repro.elf.structs.ElfFormatError`` — malformed ELF input
+    * ``repro.sim.executor.SimFault`` — architectural simulator fault
+    * ``repro.sim.memory.MemoryFault`` — unmapped-address access
+    * ``repro.proccontrol.process.ProcControlError`` — debugger misuse
+    """
+
+
+__all__ = ["ReproError"]

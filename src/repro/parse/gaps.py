@@ -17,6 +17,7 @@ Recognised prologue idioms (what GCC/LLVM/MiniC emit):
 
 from __future__ import annotations
 
+from .. import telemetry
 from ..instruction.insn import Insn, decode_insn
 from ..riscv.decoder import DecodeError
 
@@ -73,12 +74,18 @@ def scan_gap_for_entries(code_object, lo: int, hi: int) -> list[int]:
 def parse_gaps(code_object, max_rounds: int = 16) -> int:
     """Iteratively discover and parse gap functions.  Returns the number
     of functions found speculatively."""
+    rec = telemetry.current()
     found = 0
+    rounds = 0
     for _ in range(max_rounds):
+        rounds += 1
         new_entries: list[int] = []
         for lo, hi in find_gaps(code_object):
             if hi - lo < 4:
                 continue  # padding
+            if rec.enabled:
+                rec.count("parse.gap.ranges_scanned")
+                rec.count("parse.gap.bytes_scanned", hi - lo)
             new_entries.extend(scan_gap_for_entries(code_object, lo, hi))
         new_entries = [a for a in new_entries
                        if a not in code_object.functions]
@@ -96,4 +103,7 @@ def parse_gaps(code_object, max_rounds: int = 16) -> int:
                     code_object.functions[callee] = \
                         code_object._parse_function(callee)
                     found += 1
+    if rec.enabled:
+        rec.count("parse.gap.rounds", rounds)
+        rec.count("parse.gap.functions", found)
     return found

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from bisect import bisect_right
 
+from .. import telemetry
 from ..instruction.insn import Insn, decode_insn
 from ..riscv.decoder import DecodeError
 from ..symtab.symtab import Symtab
@@ -37,6 +38,17 @@ class CodeObject:
     def parse(self, *, gap_parsing: bool = True) -> "CodeObject":
         """Parse from all known entry points (symbols + program entry),
         then from call-discovered entries, then (optionally) gaps."""
+        with telemetry.current().span("parse.binary"):
+            self._parse(gap_parsing=gap_parsing)
+        rec = telemetry.current()
+        if rec.enabled:
+            rec.count("parse.functions", len(self.functions))
+            rec.count("parse.blocks", len(self.blocks))
+            rec.count("parse.instructions",
+                      sum(len(b.insns) for b in self.blocks.values()))
+        return self
+
+    def _parse(self, *, gap_parsing: bool) -> None:
         entries: list[tuple[int, str]] = []
         for sym in self.symtab.function_symbols():
             entries.append((sym.address, sym.name))
@@ -58,9 +70,9 @@ class CodeObject:
         if gap_parsing:
             from .gaps import parse_gaps
 
-            parse_gaps(self)
+            with telemetry.current().span("parse.gaps"):
+                parse_gaps(self)
         self.finalize_in_edges()
-        return self
 
     def finalize_in_edges(self) -> None:
         """(Re)compute in_edges on every block from the out_edges."""
@@ -118,6 +130,10 @@ class CodeObject:
     WINDOW_LIMIT = 256
 
     def _parse_function(self, entry: int) -> Function:
+        with telemetry.current().span("parse.function"):
+            return self._parse_function_inner(entry)
+
+    def _parse_function_inner(self, entry: int) -> Function:
         fn = Function(entry, self._name_for(entry))
         work = [entry]
         known_entries = frozenset(
@@ -279,6 +295,10 @@ class CodeObject:
             in_current=lambda a: fn.block_at(a) is not None,
         )
         c = classify(term, ctx)
+        rec = telemetry.current()
+        if rec.enabled:
+            rec.count(f"parse.classify.{'jal' if term.is_jal else 'jalr'}"
+                      f".{_classification_outcome(c)}")
         self._edges_from_classification(block, c, nxt)
 
     def _function_window(self, fn: Function, block: Block) -> list[Insn]:
@@ -306,6 +326,19 @@ class CodeObject:
         else:
             block.out_edges.append(
                 Edge(block, c.kind, c.target, c.resolved))
+
+
+def _classification_outcome(c: Classification) -> str:
+    """Telemetry bucket for one §3.2.3 jal/jalr disambiguation."""
+    if c.kind is EdgeType.INDIRECT:
+        return "jump_table" if c.table_targets else "unresolved"
+    if not c.resolved:
+        return "unresolved"
+    return {
+        EdgeType.CALL: "call",
+        EdgeType.RET: "return",
+        EdgeType.TAILCALL: "tail_call",
+    }.get(c.kind, "jump")
 
 
 def _window_insert(window: list[Insn], insns: list[Insn]) -> None:

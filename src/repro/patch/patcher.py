@@ -22,9 +22,11 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from .. import telemetry
 from ..codegen.generator import (
     SnippetGenerator, required_scratch, snippet_calls,
 )
+from ..errors import ReproError
 from ..codegen.regalloc import SpillArea, allocate_scratch
 from ..codegen.snippets import DataArea, Snippet
 from ..dataflow.liveness import LivenessResult, analyze_liveness
@@ -42,7 +44,7 @@ from .springboard import (
 from .trampoline import TrampolineBuilder
 
 
-class PatchError(RuntimeError):
+class PatchError(ReproError, RuntimeError):
     pass
 
 
@@ -266,6 +268,27 @@ class Patcher:
 
     def commit(self) -> PatchResult:
         """Build all trampolines and springboards."""
+        with telemetry.current().span("patch.commit"):
+            result = self._commit()
+        rec = telemetry.current()
+        if rec.enabled:
+            self._record_stats(rec, result.stats)
+        return result
+
+    def _record_stats(self, rec, stats: "PatchStats") -> None:
+        """Flush one commit's :class:`PatchStats` into the recorder."""
+        rec.count("patch.points", stats.points)
+        rec.count("patch.trampolines", stats.trampolines)
+        rec.count("patch.trampoline_bytes", stats.trampoline_bytes)
+        rec.count("patch.trap_sites", stats.trap_sites)
+        for kind, n in stats.springboards.items():
+            rec.count(f"patch.springboard.{kind}", n)
+        # §3.5/§4.3: every dead register claimed is one spill avoided
+        rec.count("patch.scratch.dead_regs_used", stats.dead_regs_used)
+        rec.count("patch.scratch.spills_avoided", stats.dead_regs_used)
+        rec.count("patch.scratch.spilled_regs", stats.spilled_regs)
+
+    def _commit(self) -> PatchResult:
         stats = PatchStats(points=len(self._requests))
         text_region = next(r for r in self.symtab.regions
                            if r.executable)

@@ -16,6 +16,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from ..errors import ReproError
 from ..parse.cfg import Block, Function
 
 
@@ -45,7 +46,7 @@ class Point:
         return f"<Point {self.type.value} @ {self.address:#x}>"
 
 
-class PointError(ValueError):
+class PointError(ReproError, ValueError):
     pass
 
 

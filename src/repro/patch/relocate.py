@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..errors import ReproError
 from ..instruction.insn import Insn
 from ..riscv.materialize import materialize_imm
 
@@ -45,7 +46,7 @@ class RelocatedCode:
     diverts: bool = False
 
 
-class RelocationError(ValueError):
+class RelocationError(ReproError, ValueError):
     pass
 
 

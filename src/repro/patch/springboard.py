@@ -21,6 +21,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from ..errors import ReproError
 from ..riscv.compressed import CJ_RANGE, encode_c_ebreak, encode_c_nop, encode_cj
 from ..riscv.encoder import encode
 from ..riscv.encoding import fits_signed
@@ -53,7 +54,7 @@ class Springboard:
         return site, site + len(self.code)
 
 
-class SpringboardError(ValueError):
+class SpringboardError(ReproError, ValueError):
     pass
 
 

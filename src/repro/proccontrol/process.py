@@ -19,6 +19,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from ..errors import ReproError
 from ..instruction.insn import Insn, decode_insn
 from ..riscv.decoder import DecodeError
 from ..sim.machine import Machine, StopEvent, StopReason
@@ -48,7 +49,7 @@ class Event:
     detail: str | None = None
 
 
-class ProcControlError(RuntimeError):
+class ProcControlError(ReproError, RuntimeError):
     pass
 
 

@@ -12,11 +12,12 @@ from typing import Iterator
 
 from . import encoding as enc
 from .compressed import IllegalCompressed, decode_compressed
+from ..errors import ReproError
 from .instr import Instruction
 from .opcodes import InstrSpec, lookup_word
 
 
-class DecodeError(ValueError):
+class DecodeError(ReproError, ValueError):
     """Raised when bytes do not form a known instruction."""
 
     def __init__(self, message: str, address: int | None = None):

@@ -15,6 +15,7 @@ from __future__ import annotations
 import math
 from typing import Callable, TYPE_CHECKING
 
+from ..errors import ReproError
 from ..riscv.encoding import sign_extend, to_unsigned
 from ..riscv.instr import Instruction
 from . import fp
@@ -29,7 +30,7 @@ M32 = (1 << 32) - 1
 Closure = Callable[[], None]
 
 
-class SimFault(Exception):
+class SimFault(ReproError):
     """Architectural fault (illegal instruction, bad fetch...)."""
 
     def __init__(self, message: str, pc: int | None = None):

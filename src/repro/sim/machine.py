@@ -25,8 +25,10 @@ from __future__ import annotations
 
 import enum
 import os
+import time
 from dataclasses import dataclass
 
+from .. import telemetry
 from ..riscv.assembler import Program
 from ..riscv.decoder import DecodeError, decode
 from .executor import BreakpointHit, ExitTrap, SimFault, build_closure
@@ -108,6 +110,10 @@ class Machine:
         self.trace_compile = (_traces_default() if trace_compile is None
                               else trace_compile)
         self.traces = TraceCache(self)
+        #: armed only for telemetry-observed runs: the traced dispatch
+        #: loop then counts cache hits (disabled runs skip the wrapper
+        #: entirely, so the hot loop stays wrapper-free)
+        self._count_hits = False
         #: set by the trace cache when an invalidation drops any trace;
         #: a running trace checks it after each store and exits early
         #: (state fully synced) so rewritten code is re-fetched.
@@ -290,22 +296,105 @@ class Machine:
             return StopEvent(StopReason.FAULT, self.pc, fault=str(e))
         return None
 
-    def run(self, max_steps: int | None = None) -> StopEvent:
+    def run(self, max_steps: int | None = None, *,
+            report=None) -> StopEvent:
         """Run until exit, breakpoint, fault, or *max_steps*.
 
         Unbounded runs use the superblock trace compiler (when enabled);
         bounded runs need a per-instruction step budget and stay on the
         closure interpreter.
+
+        *report* asks for a per-run summary (instructions retired,
+        simulated vs. host time, MIPS, trace-cache activity): ``True``
+        prints it, a file-like object receives ``write(text)``.  When
+        the process telemetry recorder is active (see
+        :mod:`repro.telemetry`), every run additionally flushes
+        ``sim.*`` counters, the ``sim.run`` span and the ``sim.mips``
+        gauge — with telemetry disabled and no report requested, this
+        method costs one attribute check over the raw hot loop.
         """
-        if max_steps is None and self.trace_compile:
-            return self._run_traced()
-        return self._run_interp(max_steps)
+        rec = telemetry.current()
+        if not rec.enabled and not report:
+            if max_steps is None and self.trace_compile:
+                return self._run_traced()
+            return self._run_interp(max_steps)
+        return self._run_observed(max_steps, rec, report)
+
+    def _run_observed(self, max_steps: int | None, rec,
+                      report) -> StopEvent:
+        """Telemetry/reporting wrapper around the raw run loops."""
+        traces = self.traces
+        instret0, ucycles0 = self.instret, self.ucycles
+        base = (traces.compiles, traces.invalidations, traces.links,
+                traces.hits)
+        self._count_hits = rec.enabled or bool(report)
+        t0 = time.perf_counter()
+        try:
+            if max_steps is None and self.trace_compile:
+                ev = self._run_traced()
+            else:
+                ev = self._run_interp(max_steps)
+        finally:
+            self._count_hits = False
+        elapsed = time.perf_counter() - t0
+        retired = self.instret - instret0
+        mips = retired / elapsed / 1e6 if elapsed > 0 else 0.0
+        deltas = {
+            "compiles": traces.compiles - base[0],
+            "invalidations": traces.invalidations - base[1],
+            "links": traces.links - base[2],
+            "hits": traces.hits - base[3],
+        }
+        if rec.enabled:
+            rec.record_span("sim.run", elapsed)
+            rec.count("sim.runs")
+            rec.count("sim.instructions_retired", retired)
+            rec.count("sim.ucycles", self.ucycles - ucycles0)
+            for name, n in deltas.items():
+                rec.count(f"sim.trace.{name}", n)
+            rec.gauge("sim.mips", mips)
+        if report:
+            text = self._run_report(ev, retired, ucycles0, elapsed, mips,
+                                    deltas)
+            if report is True:
+                print(text, end="")
+            else:
+                report.write(text)
+        return ev
+
+    def _run_report(self, ev: StopEvent, retired: int, ucycles0: int,
+                    elapsed: float, mips: float, deltas: dict) -> str:
+        lines = [
+            f"sim.run: {ev.reason.value} at pc={ev.pc:#x}"
+            + (f" exit={ev.exit_code}" if ev.exit_code is not None else "")
+            + (f" fault={ev.fault}" if ev.fault else ""),
+            f"  instructions retired   {retired:>14,}",
+            f"  simulated cycles       "
+            f"{(self.ucycles - ucycles0) // UCYCLE:>14,}",
+            f"  host seconds           {elapsed:>14.3f}",
+            f"  throughput (MIPS)      {mips:>14.2f}",
+            f"  trace cache            "
+            f"hits={deltas['hits']} compiles={deltas['compiles']} "
+            f"links={deltas['links']} "
+            f"invalidations={deltas['invalidations']}",
+        ]
+        return "\n".join(lines) + "\n"
 
     def _run_traced(self) -> StopEvent:
         """Trace-mode hot loop: execute compiled superblocks, following
         chained successors without re-entering this loop; fall back to
         one closure step for pcs the trace compiler rejects."""
-        fns_get = self.traces.fns.get
+        if self._count_hits:
+            traces = self.traces
+            raw_get = traces.fns.get
+
+            def fns_get(pc):
+                fn = raw_get(pc)
+                if fn:
+                    traces.hits += 1
+                return fn
+        else:
+            fns_get = self.traces.fns.get
         compile_at = self.traces.compile_at
         icache = self._icache
         closure_at = self._closure_at

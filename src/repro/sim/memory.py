@@ -9,12 +9,14 @@ instrumentation correctness.
 
 from __future__ import annotations
 
+from ..errors import ReproError
+
 PAGE_BITS = 12
 PAGE_SIZE = 1 << PAGE_BITS
 PAGE_MASK = PAGE_SIZE - 1
 
 
-class MemoryFault(Exception):
+class MemoryFault(ReproError):
     """Access to an unmapped address."""
 
     def __init__(self, addr: int, kind: str = "access"):

@@ -96,10 +96,15 @@ class TraceCache:
         self.fns: dict[int, object] = {}
         self._traces: dict[int, Trace] = {}
         self._pages: dict[int, set[Trace]] = {}
-        # -- statistics (reported by the throughput ablation)
+        # -- statistics (reported by the throughput ablation and the
+        # telemetry subsystem)
         self.compiles = 0
         self.invalidations = 0
         self.links = 0
+        #: dispatch-loop hits on a compiled trace; bumped only during
+        #: telemetry-observed runs (chained block->block transfers
+        #: bypass the dispatch loop and are counted under ``links``)
+        self.hits = 0
 
     # -- management ------------------------------------------------------
 

@@ -1,0 +1,18 @@
+"""Toolkit-wide telemetry: spans, counters, gauges, histograms.
+
+See :mod:`repro.telemetry.core` for the recorder model and
+:mod:`repro.telemetry.report` for rendering; ``tools/stats.py`` is the
+command-line reporter.  Metric names are catalogued in
+``docs/TELEMETRY.md``.
+"""
+
+from .core import (
+    SCHEMA, NullRecorder, Recorder, active, current, disable, enable,
+    enabled,
+)
+from .report import format_report
+
+__all__ = [
+    "SCHEMA", "NullRecorder", "Recorder", "active", "current",
+    "disable", "enable", "enabled", "format_report",
+]

@@ -1,0 +1,267 @@
+"""Zero-dependency tracing/metrics core.
+
+The toolkit observes its own pipeline — parse spans, springboard ladder
+choices, dead-register hit rates, trace-cache behaviour, simulator
+throughput — through one process-wide *recorder*.  Two implementations
+share the interface:
+
+* :class:`NullRecorder` — the default.  Every method is a no-op and
+  ``enabled`` is ``False``, so instrumented call sites pay exactly one
+  attribute check (``if rec.enabled:``) on their hot paths;
+* :class:`Recorder` — a thread-safe in-memory registry of monotonic
+  counters, gauges, wall-time spans, and power-of-two histograms, with
+  JSON export.
+
+Enable telemetry either for a scope::
+
+    with telemetry.enabled() as rec:
+        edit = open_binary(program)
+        ...
+    print(rec.to_json())
+
+or process-wide with ``REPRO_TELEMETRY=1`` in the environment (read
+once at import), or imperatively via :func:`enable` / :func:`disable`.
+
+Instrumented modules follow two patterns:
+
+* cold paths call ``telemetry.current().count(...)`` / ``.span(...)``
+  directly — the null recorder absorbs the call;
+* hot paths accumulate into locals and flush once behind a single
+  ``if rec.enabled:`` check (see ``sim.machine`` and
+  ``dataflow.liveness``), keeping the disabled-mode overhead below the
+  2% budget asserted by ``tests/test_telemetry.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+
+#: JSON snapshot schema identifier (bump on incompatible change).
+SCHEMA = "repro.telemetry/1"
+
+
+class _NullSpan:
+    """Reusable no-op context manager handed out by the null recorder."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """Disabled telemetry: every operation is a no-op.
+
+    A single shared instance backs the module default, so the cost of
+    disabled telemetry at an instrumented call site is one attribute
+    check (``rec.enabled``) or one trivially-inlined method call.
+    """
+
+    enabled = False
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def span(self, name: str) -> "_NullSpan":
+        return _NULL_SPAN
+
+    def record_span(self, name: str, seconds: float) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"schema": SCHEMA, "enabled": False, "counters": {},
+                "gauges": {}, "spans": {}, "histograms": {}}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def clear(self) -> None:
+        pass
+
+
+class _Span:
+    """One live wall-time span (context manager)."""
+
+    __slots__ = ("_rec", "_name", "_t0")
+
+    def __init__(self, rec: "Recorder", name: str):
+        self._rec = rec
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self._rec.record_span(self._name, time.perf_counter() - self._t0)
+        return False
+
+
+class Recorder:
+    """Thread-safe in-memory metrics registry.
+
+    Four instrument families, all keyed by dotted string names
+    (``layer.subsystem.metric``):
+
+    * **counters** — monotonic integers (:meth:`count`);
+    * **gauges** — last-value-wins floats (:meth:`gauge`);
+    * **spans** — wall-time aggregates: count, total/min/max seconds
+      (:meth:`span` as a context manager, or :meth:`record_span` for
+      externally measured durations);
+    * **histograms** — count/sum/min/max plus power-of-two buckets
+      (:meth:`observe`).
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        #: name -> [count, total_s, min_s, max_s]
+        self._spans: dict[str, list] = {}
+        #: name -> [count, sum, min, max, {bucket_exp: count}]
+        self._hists: dict[str, list] = {}
+
+    # -- instruments -----------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    def span(self, name: str) -> _Span:
+        return _Span(self, name)
+
+    def record_span(self, name: str, seconds: float) -> None:
+        with self._lock:
+            s = self._spans.get(name)
+            if s is None:
+                self._spans[name] = [1, seconds, seconds, seconds]
+            else:
+                s[0] += 1
+                s[1] += seconds
+                if seconds < s[2]:
+                    s[2] = seconds
+                if seconds > s[3]:
+                    s[3] = seconds
+
+    def observe(self, name: str, value: float) -> None:
+        bucket = max(0, int(value).bit_length())  # 2^(b-1) < v <= 2^b... ~
+        with self._lock:
+            h = self._hists.get(name)
+            if h is None:
+                self._hists[name] = [1, value, value, value, {bucket: 1}]
+            else:
+                h[0] += 1
+                h[1] += value
+                if value < h[2]:
+                    h[2] = value
+                if value > h[3]:
+                    h[3] = value
+                h[4][bucket] = h[4].get(bucket, 0) + 1
+
+    # -- export ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A point-in-time copy of every instrument, JSON-serialisable."""
+        with self._lock:
+            return {
+                "schema": SCHEMA,
+                "enabled": True,
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "spans": {
+                    name: {"count": s[0], "total_s": s[1],
+                           "min_s": s[2], "max_s": s[3]}
+                    for name, s in self._spans.items()
+                },
+                "histograms": {
+                    name: {"count": h[0], "sum": h[1], "min": h[2],
+                           "max": h[3],
+                           "buckets": {f"le_2^{b}": c
+                                       for b, c in sorted(h[4].items())}}
+                    for name, h in self._hists.items()
+                },
+            }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._spans.clear()
+            self._hists.clear()
+
+
+# -- module-level state ---------------------------------------------------
+
+_null = NullRecorder()
+
+
+def _env_default():
+    if os.environ.get("REPRO_TELEMETRY", "0") not in ("", "0"):
+        return Recorder()
+    return _null
+
+
+_recorder = _env_default()
+
+
+def current() -> Recorder | NullRecorder:
+    """The recorder instrumented code reports to right now."""
+    return _recorder
+
+
+def active() -> bool:
+    """Is telemetry currently collecting?"""
+    return _recorder.enabled
+
+
+def enable(recorder: Recorder | None = None) -> Recorder:
+    """Install *recorder* (or a fresh one) as the process recorder."""
+    global _recorder
+    _recorder = recorder if recorder is not None else Recorder()
+    return _recorder
+
+
+def disable() -> None:
+    """Restore the no-op null recorder."""
+    global _recorder
+    _recorder = _null
+
+
+@contextmanager
+def enabled(recorder: Recorder | None = None):
+    """Collect telemetry for a ``with`` scope, then restore the previous
+    recorder.  Yields the active :class:`Recorder`."""
+    global _recorder
+    previous = _recorder
+    rec = recorder if recorder is not None else Recorder()
+    _recorder = rec
+    try:
+        yield rec
+    finally:
+        _recorder = previous

@@ -1,0 +1,76 @@
+"""Human-readable rendering of telemetry snapshots.
+
+A snapshot (see :meth:`repro.telemetry.Recorder.snapshot`) is a flat
+dict of dotted metric names; the report groups them into pipeline
+phases by first name component (``parse.*``, ``liveness.*``,
+``patch.*``, ``sim.*``, anything else) and prints a fixed-width table
+per phase — the per-stage evidence the §4.3 evaluation is built on.
+"""
+
+from __future__ import annotations
+
+#: phase display order; unknown prefixes sort after these
+PHASE_ORDER = ("parse", "liveness", "patch", "sim")
+
+
+def _phase_of(name: str) -> str:
+    return name.split(".", 1)[0]
+
+
+def _phase_key(phase: str):
+    try:
+        return (PHASE_ORDER.index(phase), phase)
+    except ValueError:
+        return (len(PHASE_ORDER), phase)
+
+
+def _fmt_seconds(s: float) -> str:
+    if s >= 1.0:
+        return f"{s:.3f} s"
+    if s >= 1e-3:
+        return f"{s * 1e3:.3f} ms"
+    return f"{s * 1e6:.1f} us"
+
+
+def phases_of(snapshot: dict) -> list[str]:
+    """Every phase named by any instrument, in display order."""
+    names = set()
+    for family in ("counters", "gauges", "spans", "histograms"):
+        names.update(_phase_of(n) for n in snapshot.get(family, {}))
+    return sorted(names, key=_phase_key)
+
+
+def format_report(snapshot: dict) -> str:
+    """Render a snapshot as per-phase tables."""
+    if not snapshot.get("enabled", False):
+        return ("telemetry disabled — enable with REPRO_TELEMETRY=1 or "
+                "repro.telemetry.enabled()\n")
+    out: list[str] = []
+    for phase in phases_of(snapshot):
+        out.append(f"== {phase}")
+        spans = {n: v for n, v in snapshot["spans"].items()
+                 if _phase_of(n) == phase}
+        for name in sorted(spans):
+            s = spans[name]
+            out.append(
+                f"  {name:<40}{s['count']:>10}x"
+                f"  total {_fmt_seconds(s['total_s']):>12}"
+                f"  max {_fmt_seconds(s['max_s']):>12}")
+        counters = {n: v for n, v in snapshot["counters"].items()
+                    if _phase_of(n) == phase}
+        for name in sorted(counters):
+            out.append(f"  {name:<40}{counters[name]:>11,}")
+        gauges = {n: v for n, v in snapshot["gauges"].items()
+                  if _phase_of(n) == phase}
+        for name in sorted(gauges):
+            out.append(f"  {name:<40}{gauges[name]:>11.2f}")
+        hists = {n: v for n, v in snapshot["histograms"].items()
+                 if _phase_of(n) == phase}
+        for name in sorted(hists):
+            h = hists[name]
+            mean = h["sum"] / h["count"] if h["count"] else 0.0
+            out.append(
+                f"  {name:<40}{h['count']:>10}x"
+                f"  mean {mean:>8.1f}  max {h['max']:>8.1f}")
+        out.append("")
+    return "\n".join(out) + ("\n" if out else "")

@@ -1,0 +1,97 @@
+"""Pipeline telemetry reporter: instrument a mutatee, run it, report.
+
+The §4.3 evaluation needs the pipeline to measure itself; this tool
+drives the whole stack — minicc compile, parse (CFG build + gap scan +
+jal/jalr disambiguation), liveness, springboard selection, trampoline
+build, traced simulation — with telemetry enabled, then prints the
+per-phase tables (or, with ``--json``, the raw snapshot).
+
+Run from a checkout::
+
+    PYTHONPATH=src python -m repro.tools.stats            # table
+    PYTHONPATH=src python -m repro.tools.stats --json     # snapshot
+
+or via the repository shim ``tools/stats.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .. import telemetry
+from ..api import InstrumentOptions, open_binary
+from ..codegen.snippets import IncrementVar
+from ..minicc import compile_source
+from ..minicc.workloads import fib_source, matmul_source, qsort_source
+from ..patch.points import PointType
+
+WORKLOADS = {
+    "matmul": lambda args: matmul_source(args.n, args.reps),
+    "fib": lambda args: fib_source(args.n),
+    "qsort": lambda args: qsort_source(max(args.n, 8)),
+}
+
+
+def run_pipeline(args) -> dict:
+    """Compile, instrument, and run one workload under telemetry;
+    returns ``{"counters_read": ..., "exit_code": ...}``."""
+    program = compile_source(WORKLOADS[args.workload](args))
+    options = InstrumentOptions(
+        use_dead_registers=not args.no_dead_registers,
+        patch_base=args.patch_base)
+    with open_binary(program, options) as edit:
+        handles = []
+        with edit.batch() as b:
+            for fn in b.functions():
+                var = b.allocate_variable(f"entries${fn.name}")
+                pts = b.points(fn, PointType.FUNC_ENTRY)
+                if pts:
+                    b.insert(pts, IncrementVar(var))
+                    handles.append((fn.name, var))
+        machine, event = edit.run_instrumented()
+    counters = {name: machine.mem.read_int(var.address, 8)
+                for name, var in handles}
+    return {"counters_read": counters, "exit_code": event.exit_code}
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="stats", description=__doc__.splitlines()[0])
+    ap.add_argument("--json", action="store_true",
+                    help="dump the raw telemetry snapshot as JSON")
+    ap.add_argument("--workload", choices=sorted(WORKLOADS),
+                    default="matmul")
+    ap.add_argument("--n", type=int, default=10,
+                    help="workload size (matrix dim / fib n)")
+    ap.add_argument("--reps", type=int, default=3,
+                    help="workload repetitions (matmul)")
+    ap.add_argument("--no-dead-registers", action="store_true",
+                    help="disable the dead-register scratch optimisation")
+    ap.add_argument("--patch-base", type=lambda s: int(s, 0), default=None,
+                    help="force a far trampoline base (exercises the "
+                         "auipc+jalr / trap springboard tiers)")
+    args = ap.parse_args(argv)
+
+    with telemetry.enabled() as rec:
+        outcome = run_pipeline(args)
+        snapshot = rec.snapshot()
+
+    if args.json:
+        import json
+
+        print(json.dumps(snapshot, indent=2))
+    else:
+        print(f"workload: {args.workload} (n={args.n}, reps={args.reps}) "
+              f"exit={outcome['exit_code']}")
+        print()
+        print(telemetry.format_report(snapshot), end="")
+        if outcome["counters_read"]:
+            print("== instrumentation counters (mutatee data area)")
+            for name, value in sorted(outcome["counters_read"].items()):
+                print(f"  {name:<40}{value:>11,}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,9 +64,15 @@ def test_no_component_imports_the_facade():
                     assert not node.module.startswith("repro.api"), py
 
 
+# Dependency leaves usable from any layer: the shared exception base and
+# the telemetry registry import nothing from the toolkits themselves.
+CROSS_CUTTING = {"errors", "telemetry"}
+
+
 def test_substrates_do_not_import_toolkits():
     """riscv/elf/sim are substrates: no upward dependencies except the
-    documented ones (sim decodes instructions; elf knows nothing)."""
+    documented ones (sim decodes instructions; elf knows nothing) and
+    the cross-cutting leaves (errors, telemetry)."""
     for comp, allowed in (("riscv", set()), ("elf", {"riscv"}),
                           ("sim", {"riscv"})):
         for py in (SRC / comp).rglob("*.py"):
@@ -79,7 +85,25 @@ def test_substrates_do_not_import_toolkits():
                         target = node.module.split(".")[1]
                     else:
                         continue
-                    if target == comp:
+                    if target == comp or target in CROSS_CUTTING:
                         continue
                     assert target in allowed, (
                         f"substrate {comp} imports {target} ({py})")
+
+
+def test_cross_cutting_modules_are_leaves():
+    """errors/telemetry may be imported from anywhere only because they
+    import nothing from the package in return."""
+    for leaf in ("errors.py", "telemetry"):
+        path = SRC / leaf
+        files = path.rglob("*.py") if path.is_dir() else [path]
+        for py in files:
+            tree = ast.parse(py.read_text())
+            for node in ast.walk(tree):
+                if isinstance(node, ast.ImportFrom):
+                    mod = node.module or ""
+                    assert not mod.startswith("repro."), f"{py}: {mod}"
+                    if node.level >= 2 or (
+                            node.level == 1 and path.is_file()):
+                        raise AssertionError(
+                            f"{py} reaches outside the leaf: {mod}")

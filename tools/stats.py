@@ -1,0 +1,18 @@
+#!/usr/bin/env python3
+"""Repository shim for the telemetry reporter.
+
+Runs :mod:`repro.tools.stats` from a source checkout without needing
+``PYTHONPATH=src``::
+
+    python tools/stats.py [--json] [--workload matmul] ...
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.tools.stats import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
