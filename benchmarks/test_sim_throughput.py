@@ -18,6 +18,7 @@ from pathlib import Path
 from repro.minicc import compile_source
 from repro.minicc.workloads import matmul_source
 from repro.sim import Machine, P550
+from repro.telemetry.events import EventStream
 
 from conftest import MATMUL_N, MATMUL_REPS
 
@@ -58,11 +59,34 @@ def _arch_state(m, ev):
     }
 
 
+def _measure_observed(prog, granularity: str):
+    """Throughput with an event-stream observer attached (then again
+    after detach, pinning the zero-overhead-when-unobserved rule)."""
+    m = Machine(P550, trace_compile=True)
+    m.load_program(prog)
+    es = EventStream(granularity=granularity, capacity=1 << 16)
+    m.attach_observer(es)
+    t0 = time.perf_counter()
+    m.run()
+    dt_obs = time.perf_counter() - t0
+    instret_obs = m.instret
+    m.detach_observer(es)
+    # rerun the same image unobserved: must ride the traced path again
+    m2 = Machine(P550, trace_compile=True)
+    m2.load_program(prog)
+    t0 = time.perf_counter()
+    m2.run()
+    dt_after = time.perf_counter() - t0
+    return instret_obs / dt_obs, m2.instret / dt_after
+
+
 def test_trace_compilation_throughput(record):
     prog = compile_source(matmul_source(MATMUL_N, MATMUL_REPS))
 
     m_off, ev_off, dt_off = _measure(prog, trace_compile=False)
     m_on, ev_on, dt_on = _measure(prog, trace_compile=True)
+    ips_block, _ = _measure_observed(prog, "block")
+    ips_instr, ips_detached = _measure_observed(prog, "instruction")
 
     # identical architectural results, traces on vs. off
     assert _arch_state(m_on, ev_on) == _arch_state(m_off, ev_off)
@@ -85,6 +109,14 @@ def test_trace_compilation_throughput(record):
         "",
         f"speedup: {speedup:.2f}x   traces compiled: "
         f"{m_on.traces.compiles}   chain links: {m_on.traces.links}",
+        "",
+        "observer overhead (event streams):",
+        f"{'block-granularity observed':<28}{ips_block / 1e6:>10.2f}"
+        " Minstr/s",
+        f"{'instruction-granularity':<28}{ips_instr / 1e6:>10.2f}"
+        " Minstr/s",
+        f"{'after detach (traced)':<28}{ips_detached / 1e6:>10.2f}"
+        " Minstr/s",
     ]
     record("ablation_trace", "\n".join(lines) + "\n")
 
@@ -98,6 +130,9 @@ def test_trace_compilation_throughput(record):
         "speedup": round(speedup, 3),
         "traces_compiled": m_on.traces.compiles,
         "chain_links": m_on.traces.links,
+        "instr_per_sec_observed_block": round(ips_block),
+        "instr_per_sec_observed_instruction": round(ips_instr),
+        "instr_per_sec_after_detach": round(ips_detached),
     }, indent=2) + "\n")
 
     # the tentpole's acceptance bar: >= 2x over the closure interpreter

@@ -5,14 +5,17 @@ exit ... you can easily create a modified version of your executable").
 
 Instruments entry + every exit of user functions in a recursive program
 with ring-buffer-logging snippets, runs it, and prints the call tree
-reconstructed from the trace.
+reconstructed from the trace.  As a cross-check, the same call tree is
+collected a second time with *zero* instrumentation from the
+simulator's execution event stream (``trace_calls``) — the two must
+agree.
 
 Run:  python examples/function_tracer.py
 """
 
 from repro.api import open_binary
 from repro.minicc import compile_source
-from repro.tools import trace_functions
+from repro.tools import trace_calls, trace_functions
 
 SOURCE = """
 long depth_work(long n) {
@@ -34,16 +37,25 @@ long main(void) {
 }
 """
 
+FUNCTIONS = ["main", "helper", "depth_work"]
+
 
 def main() -> None:
-    binary = open_binary(compile_source(SOURCE))
-    handle = trace_functions(binary, ["main", "helper", "depth_work"])
-    machine, event = binary.run_instrumented()
+    program = compile_source(SOURCE)
+
+    # v2 session style: the edit is a context manager, instrumentation
+    # goes in one batch, committed on block exit
+    with open_binary(program) as edit:
+        with edit.batch() as b:
+            handle = trace_functions(b, FUNCTIONS)
+        machine, event = edit.run_instrumented()
     print(f"mutatee exited ({event.exit_code}); "
           f"{handle.event_count(machine)} trace events captured\n")
 
     depth = 0
+    instrumented = []
     for ev in handle.read(machine):
+        instrumented.append((ev.function, ev.kind))
         if ev.kind == "entry":
             print("  " * depth + f"-> {ev.function}")
             depth += 1
@@ -51,6 +63,14 @@ def main() -> None:
             depth -= 1
             print("  " * depth + f"<- {ev.function}")
     assert depth == 0, "unbalanced trace"
+
+    # the observed (event-stream) trace must tell the same story
+    with open_binary(program) as edit:
+        observed = [(ev.function, ev.kind)
+                    for ev in trace_calls(edit, FUNCTIONS)]
+    assert observed == instrumented, "instrumented vs observed mismatch"
+    print("\nevent-stream trace matches the instrumented trace "
+          f"({len(observed)} events)")
 
 
 if __name__ == "__main__":

@@ -2,28 +2,29 @@
 """A sampling profiler — the HPCToolkit scenario (the paper's first
 citation and flagship Dyninst consumer).
 
-No instrumentation: ProcControlAPI periodically interrupts the mutatee
-and StackwalkerAPI collects the call stack (sp-height stepping, since
-RISC-V code has no frame pointer).  Samples aggregate into flat and
-call-path profiles.
+No instrumentation: the mutatee runs under the simulator's execution
+event stream, a quantum of simulated instructions plays the role of a
+timer signal, and call stacks come from link-register call/return
+events (with a StackwalkerAPI fallback for irregular control flow).
+Samples aggregate into flat and call-path profiles; the same run also
+yields a folded-stack flamegraph via the v2 ``BinaryEdit.trace()``
+session.
 
 Run:  python examples/sampling_profiler.py
 """
 
+from repro.api import open_binary
 from repro.minicc import compile_source, matmul_source
-from repro.parse import parse_binary
-from repro.proccontrol import Process
-from repro.symtab import Symtab
 from repro.tools import profile_process
-
+from repro.tracing import format_folded
 
 def main() -> None:
     program = compile_source(matmul_source(n=14, reps=6))
-    symtab = Symtab.from_program(program)
-    cfg = parse_binary(symtab)
 
-    proc = Process.create(symtab)
-    profile = profile_process(proc, cfg, quantum=1000)
+    # v2 session style: open, create the process, profile it
+    with open_binary(program) as edit:
+        proc = edit.create_process()
+        profile = profile_process(proc, edit.cfg, quantum=1000)
 
     print("profile of the matmul application "
           f"(sampled every 1000 simulated instructions):\n")
@@ -32,6 +33,15 @@ def main() -> None:
     top = profile.flat.most_common(1)[0][0]
     assert top == "multiply", f"expected multiply hottest, got {top}"
     print("\nthe kernel (multiply) dominates, as expected")
+
+    # exact (not sampled) view of the same workload: trace and fold
+    with open_binary(program) as edit:
+        session = edit.trace()
+    folded = session.folded()
+    hottest = max(folded.items(), key=lambda kv: kv[1])[0]
+    assert hottest[-1] == "multiply", hottest
+    print("\nfolded stacks (flamegraph.pl format):")
+    print(format_folded(folded))
 
 
 if __name__ == "__main__":

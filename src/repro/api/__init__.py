@@ -11,9 +11,10 @@ from .bpatch import (
     load_rewritten, one_time_code, open_binary,
 )
 from .options import DEFAULT_OPTIONS, InstrumentOptions
+from .tracesession import TraceSession
 
 __all__ = [
     "AlreadyCommittedError", "ApiError", "BinaryEdit", "ClosedEditError",
-    "DEFAULT_OPTIONS", "InstrumentOptions", "ReproError", "attach",
-    "load_rewritten", "one_time_code", "open_binary",
+    "DEFAULT_OPTIONS", "InstrumentOptions", "ReproError", "TraceSession",
+    "attach", "load_rewritten", "one_time_code", "open_binary",
 ]

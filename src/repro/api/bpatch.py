@@ -310,6 +310,45 @@ class BinaryEdit:
             self.commit().apply_to_machine(m)
         return m, m.run(max_steps)
 
+    def trace(self, timing: TimingModel = P550,
+              max_steps: int | None = None, *,
+              granularity: str = "instruction",
+              capacity: int | None = None,
+              instrumented: bool = True) -> "TraceSession":
+        """Run the mutatee under an execution-event observer and return
+        a :class:`~repro.api.tracesession.TraceSession` bundling the
+        event stream with its derived views (call spans, Perfetto JSON,
+        folded-stack flamegraph, per-block heat)::
+
+            with open_binary(program) as edit:
+                session = edit.trace()
+                session.write_flamegraph("out.folded")
+
+        *granularity* is ``"instruction"`` (full event vocabulary; the
+        simulator deoptimises to its interpreter) or ``"block"``
+        (block-enter events only; the trace compiler stays engaged) —
+        see the observer-overhead rule in docs/INTERNALS.md.  When the
+        process telemetry recorder is timeline-enabled, the session
+        carries a snapshot so the Perfetto export gains the pipeline
+        track.
+        """
+        from ..telemetry.events import DEFAULT_CAPACITY
+        from .tracesession import run_traced
+        if self._closed:
+            raise ClosedEditError(
+                "cannot trace: BinaryEdit session is closed")
+        result = None
+        if instrumented and (self._patcher._requests
+                             or self._result is not None):
+            result = self.commit()
+        session = run_traced(
+            self.symtab, self.cfg, result, timing=timing,
+            max_steps=max_steps, granularity=granularity,
+            capacity=capacity or DEFAULT_CAPACITY)
+        if self._telemetry.enabled:
+            session.snapshot = self._telemetry.snapshot()
+        return session
+
     def read_variable(self, machine: Machine, var: Variable) -> int:
         return machine.mem.read_int(var.address, var.size)
 

@@ -1,0 +1,121 @@
+"""API v2 execution tracing: :class:`TraceSession`.
+
+:meth:`repro.api.BinaryEdit.trace` runs the (optionally instrumented)
+mutatee under an attached event stream and hands back one object that
+bundles the raw events with every consumer the toolkit ships: call-span
+reconstruction, Perfetto/Chrome trace JSON, folded-stack flamegraph
+text, and per-block heat counts for annotated disassembly.
+
+    with open_binary(program) as edit:
+        session = edit.trace()
+        session.write_perfetto("out.json")
+        session.write_flamegraph("out.folded")
+        print(session.hot_functions()[:3])
+"""
+
+from __future__ import annotations
+
+from ..sim.machine import Machine, StopEvent
+from ..sim.timing import P550, TimingModel
+from ..telemetry.events import DEFAULT_CAPACITY, EventStream
+from ..tracing import (
+    CallSpan, SymbolIndex, block_heat, call_spans, folded_stacks,
+    format_folded, perfetto_trace,
+)
+
+import json
+
+
+class TraceSession:
+    """A completed traced run: events plus derived views.
+
+    Construct through :meth:`repro.api.BinaryEdit.trace` (or directly
+    from any machine/stream pair).  Derived artefacts (call spans,
+    folded stacks, heat) are computed lazily and cached.
+    """
+
+    def __init__(self, machine: Machine, stream: EventStream,
+                 stop: StopEvent, symbols: SymbolIndex,
+                 snapshot: dict | None = None):
+        self.machine = machine
+        self.stream = stream
+        self.stop = stop
+        self.symbols = symbols
+        #: telemetry snapshot taken after the run (pipeline timeline for
+        #: the Perfetto export), when a recorder was active
+        self.snapshot = snapshot
+        self._spans: list[CallSpan] | None = None
+
+    # -- raw + derived views --------------------------------------------
+
+    @property
+    def events(self) -> list[tuple]:
+        """The retained events, oldest first."""
+        return self.stream.events()
+
+    @property
+    def spans(self) -> list[CallSpan]:
+        """Reconstructed mutatee call activations (cached)."""
+        if self._spans is None:
+            self._spans = call_spans(self.events, self.symbols)
+        return self._spans
+
+    def heat(self) -> dict[int, int]:
+        """Per-block-entry execution counts."""
+        return block_heat(self.events)
+
+    def folded(self, weight: str = "ucycles") -> dict[tuple[str, ...], int]:
+        """Folded stacks: ``{root-to-leaf name path: self weight}``."""
+        return folded_stacks(self.spans, weight=weight)
+
+    def hot_functions(self, weight: str = "ucycles") -> list[tuple[str, int]]:
+        """Functions by self weight, heaviest first."""
+        per_fn: dict[str, int] = {}
+        for stack, w in self.folded(weight=weight).items():
+            per_fn[stack[-1]] = per_fn.get(stack[-1], 0) + w
+        return sorted(per_fn.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    # -- exporters -------------------------------------------------------
+
+    def _to_us(self, ucycles: int) -> float:
+        return self.machine.timing.nanoseconds(ucycles) / 1000.0
+
+    def perfetto(self) -> dict:
+        """The Chrome trace-event document (mutatee spans on the
+        simulated clock; pipeline spans when a timeline-enabled
+        telemetry snapshot was captured)."""
+        return perfetto_trace(self.spans, events=self.events,
+                              snapshot=self.snapshot, to_us=self._to_us)
+
+    def write_perfetto(self, path) -> dict:
+        doc = self.perfetto()
+        with open(path, "w") as f:
+            json.dump(doc, f)
+        return doc
+
+    def write_flamegraph(self, path, weight: str = "ucycles") -> None:
+        with open(path, "w") as f:
+            f.write(format_folded(self.folded(weight=weight)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<TraceSession {len(self.stream)} events, "
+                f"{len(self.spans)} spans, stop={self.stop.reason.value}>")
+
+
+def run_traced(symtab, cfg, patch_result=None, *,
+               timing: TimingModel = P550,
+               max_steps: int | None = None,
+               granularity: str = "instruction",
+               capacity: int = DEFAULT_CAPACITY,
+               snapshot: dict | None = None) -> TraceSession:
+    """Load *symtab* into a fresh machine, apply *patch_result* (if
+    any), run with an attached event stream, and wrap the results."""
+    m = Machine(timing)
+    symtab.load_into(m)
+    if patch_result is not None:
+        patch_result.apply_to_machine(m)
+    stream = EventStream(capacity=capacity, granularity=granularity)
+    stop = m.run(max_steps, trace=stream)
+    return TraceSession(m, stream, stop,
+                        SymbolIndex.from_code_object(cfg),
+                        snapshot=snapshot)

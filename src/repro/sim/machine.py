@@ -29,6 +29,9 @@ import time
 from dataclasses import dataclass
 
 from .. import telemetry
+from ..telemetry.events import (
+    BLOCK, BRANCH, CALL, EventStream, FAULT, JUMP, LINK_REGS, PATCH, RET,
+)
 from ..riscv.assembler import Program
 from ..riscv.decoder import DecodeError, decode
 from .executor import BreakpointHit, ExitTrap, SimFault, build_closure
@@ -118,6 +121,21 @@ class Machine:
         #: a running trace checks it after each store and exits early
         #: (state fully synced) so rewritten code is re-fetched.
         self.code_dirty = False
+        # -- execution-event observers (repro.telemetry.events) --------
+        #: attached EventStreams; empty on the unobserved fast path
+        #: (one ``if self._observers`` check per run() call, zero per
+        #: instruction — see docs/INTERNALS.md, "Execution event
+        #: streams")
+        self._observers: list[EventStream] = []
+        #: bound emit callable (fans out to every observer); None when
+        #: unobserved
+        self._emit = None
+        #: per-pc control-flow classification cache for the observed
+        #: interpreter loop; invalidated alongside the icache
+        self._evmeta: dict[int, tuple] = {}
+        #: True while a block-granularity observer is attached: the
+        #: trace compiler embeds a block-enter emit in every new trace
+        self._trace_events = False
 
     # -- program loading --------------------------------------------------
 
@@ -155,6 +173,7 @@ class Machine:
         self.stdout = bytearray()
         # full flush: compiled code binds the (re-created) register lists
         self._icache.clear()
+        self._evmeta.clear()
         self.traces.clear()
         if exec_range is not None:
             self.exec_ranges = [exec_range]
@@ -165,6 +184,84 @@ class Machine:
         self.exec_ranges.append((lo, hi))
         self.mem.map_region(lo, hi - lo)
         self.mem.set_write_watch(self.exec_ranges, self._code_written)
+
+    # -- execution-event observers ----------------------------------------
+
+    @property
+    def observed(self) -> bool:
+        """Is at least one event observer attached?"""
+        return bool(self._observers)
+
+    def attach_observer(self, stream: EventStream) -> EventStream:
+        """Attach *stream* as an execution-event observer.
+
+        Effective at the next :meth:`run`/:meth:`step` dispatch (the
+        simulator is single-threaded, so mid-run attachment happens at
+        debugger stops).  Attaching a block-granularity stream flushes
+        the trace cache so superblocks recompile with an embedded
+        block-enter emit; attaching an instruction-granularity stream
+        leaves compiled traces intact — they are simply not dispatched
+        while the observer wants per-instruction events.
+        """
+        if stream in self._observers:
+            return stream
+        self._observers.append(stream)
+        self._rebuild_emit()
+        return stream
+
+    def detach_observer(self, stream: EventStream) -> None:
+        """Detach *stream*; with no observers left the hot loops return
+        to their unobserved zero-overhead paths."""
+        if stream in self._observers:
+            self._observers.remove(stream)
+            self._rebuild_emit()
+
+    def _rebuild_emit(self) -> None:
+        obs = self._observers
+        if not obs:
+            emit = None
+        elif len(obs) == 1:
+            emit = obs[0].push
+        else:
+            pushes = [s.push for s in obs]
+
+            def emit(event, _pushes=tuple(pushes)):
+                for p in _pushes:
+                    p(event)
+        self._emit = emit
+        # block-granularity observation compiles emits *into* traces;
+        # flush whenever that mode toggles or its fan-out changes so no
+        # trace carries a stale (or missing) emit binding.
+        want_trace_events = any(s.granularity == "block" for s in obs)
+        if want_trace_events or self._trace_events:
+            self.traces.clear()
+        self._trace_events = want_trace_events
+
+    def _event_meta(self, pc: int) -> tuple:
+        """(event kind | None, length) of the instruction at *pc*, for
+        the observed interpreter loop; cached per pc."""
+        try:
+            raw = self.mem.read_bytes(pc, 4)
+        except MemoryFault:
+            raw = self.mem.read_bytes(pc, 2)
+        instr = decode(raw, 0, pc)
+        mn = instr.mnemonic
+        kind = None
+        f = instr.fields
+        if mn == "jal":
+            kind = CALL if f["rd"] in LINK_REGS else JUMP
+        elif mn == "jalr":
+            if f["rd"] in LINK_REGS:
+                kind = CALL
+            elif f["rd"] == 0 and f["rs1"] in LINK_REGS:
+                kind = RET
+            else:
+                kind = JUMP
+        elif mn in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+            kind = BRANCH
+        meta = (kind, instr.length)
+        self._evmeta[pc] = meta
+        return meta
 
     # -- debug port (ProcControlAPI) ---------------------------------------
 
@@ -183,9 +280,11 @@ class Machine:
         """Memory write-watch callback: a write overlapped a code range.
         Drop per-pc closures and traces covering the written bytes."""
         pop = self._icache.pop
+        mpop = self._evmeta.pop
         # a patched instruction may start up to 3 bytes before addr
         for a in range(addr - 3, addr + size):
             pop(a, None)
+            mpop(a, None)
         self.traces.invalidate_range(addr, size)
 
     def invalidate_code_range(self, addr: int, size: int) -> None:
@@ -199,6 +298,7 @@ class Machine:
 
     def flush_icache(self) -> None:
         self._icache.clear()
+        self._evmeta.clear()
         self.traces.clear()
 
     def get_reg(self, n: int) -> int:
@@ -278,6 +378,9 @@ class Machine:
             return False
         self.pc = target
         self.ucycles += self.timing.ucycles("system")
+        emit = self._emit
+        if emit is not None:
+            emit((PATCH, pc, target, self.instret, self.ucycles))
         return True
 
     def step(self) -> StopEvent | None:
@@ -297,12 +400,23 @@ class Machine:
         return None
 
     def run(self, max_steps: int | None = None, *,
-            report=None) -> StopEvent:
+            report=None, trace: EventStream | None = None) -> StopEvent:
         """Run until exit, breakpoint, fault, or *max_steps*.
 
         Unbounded runs use the superblock trace compiler (when enabled);
         bounded runs need a per-instruction step budget and stay on the
         closure interpreter.
+
+        *trace* attaches an :class:`~repro.telemetry.events.EventStream`
+        observer for the duration of this run only (equivalent to
+        :meth:`attach_observer` / :meth:`detach_observer` around the
+        call).  While any observer is attached the run loop follows the
+        observer-overhead rule (docs/INTERNALS.md): instruction-
+        granularity streams deoptimise the run to the event-emitting
+        closure interpreter; block-granularity streams keep the trace
+        compiler engaged with one embedded block-enter emit per
+        superblock.  With no observer attached, event support costs one
+        list check per ``run()`` call — nothing per instruction.
 
         *report* asks for a per-run summary (instructions retired,
         simulated vs. host time, MIPS, trace-cache activity): ``True``
@@ -313,12 +427,32 @@ class Machine:
         gauge — with telemetry disabled and no report requested, this
         method costs one attribute check over the raw hot loop.
         """
+        if trace is not None:
+            self.attach_observer(trace)
+            try:
+                return self.run(max_steps, report=report)
+            finally:
+                self.detach_observer(trace)
         rec = telemetry.current()
         if not rec.enabled and not report:
-            if max_steps is None and self.trace_compile:
-                return self._run_traced()
-            return self._run_interp(max_steps)
+            return self._dispatch_run(max_steps)
         return self._run_observed(max_steps, rec, report)
+
+    def _dispatch_run(self, max_steps: int | None) -> StopEvent:
+        """Pick the run loop: the unobserved fast paths, or — with
+        observers attached — the event-emitting variants."""
+        if self._observers:
+            if any(s.granularity == "instruction"
+                   for s in self._observers):
+                # deopt: per-instruction events need the interpreter
+                return self._run_events(max_steps, full=True)
+            if max_steps is None and self.trace_compile:
+                # block granularity: traces stay hot, blocks self-emit
+                return self._run_traced()
+            return self._run_events(max_steps, full=False)
+        if max_steps is None and self.trace_compile:
+            return self._run_traced()
+        return self._run_interp(max_steps)
 
     def _run_observed(self, max_steps: int | None, rec,
                       report) -> StopEvent:
@@ -330,10 +464,7 @@ class Machine:
         self._count_hits = rec.enabled or bool(report)
         t0 = time.perf_counter()
         try:
-            if max_steps is None and self.trace_compile:
-                ev = self._run_traced()
-            else:
-                ev = self._run_interp(max_steps)
+            ev = self._dispatch_run(max_steps)
         finally:
             self._count_hits = False
         elapsed = time.perf_counter() - t0
@@ -423,6 +554,71 @@ class Machine:
                     continue
                 return StopEvent(StopReason.BREAKPOINT, e.pc)
             except (SimFault, MemoryFault, DecodeError) as e:
+                emit = self._emit
+                if emit is not None:
+                    emit((FAULT, self.pc, 0, self.instret, self.ucycles))
+                return StopEvent(StopReason.FAULT, self.pc, fault=str(e))
+
+    def _run_events(self, max_steps: int | None, full: bool) -> StopEvent:
+        """Event-emitting closure-interpreter loop — the deopt path the
+        observer-overhead rule routes observed runs through.
+
+        With ``full=True`` (any instruction-granularity observer) every
+        control-flow event is emitted: call/return/jump, taken branches,
+        block entries, faults (patch-site hits ride on
+        :meth:`_redirect`).  With ``full=False`` (block-granularity
+        observers on a *bounded* run, where the trace compiler cannot
+        engage) only block-enter and fault events are emitted.
+        """
+        emit = self._emit
+        icache = self._icache
+        closure_at = self._closure_at
+        evmeta = self._evmeta
+        event_meta = self._event_meta
+        remaining = max_steps
+        pending_block = True  # first executed pc starts a block
+        while True:
+            try:
+                while remaining is None or remaining > 0:
+                    pc = self.pc
+                    if pending_block:
+                        emit((BLOCK, pc, 0, self.instret, self.ucycles))
+                        pending_block = False
+                    meta = evmeta.get(pc)
+                    if meta is None:
+                        meta = event_meta(pc)
+                    cl = icache.get(pc)
+                    if cl is None:
+                        cl = closure_at(pc)
+                    cl()
+                    kind = meta[0]
+                    if kind is not None:
+                        # every control-flow instruction ends a basic
+                        # block (untaken branches included), matching
+                        # the compiled-trace block-enter emits
+                        pending_block = True
+                        if full:
+                            npc = self.pc
+                            if kind != BRANCH:
+                                emit((kind, pc, npc, self.instret,
+                                      self.ucycles))
+                            elif npc != pc + meta[1]:  # taken only
+                                emit((BRANCH, pc, npc, self.instret,
+                                      self.ucycles))
+                    if remaining is not None:
+                        remaining -= 1
+                return StopEvent(StopReason.STEPS_EXHAUSTED, self.pc)
+            except ExitTrap as e:
+                self.exit_code = e.code
+                return StopEvent(StopReason.EXITED, self.pc,
+                                 exit_code=e.code)
+            except BreakpointHit as e:
+                if self._redirect(e.pc):
+                    pending_block = True
+                    continue
+                return StopEvent(StopReason.BREAKPOINT, e.pc)
+            except (SimFault, MemoryFault, DecodeError) as e:
+                emit((FAULT, self.pc, 0, self.instret, self.ucycles))
                 return StopEvent(StopReason.FAULT, self.pc, fault=str(e))
 
     def _run_interp(self, max_steps: int | None = None) -> StopEvent:

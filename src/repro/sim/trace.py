@@ -260,6 +260,14 @@ class _Emitter:
         self.sync_cost = [0]
         self.sync_count = [0]
         self._tmp = 0
+        # block-granularity observation: compile one block-enter emit
+        # into the trace prologue.  _rebuild_emit flushes the cache
+        # whenever this mode (or the emit fan-out) changes, so binding
+        # the current emit callable at compile time is safe.
+        if m._trace_events and m._emit is not None:
+            self.ns["EV"] = m._emit
+            self.lines.append(
+                f"EV((5, {entry:#x}, 0, m.instret, m.ucycles))")
 
     # -- helpers ---------------------------------------------------------
 

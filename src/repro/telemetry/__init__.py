@@ -1,8 +1,11 @@
-"""Toolkit-wide telemetry: spans, counters, gauges, histograms.
+"""Toolkit-wide telemetry: spans, counters, gauges, histograms, and
+mutatee execution event streams.
 
-See :mod:`repro.telemetry.core` for the recorder model and
+See :mod:`repro.telemetry.core` for the recorder model,
+:mod:`repro.telemetry.events` for the mutatee :class:`EventStream`, and
 :mod:`repro.telemetry.report` for rendering; ``tools/stats.py`` is the
-command-line reporter.  Metric names are catalogued in
+pipeline reporter and ``tools/profile.py`` the mutatee profiler.
+Metric names and the event schema are catalogued in
 ``docs/TELEMETRY.md``.
 """
 
@@ -10,9 +13,11 @@ from .core import (
     SCHEMA, NullRecorder, Recorder, active, current, disable, enable,
     enabled,
 )
-from .report import format_report
+from .events import EVENT_SCHEMA, EventStream
+from .report import estimate_percentile, format_report, percentiles
 
 __all__ = [
     "SCHEMA", "NullRecorder", "Recorder", "active", "current",
     "disable", "enable", "enabled", "format_report",
+    "EVENT_SCHEMA", "EventStream", "estimate_percentile", "percentiles",
 ]

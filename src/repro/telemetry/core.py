@@ -84,6 +84,10 @@ class NullRecorder:
     def record_span(self, name: str, seconds: float) -> None:
         pass
 
+    def record_interval(self, name: str, start_s: float,
+                        end_s: float) -> None:
+        pass
+
     def snapshot(self) -> dict:
         return {"schema": SCHEMA, "enabled": False, "counters": {},
                 "gauges": {}, "spans": {}, "histograms": {}}
@@ -110,7 +114,8 @@ class _Span:
         return self
 
     def __exit__(self, *exc):
-        self._rec.record_span(self._name, time.perf_counter() - self._t0)
+        self._rec.record_interval(
+            self._name, self._t0, time.perf_counter())
         return False
 
 
@@ -127,11 +132,18 @@ class Recorder:
       externally measured durations);
     * **histograms** — count/sum/min/max plus power-of-two buckets
       (:meth:`observe`).
+
+    With ``timeline=True`` the recorder additionally keeps every span
+    *instance* as ``(name, start_s, end_s)`` on the perf_counter clock
+    (bounded by *timeline_limit*) — the raw material the Perfetto
+    exporter places pipeline spans with.  Aggregate-only recording (the
+    default) stays allocation-light.
     """
 
     enabled = True
 
-    def __init__(self):
+    def __init__(self, timeline: bool = False,
+                 timeline_limit: int = 100_000):
         self._lock = threading.Lock()
         self._counters: dict[str, int] = {}
         self._gauges: dict[str, float] = {}
@@ -139,6 +151,9 @@ class Recorder:
         self._spans: dict[str, list] = {}
         #: name -> [count, sum, min, max, {bucket_exp: count}]
         self._hists: dict[str, list] = {}
+        #: span instances (name, start_s, end_s), when timeline=True
+        self._timeline: list[tuple] | None = [] if timeline else None
+        self._timeline_limit = timeline_limit
 
     # -- instruments -----------------------------------------------------
 
@@ -166,6 +181,17 @@ class Recorder:
                 if seconds > s[3]:
                     s[3] = seconds
 
+    def record_interval(self, name: str, start_s: float,
+                        end_s: float) -> None:
+        """Record one concrete span occurrence (start/end on the
+        perf_counter clock); feeds both the aggregate and, when enabled,
+        the timeline."""
+        self.record_span(name, end_s - start_s)
+        tl = self._timeline
+        if tl is not None and len(tl) < self._timeline_limit:
+            with self._lock:
+                tl.append((name, start_s, end_s))
+
     def observe(self, name: str, value: float) -> None:
         bucket = max(0, int(value).bit_length())  # 2^(b-1) < v <= 2^b... ~
         with self._lock:
@@ -184,9 +210,14 @@ class Recorder:
     # -- export ----------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """A point-in-time copy of every instrument, JSON-serialisable."""
+        """A point-in-time copy of every instrument, JSON-serialisable.
+
+        When timeline recording is on, the snapshot carries an extra
+        ``"timeline"`` key: a list of ``{"name", "start_s", "end_s"}``
+        span instances (perf_counter clock).
+        """
         with self._lock:
-            return {
+            snap = {
                 "schema": SCHEMA,
                 "enabled": True,
                 "counters": dict(self._counters),
@@ -204,6 +235,12 @@ class Recorder:
                     for name, h in self._hists.items()
                 },
             }
+            if self._timeline is not None:
+                snap["timeline"] = [
+                    {"name": n, "start_s": a, "end_s": b}
+                    for n, a, b in self._timeline
+                ]
+            return snap
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.snapshot(), indent=indent)
@@ -214,6 +251,8 @@ class Recorder:
             self._gauges.clear()
             self._spans.clear()
             self._hists.clear()
+            if self._timeline is not None:
+                self._timeline.clear()
 
 
 # -- module-level state ---------------------------------------------------

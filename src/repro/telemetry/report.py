@@ -9,8 +9,71 @@ per phase — the per-stage evidence the §4.3 evaluation is built on.
 
 from __future__ import annotations
 
+import math
+
 #: phase display order; unknown prefixes sort after these
-PHASE_ORDER = ("parse", "liveness", "patch", "sim")
+PHASE_ORDER = ("parse", "liveness", "patch", "sim", "trace")
+
+
+def _parse_buckets(buckets: dict) -> list[tuple[int, int]]:
+    """Normalise histogram buckets to sorted (exponent, count) pairs.
+
+    Accepts either the snapshot form (``{"le_2^b": count}``) or the
+    recorder-internal form (``{b: count}``).
+    """
+    out = []
+    for key, count in buckets.items():
+        if isinstance(key, str):
+            exp = int(key.rsplit("^", 1)[1])
+        else:
+            exp = int(key)
+        out.append((exp, count))
+    out.sort()
+    return out
+
+
+def estimate_percentile(hist: dict, q: float) -> float:
+    """Estimate the *q*-th percentile of a power-of-two histogram.
+
+    *hist* is one snapshot histogram entry (``{"count", "sum", "min",
+    "max", "buckets"}``).  Bucket ``b`` holds values ``v`` with
+    ``int(v).bit_length() == b``, i.e. ``2^(b-1) <= v < 2^b`` (bucket 0
+    holds zeros).  Within the located bucket the value is interpolated
+    **geometrically** (the natural assumption for exponentially sized
+    buckets), then clamped to the histogram's exact observed min/max —
+    so ``q=0``/``q=100`` return the true extremes, and single-value
+    histograms return that value for every *q*.
+    """
+    total = hist.get("count", 0)
+    if not total:
+        return 0.0
+    q = min(100.0, max(0.0, q))
+    pairs = _parse_buckets(hist.get("buckets", {}))
+    lo_clamp = hist.get("min", 0.0)
+    hi_clamp = hist.get("max", lo_clamp)
+    # rank in [1, total]: the smallest rank covering fraction q
+    target = max(1, math.ceil(q / 100.0 * total))
+    if target == 1:
+        return lo_clamp  # the rank-1 statistic is the exact minimum
+    if target == total:
+        return hi_clamp  # ... and rank-n the exact maximum
+    cum = 0
+    for exp, count in pairs:
+        if cum + count >= target:
+            if exp == 0:
+                return min(max(0.0, lo_clamp), hi_clamp)  # zeros only
+            lo = float(1 << (exp - 1))
+            hi = float(1 << exp)
+            frac = (target - cum) / count
+            value = lo * (hi / lo) ** frac  # geometric interpolation
+            return min(max(value, lo_clamp), hi_clamp)
+        cum += count
+    return hi_clamp  # pragma: no cover - counts always sum to total
+
+
+def percentiles(hist: dict, qs=(50, 90, 99)) -> dict[str, float]:
+    """``{"p50": ..., "p90": ..., "p99": ...}`` estimates for *hist*."""
+    return {f"p{int(q)}": estimate_percentile(hist, q) for q in qs}
 
 
 def _phase_of(name: str) -> str:
@@ -69,8 +132,11 @@ def format_report(snapshot: dict) -> str:
         for name in sorted(hists):
             h = hists[name]
             mean = h["sum"] / h["count"] if h["count"] else 0.0
+            pct = percentiles(h)
             out.append(
                 f"  {name:<40}{h['count']:>10}x"
-                f"  mean {mean:>8.1f}  max {h['max']:>8.1f}")
+                f"  mean {mean:>8.1f}"
+                f"  p50 {pct['p50']:>8.1f}  p90 {pct['p90']:>8.1f}"
+                f"  p99 {pct['p99']:>8.1f}  max {h['max']:>8.1f}")
         out.append("")
     return "\n".join(out) + ("\n" if out else "")

@@ -10,7 +10,7 @@ from .coverage import CoverageHandle, cover_functions
 from .latency import LatencyHandle, measure_latency
 from .memtrace import MemEvent, MemTraceHandle, trace_memory
 from .profiler import Profile, profile_process
-from .tracer import TraceEvent, TraceHandle, trace_functions
+from .tracer import TraceEvent, TraceHandle, trace_calls, trace_functions
 from .watchpoint import WatchHandle, WatchHit, watch_writes
 
 __all__ = [
@@ -21,6 +21,6 @@ __all__ = [
     "LatencyHandle", "measure_latency",
     "MemEvent", "MemTraceHandle", "trace_memory",
     "Profile", "profile_process",
-    "TraceEvent", "TraceHandle", "trace_functions",
+    "TraceEvent", "TraceHandle", "trace_calls", "trace_functions",
     "WatchHandle", "WatchHit", "watch_writes",
 ]

@@ -45,8 +45,15 @@ def format_symbols(symtab: Symtab) -> str:
     return "\n".join(lines)
 
 
-def format_disassembly(symtab: Symtab) -> str:
+def format_disassembly(symtab: Symtab,
+                       heat: dict[int, int] | None = None) -> str:
+    """Disassembly with symbol annotations; *heat* (block entry pc ->
+    execution count, as :func:`repro.tracing.block_heat` produces it)
+    adds a per-line hit-count column and a scaled bar — the annotated
+    hot-path view ``tools/profile.py --annotate`` prints."""
     by_addr = {s.address: s.name for s in symtab.symbols.values()}
+    max_heat = max(heat.values()) if heat else 0
+    current = 0  # hit count of the block containing the current pc
     lines = []
     for region in symtab.code_regions():
         lines.append(f"\nDisassembly of {region.name}:")
@@ -55,9 +62,12 @@ def format_disassembly(symtab: Symtab) -> str:
         while pc < end - 1:
             if pc in by_addr:
                 lines.append(f"\n{pc:#010x} <{by_addr[pc]}>:")
+                current = 0
             src = symtab.lines.exact(pc)
             if src is not None:
                 lines.append(f"  ; line {src}")
+            if heat is not None and pc in heat:
+                current = heat[pc]
             try:
                 insn = decode_insn(region.data, pc - region.addr, pc)
             except DecodeError:
@@ -69,8 +79,44 @@ def format_disassembly(symtab: Symtab) -> str:
                 continue
             raw = region.data[pc - region.addr:pc - region.addr + insn.length]
             hexed = raw.hex()
-            lines.append(f"  {pc:#010x}:  {hexed:10} {insn.disasm()}")
+            text = f"  {pc:#010x}:  {hexed:10} {insn.disasm()}"
+            if heat is not None:
+                if current:
+                    bar = "#" * max(1, round(20 * current / max_heat))
+                    text = f"{text:<56}|{current:>10}x {bar}"
+                else:
+                    text = f"{text:<56}|"
+            lines.append(text)
             pc += insn.length
+    return "\n".join(lines)
+
+
+def format_annotated(symtab: Symtab, heat: dict[int, int],
+                     top: int = 5) -> str:
+    """Hot-path disassembly: the *top* functions by summed block heat,
+    each rendered with per-line hit counts."""
+    co = parse_binary(symtab)
+    per_fn: dict[int, int] = {}
+    for pc, count in heat.items():
+        fn = co.function_containing(pc)
+        if fn is not None:
+            per_fn[fn.entry] = per_fn.get(fn.entry, 0) + count
+    hot = sorted(per_fn, key=lambda e: -per_fn[e])[:top]
+    max_heat = max(heat.values()) if heat else 1
+    lines = []
+    for entry in hot:
+        fn = co.functions[entry]
+        lines.append(f"\n{entry:#010x} <{fn.name}>:  "
+                     f"({per_fn[entry]:,} block executions)")
+        for block in sorted(fn.blocks.values(), key=lambda b: b.start):
+            count = heat.get(block.start, 0)
+            for insn in block.insns:
+                text = f"  {insn.address:#010x}:  {insn.disasm()}"
+                if count:
+                    bar = "#" * max(1, round(20 * count / max_heat))
+                    lines.append(f"{text:<56}|{count:>10}x {bar}")
+                else:
+                    lines.append(f"{text:<56}|")
     return "\n".join(lines)
 
 
@@ -148,7 +194,18 @@ def main(argv: list[str] | None = None) -> int:
                     help="stack-frame analysis per function")
     ap.add_argument("--mix", action="store_true",
                     help="static instruction-mix histogram")
+    ap.add_argument("--heat", metavar="JSON",
+                    help="block-heat JSON ({pc: count}, as written by "
+                         "tools/profile.py --heat-json); annotates the "
+                         "disassembly with per-block hit counts")
     args = ap.parse_args(argv)
+
+    heat = None
+    if args.heat:
+        import json
+
+        with open(args.heat) as fh:
+            heat = {int(k, 0): v for k, v in json.load(fh).items()}
 
     with open(args.file, "rb") as fh:
         symtab = Symtab.from_bytes(fh.read())
@@ -168,7 +225,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.mix:
             print(format_mix(symtab))
         if args.disassemble or none_selected:
-            print(format_disassembly(symtab))
+            print(format_disassembly(symtab, heat=heat))
     except BrokenPipeError:  # e.g. `| head`
         sys.stderr.close()
     return 0

@@ -2,9 +2,14 @@
 opens with (§1/§2 cite HPCToolkit as the flagship Dyninst consumer).
 
 Periodically interrupts the mutatee (the simulator's step quantum plays
-the role of a timer signal), walks the call stack with StackwalkerAPI,
-and accumulates flat and call-path profiles — no instrumentation at
-all, pure ProcControl + Stackwalker.
+the role of a timer signal) and accumulates flat and call-path
+profiles.  Call stacks come from the shared execution event stream
+(:mod:`repro.telemetry.events` + :mod:`repro.tracing.callstack`): the
+machine emits call/return events between samples and the
+:class:`~repro.tracing.CallStackBuilder` folds them into the live
+stack, falling back to a StackwalkerAPI walk of the stopped hart
+whenever the link-register convention cannot explain a return
+(longjmp, trampolines, hand-written assembly).
 """
 
 from __future__ import annotations
@@ -16,6 +21,8 @@ from ..parse.parser import CodeObject
 from ..proccontrol.process import Process
 from ..sim.machine import StopReason
 from ..stackwalk.walker import StackWalker
+from ..telemetry.events import EventStream
+from ..tracing.callstack import CallStackBuilder, SymbolIndex
 
 
 @dataclass
@@ -62,27 +69,46 @@ def profile_process(proc: Process, code_object: CodeObject,
                     max_samples: int = 100_000) -> Profile:
     """Run the process to completion, sampling the stack every *quantum*
     simulated instructions."""
+    machine = proc.machine
     walker = StackWalker(proc, code_object)
+    symbols = SymbolIndex.from_code_object(code_object)
+    builder = CallStackBuilder(
+        symbols, walker=lambda: [f.pc for f in walker.walk()])
+    # small ring, drained every quantum; the builder carries the state
+    stream = EventStream(capacity=max(2 * quantum, 4096))
+    machine.attach_observer(stream)
     prof = Profile()
-    while not proc.exited and prof.total_samples < max_samples:
-        stop = proc.machine.run(max_steps=quantum)
-        if stop.reason is StopReason.EXITED:
-            break
-        if stop.reason is not StopReason.STEPS_EXHAUSTED:
-            raise RuntimeError(f"unexpected stop while profiling: {stop}")
-        frames = walker.walk()
-        if not frames:
-            continue
-        prof.total_samples += 1
-        names = [f.function_name or "???" for f in frames]
-        prof.flat[names[0]] += 1
-        for name in set(names):
-            prof.cumulative[name] += 1
-        prof.call_paths[tuple(reversed(names))] += 1
-        # line-level attribution when debug info is available
-        hit = code_object.symtab.lines.lookup(frames[0].pc)
-        if hit is not None:
-            fn = code_object.function_containing(frames[0].pc)
-            if fn is not None and hit[0] >= fn.entry:
-                prof.line_flat[(names[0], hit[1])] += 1
+    try:
+        while not proc.exited and prof.total_samples < max_samples:
+            stop = machine.run(max_steps=quantum)
+            if stream.dropped:
+                # ring overflow would desync the builder: resync from
+                # the stack walker and start a fresh window
+                builder.resync([f.pc for f in walker.walk()])
+                stream.dropped = 0
+                stream.clear()
+            else:
+                builder.feed(stream.drain())
+            if stop.reason is StopReason.EXITED:
+                break
+            if stop.reason is not StopReason.STEPS_EXHAUSTED:
+                raise RuntimeError(
+                    f"unexpected stop while profiling: {stop}")
+            stack = builder.current_stack()
+            if not stack:
+                continue
+            prof.total_samples += 1
+            top = stack[-1]
+            prof.flat[top] += 1
+            for name in set(stack):
+                prof.cumulative[name] += 1
+            prof.call_paths[stack] += 1
+            # line-level attribution when debug info is available
+            hit = code_object.symtab.lines.lookup(machine.pc)
+            if hit is not None:
+                fn = code_object.function_containing(machine.pc)
+                if fn is not None and hit[0] >= fn.entry:
+                    prof.line_flat[(top, hit[1])] += 1
+    finally:
+        machine.detach_observer(stream)
     return prof

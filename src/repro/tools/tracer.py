@@ -1,9 +1,19 @@
 """Function-call tracer: the classic "trace every function entry and
-exit" tool from the paper's introduction, built purely from snippets.
+exit" tool from the paper's introduction.
 
-Events are written into a ring buffer in the instrumentation data area:
-one 8-byte word per event, ``(func_id << 1) | is_exit``.  After the run
-the buffer is decoded into a readable trace.
+Two implementations of the same tool, one per observation mechanism:
+
+* :func:`trace_functions` — pure snippet instrumentation: events are
+  written into a ring buffer in the instrumentation *data area*, one
+  8-byte word per event, ``(func_id << 1) | is_exit``, decoded after
+  the run (the mutatee records its own trace);
+* :func:`trace_calls` — zero instrumentation: the simulator's execution
+  event stream (:mod:`repro.telemetry.events`) supplies call/return
+  events directly, decoded against the parsed symbols.
+
+Both yield the same :class:`TraceEvent` records, which is itself a
+useful cross-check (the instrumented trace must match the observed
+one).
 """
 
 from __future__ import annotations
@@ -16,6 +26,8 @@ from ..codegen.snippets import (
 )
 from ..parse.cfg import Function
 from ..patch.points import PointType
+from ..telemetry.events import CALL, RET
+from ..tracing.callstack import SymbolIndex
 
 
 @dataclass(frozen=True)
@@ -81,3 +93,35 @@ def trace_functions(binary: BinaryEdit,
         for pt in exits:
             binary.insert(pt, record((i << 1) | 1))
     return TraceHandle(head, buf.address, capacity, id_to_name)
+
+
+def trace_calls(binary: BinaryEdit,
+                functions: list[Function | str] | None = None,
+                max_steps: int | None = None) -> list[TraceEvent]:
+    """Observe the mutatee's function entries/exits without inserting a
+    single snippet: run under an execution event stream and decode its
+    call/return events.
+
+    *functions* optionally restricts the trace (names or parsed
+    functions); by default every call crossing a known function entry
+    is reported.
+    """
+    wanted: set[str] | None = None
+    if functions is not None:
+        wanted = {fn if isinstance(fn, str) else fn.name
+                  for fn in functions}
+    symbols = SymbolIndex.from_code_object(binary.cfg)
+    session = binary.trace(max_steps=max_steps)
+    events: list[TraceEvent] = []
+    for kind, pc, target, _instret, _ucycles in session.events:
+        if kind == CALL:
+            name = symbols.entry_name(target) or symbols.name_at(target)
+        elif kind == RET:
+            name = symbols.name_at(pc)
+        else:
+            continue
+        if wanted is not None and name not in wanted:
+            continue
+        events.append(TraceEvent(name, "entry" if kind == CALL
+                                 else "exit"))
+    return events

@@ -1,0 +1,33 @@
+"""Mutatee execution tracing: event-stream consumers.
+
+The simulator emits control-flow events into
+:class:`repro.telemetry.events.EventStream` observers; this package
+turns those flat streams into artefacts a human can read:
+
+* :mod:`.callstack` — link-register-convention call-stack
+  reconstruction (:class:`CallStackBuilder`, :class:`CallSpan`,
+  :class:`SymbolIndex`) with a stackwalk fallback for irregular flow;
+* :mod:`.perfetto` — Chrome trace-event / Perfetto JSON export
+  correlating mutatee spans with the toolkit's own pipeline spans;
+* :mod:`.flamegraph` — folded-stack text for ``flamegraph.pl`` /
+  inferno / speedscope.
+
+``tools/profile.py`` is the command-line front end; the API v2 entry
+points are :meth:`repro.api.BinaryEdit.trace` and
+``Machine.run(trace=...)``.
+"""
+
+from .callstack import (
+    CallSpan, CallStackBuilder, SymbolIndex, block_heat, call_spans,
+)
+from .flamegraph import (
+    folded_stacks, format_folded, hottest, write_flamegraph,
+)
+from .perfetto import perfetto_trace, validate_perfetto, write_perfetto
+
+__all__ = [
+    "CallSpan", "CallStackBuilder", "SymbolIndex", "block_heat",
+    "call_spans", "folded_stacks", "format_folded", "hottest",
+    "write_flamegraph", "perfetto_trace", "validate_perfetto",
+    "write_perfetto",
+]

@@ -1,0 +1,275 @@
+"""Call-stack reconstruction from mutatee execution event streams.
+
+The simulator's :class:`~repro.telemetry.events.EventStream` carries
+flat control-flow events; this module folds them back into nested call
+spans using the RISC-V link-register conventions that
+:mod:`repro.parse.branch_classify` codifies (§3.2.3): a ``jal``/``jalr``
+writing ``ra``/``t0`` opens a frame, a ``jalr x0`` consuming a link
+register closes one, and a jump landing on a known function *entry*
+closes-and-reopens at the same depth (tail call).
+
+Real control flow is messier than the convention — longjmp,
+hand-written assembly, trampolines.  The builder therefore validates
+every return against the recorded call site (a return lands 2 or 4
+bytes past its call), scans down the stack for the matching frame when
+the top does not line up, counts what it could not explain in
+:attr:`CallStackBuilder.irregular`, and — when the caller wires one in
+— resynchronises from a :mod:`repro.stackwalk` walk of the live machine
+(:meth:`CallStackBuilder.resync`).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from ..telemetry.events import BLOCK, CALL, JUMP, RET
+
+#: a return lands this many bytes past its call site (c.jalr / jalr)
+_CALL_LENGTHS = (2, 4)
+
+
+class SymbolIndex:
+    """Sorted function map: address -> containing function / entry name.
+
+    Built from ``(address, size, name)`` triples; zero-size functions
+    extend to the next function's entry.  Addresses outside every
+    function render as hex (the profiler never drops samples on the
+    floor just because symbols are missing).
+    """
+
+    def __init__(self, functions):
+        funcs = sorted({(int(a), int(sz), str(n)) for a, sz, n in functions})
+        self._funcs = funcs
+        self._addrs = [a for a, _, _ in funcs]
+        self._entries = {a: n for a, _, n in funcs}
+
+    @classmethod
+    def from_program(cls, program) -> "SymbolIndex":
+        """From an assembler/minicc ``Program`` (``function_symbols()``)."""
+        return cls((s.address, s.size, s.name)
+                   for s in program.function_symbols())
+
+    @classmethod
+    def from_code_object(cls, code_object) -> "SymbolIndex":
+        """From a parsed :class:`~repro.parse.parser.CodeObject`."""
+        return cls((fn.entry, fn.size, fn.name)
+                   for fn in code_object.functions.values())
+
+    def is_entry(self, addr: int) -> bool:
+        return addr in self._entries
+
+    def entry_name(self, addr: int) -> str | None:
+        return self._entries.get(addr)
+
+    def name_at(self, addr: int) -> str:
+        """Name of the function containing *addr* (hex when unknown)."""
+        i = bisect_right(self._addrs, addr) - 1
+        if i >= 0:
+            start, size, name = self._funcs[i]
+            end = start + size if size else (
+                self._addrs[i + 1] if i + 1 < len(self._addrs)
+                else addr + 1)
+            if addr < end:
+                return name
+        return f"{addr:#x}"
+
+
+@dataclass
+class CallSpan:
+    """One reconstructed mutatee call: a function activation in time.
+
+    Timestamps are the simulator's retired-instruction count and
+    micro-cycle clock at frame open/close; *stack* is the full root-to-
+    self name path (the folded-stack line the flamegraph exporter
+    emits).
+    """
+
+    name: str
+    entry: int
+    depth: int
+    call_site: int
+    start_instret: int
+    start_ucycles: int
+    end_instret: int = 0
+    end_ucycles: int = 0
+    stack: tuple[str, ...] = ()
+    #: opened by a tail call (previous frame at this depth was replaced)
+    tail: bool = False
+
+    @property
+    def instructions(self) -> int:
+        return self.end_instret - self.start_instret
+
+    @property
+    def ucycles(self) -> int:
+        return self.end_ucycles - self.start_ucycles
+
+
+class _Frame:
+    __slots__ = ("name", "entry", "call_site", "start_instret",
+                 "start_ucycles", "stack", "tail")
+
+    def __init__(self, name, entry, call_site, instret, ucycles,
+                 parent_stack, tail=False):
+        self.name = name
+        self.entry = entry
+        self.call_site = call_site
+        self.start_instret = instret
+        self.start_ucycles = ucycles
+        self.stack = parent_stack + (name,)
+        self.tail = tail
+
+
+class CallStackBuilder:
+    """Incremental call-stack reconstruction over an event stream.
+
+    Feed events (oldest first) with :meth:`feed`; closed activations
+    accumulate in :attr:`spans` and :meth:`finish` closes whatever is
+    still open at the last seen timestamp.  *walker*, when provided, is
+    a zero-argument callable returning the live machine's frame pcs
+    innermost-first (:meth:`repro.stackwalk.StackWalker.walk` adapted);
+    it is consulted to resynchronise when a return cannot be matched to
+    any recorded call site.
+    """
+
+    def __init__(self, symbols: SymbolIndex, walker=None):
+        self.symbols = symbols
+        self.spans: list[CallSpan] = []
+        #: control transfers the link-register convention could not
+        #: explain (mismatched returns, longjmp-style unwinds)
+        self.irregular = 0
+        #: how many times the stackwalk fallback resynchronised us
+        self.resyncs = 0
+        self._walker = walker
+        self._open: list[_Frame] = []
+        self._tick = (0, 0)  # (instret, ucycles) of the last event
+
+    # -- event intake ----------------------------------------------------
+
+    def feed(self, events) -> "CallStackBuilder":
+        """Process an iterable of event tuples (oldest first)."""
+        for ev in events:
+            self.feed_one(ev)
+        return self
+
+    def feed_one(self, ev: tuple) -> None:
+        kind, pc, target, instret, ucycles = ev
+        self._tick = (instret, ucycles)
+        if kind == CALL:
+            self._push(pc, target, instret, ucycles)
+        elif kind == RET:
+            self._pop(pc, target, instret, ucycles)
+        elif kind == JUMP:
+            # a jump landing on a function entry is a tail call: the
+            # current activation is replaced at the same depth
+            if self._open and self.symbols.is_entry(target) \
+                    and target != self._open[-1].entry:
+                self._close(self._open.pop(), instret, ucycles)
+                self._push(pc, target, instret, ucycles, tail=True)
+        elif kind == BLOCK and not self._open:
+            # first observed block seeds the root activation
+            name = self.symbols.name_at(pc)
+            self._open.append(_Frame(name, pc, 0, instret, ucycles, ()))
+
+    # -- stack operations ------------------------------------------------
+
+    def _push(self, call_site, target, instret, ucycles, tail=False):
+        name = self.symbols.entry_name(target) or \
+            self.symbols.name_at(target)
+        parent = self._open[-1].stack if self._open else ()
+        self._open.append(
+            _Frame(name, target, call_site, instret, ucycles, parent,
+                   tail))
+
+    def _pop(self, ret_site, ret_to, instret, ucycles):
+        open_ = self._open
+        if not open_:
+            self.irregular += 1
+            return
+        # normal case: the return lands just past the top frame's call
+        top = open_[-1]
+        if top.call_site and ret_to - top.call_site in _CALL_LENGTHS:
+            self._close(open_.pop(), instret, ucycles)
+            return
+        # scan down for the matching frame (longjmp / missed returns):
+        # everything above it was abandoned, close it all
+        for i in range(len(open_) - 2, -1, -1):
+            fr = open_[i]
+            if fr.call_site and ret_to - fr.call_site in _CALL_LENGTHS:
+                self.irregular += len(open_) - 1 - i
+                while len(open_) > i:
+                    self._close(open_.pop(), instret, ucycles)
+                return
+        # no recorded call site matches: irregular control flow
+        self.irregular += 1
+        if self._walker is not None:
+            self.resync(self._walker())
+            return
+        if len(open_) > 1:  # keep the root activation open
+            self._close(open_.pop(), instret, ucycles)
+
+    def _close(self, frame: _Frame, instret, ucycles):
+        self.spans.append(CallSpan(
+            name=frame.name, entry=frame.entry, depth=len(frame.stack) - 1,
+            call_site=frame.call_site,
+            start_instret=frame.start_instret,
+            start_ucycles=frame.start_ucycles,
+            end_instret=instret, end_ucycles=ucycles,
+            stack=frame.stack, tail=frame.tail))
+
+    # -- stackwalk fallback ----------------------------------------------
+
+    def resync(self, frame_pcs) -> None:
+        """Reset the open stack to *frame_pcs* (innermost-first, as
+        :meth:`repro.stackwalk.StackWalker.walk` reports them) at the
+        current timestamp.  Frames that survive by name keep their start
+        times; the rest are closed/opened here."""
+        self.resyncs += 1
+        instret, ucycles = self._tick
+        want = [self.symbols.name_at(pc) for pc in reversed(list(frame_pcs))]
+        keep = 0
+        while keep < len(want) and keep < len(self._open) and \
+                self._open[keep].name == want[keep]:
+            keep += 1
+        while len(self._open) > keep:
+            self._close(self._open.pop(), instret, ucycles)
+        for name in want[keep:]:
+            parent = self._open[-1].stack if self._open else ()
+            self._open.append(
+                _Frame(name, 0, 0, instret, ucycles, parent))
+
+    # -- results ---------------------------------------------------------
+
+    def current_stack(self) -> tuple[str, ...]:
+        """Names of the activations open right now, root first."""
+        return self._open[-1].stack if self._open else ()
+
+    @property
+    def depth(self) -> int:
+        return len(self._open)
+
+    def finish(self) -> list[CallSpan]:
+        """Close every still-open frame at the last event's timestamp
+        and return all spans ordered by (start, depth)."""
+        instret, ucycles = self._tick
+        while self._open:
+            self._close(self._open.pop(), instret, ucycles)
+        self.spans.sort(key=lambda s: (s.start_instret, s.depth))
+        return self.spans
+
+
+def call_spans(events, symbols: SymbolIndex,
+               walker=None) -> list[CallSpan]:
+    """One-shot reconstruction: events -> finished :class:`CallSpan` list."""
+    return CallStackBuilder(symbols, walker=walker).feed(events).finish()
+
+
+def block_heat(events) -> dict[int, int]:
+    """Per-block execution counts: ``{block entry pc: times entered}``
+    from the stream's block-enter events."""
+    heat: dict[int, int] = {}
+    for kind, pc, _target, _instret, _ucycles in events:
+        if kind == BLOCK:
+            heat[pc] = heat.get(pc, 0) + 1
+    return heat

@@ -1,0 +1,68 @@
+"""Folded-stack flamegraph export.
+
+Produces the classic ``flamegraph.pl`` / inferno / speedscope input
+format: one line per unique stack, frames joined by ``;`` root-first,
+followed by that stack's **self weight** — simulated micro-cycles (or
+retired instructions) spent in the leaf frame itself, children
+excluded.  Feed the output straight into any folded-stack renderer::
+
+    flamegraph.pl out.folded > flame.svg
+
+Weights come from the reconstructed :class:`~.callstack.CallSpan` list:
+each span's total weight minus the weight of the spans it directly
+encloses.
+"""
+
+from __future__ import annotations
+
+from .callstack import CallSpan
+
+
+def folded_stacks(spans: list[CallSpan],
+                  weight: str = "ucycles") -> dict[tuple[str, ...], int]:
+    """Aggregate spans into ``{stack path: self weight}``.
+
+    *weight* is ``"ucycles"`` (default; simulated time) or
+    ``"instructions"`` (retired instruction counts).
+    """
+    if weight not in ("ucycles", "instructions"):
+        raise ValueError(
+            f"weight must be 'ucycles' or 'instructions', not {weight!r}")
+    totals: dict[tuple[str, ...], int] = {}
+    child_weight: dict[tuple[str, ...], int] = {}
+    for span in spans:
+        w = getattr(span, weight)
+        totals[span.stack] = totals.get(span.stack, 0) + w
+        if len(span.stack) > 1:
+            parent = span.stack[:-1]
+            child_weight[parent] = child_weight.get(parent, 0) + w
+    folded = {}
+    for stack, total in totals.items():
+        self_w = total - child_weight.get(stack, 0)
+        if self_w > 0:
+            folded[stack] = self_w
+    return folded
+
+
+def format_folded(folded: dict[tuple[str, ...], int]) -> str:
+    """Render a folded-stack dict as text, heaviest stacks first."""
+    lines = [f"{';'.join(stack)} {w}"
+             for stack, w in sorted(folded.items(),
+                                    key=lambda kv: (-kv[1], kv[0]))]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_flamegraph(path, spans: list[CallSpan],
+                     weight: str = "ucycles") -> dict[tuple[str, ...], int]:
+    """Write ``path`` in folded-stack format; returns the aggregate."""
+    folded = folded_stacks(spans, weight=weight)
+    with open(path, "w") as f:
+        f.write(format_folded(folded))
+    return folded
+
+
+def hottest(folded: dict[tuple[str, ...], int]) -> tuple[str, ...] | None:
+    """The stack with the largest self weight (None when empty)."""
+    if not folded:
+        return None
+    return max(folded.items(), key=lambda kv: kv[1])[0]

@@ -1,0 +1,169 @@
+"""Chrome trace-event / Perfetto JSON export.
+
+Writes the ``traceEvents`` JSON the Perfetto UI (https://ui.perfetto.dev)
+and ``chrome://tracing`` load: mutatee call activations as nested
+``B``/``E`` duration pairs, faults and patch-site hits as instant
+markers, and — when a timeline-enabled telemetry snapshot is supplied —
+the toolkit's own pipeline spans (parse/liveness/patch/sim) on a second
+process track, so mutatee execution can be eyeballed against the
+instrumentation pipeline that produced it.
+
+Clock domains
+-------------
+The two tracks tick different clocks and the export keeps them apart
+rather than pretending otherwise: mutatee spans are placed on the
+*simulated* clock (micro-cycles through *to_us*), pipeline spans on the
+host ``perf_counter`` clock rebased to zero.  Correlation is therefore
+structural (same picture, two pids), not a shared timebase.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..telemetry.events import EVENT_SCHEMA, FAULT, KIND_NAMES, PATCH
+from .callstack import CallSpan
+
+#: pid used for the mutatee (simulated clock) track
+MUTATEE_PID = 2
+#: pid used for the toolkit pipeline (host clock) track
+PIPELINE_PID = 1
+
+
+def _default_to_us(ucycles: int) -> float:
+    # micro-cycle granularity is sub-ns; /1000 keeps small runs readable
+    return ucycles / 1000.0
+
+
+def perfetto_trace(spans: list[CallSpan], events=None, snapshot=None,
+                   to_us=None) -> dict:
+    """Build the trace-event document (a JSON-serialisable dict).
+
+    *spans* are reconstructed mutatee activations; *events* optionally
+    supplies the raw stream so fault/patch-site instants appear;
+    *snapshot* optionally supplies a telemetry snapshot whose
+    ``"timeline"`` entries become the pipeline track; *to_us* maps
+    simulated micro-cycles to trace microseconds (defaults to
+    ``ucycles / 1000``).
+    """
+    to_us = to_us or _default_to_us
+    out: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": MUTATEE_PID, "tid": 0,
+         "args": {"name": "mutatee (simulated clock)"}},
+    ]
+
+    # -- mutatee call spans: nested B/E pairs ---------------------------
+    # Emission is stack-driven rather than sort-key-driven: spans are
+    # visited in (start, longest-first, depth) order and an open span is
+    # closed the moment a later span starts at-or-after its end.  This
+    # keeps B/E nesting well-formed even for zero-length and
+    # back-to-back spans, where timestamp ties defeat any flat sort.
+    def _e(sp) -> dict:
+        return {"name": sp.name, "cat": "mutatee", "ph": "E",
+                "pid": MUTATEE_PID, "tid": 1, "ts": to_us(sp.end_ucycles)}
+
+    open_stack: list = []
+    for sp in sorted(spans, key=lambda s: (s.start_ucycles,
+                                           -s.end_ucycles, s.depth)):
+        b_ts = to_us(sp.start_ucycles)
+        while open_stack and to_us(open_stack[-1].end_ucycles) <= b_ts:
+            out.append(_e(open_stack.pop()))
+        args = {"entry": f"{sp.entry:#x}", "depth": sp.depth,
+                "instructions": sp.instructions}
+        if sp.call_site:
+            args["call_site"] = f"{sp.call_site:#x}"
+        if sp.tail:
+            args["tail_call"] = True
+        out.append({"name": sp.name, "cat": "mutatee", "ph": "B",
+                    "pid": MUTATEE_PID, "tid": 1, "ts": b_ts,
+                    "args": args})
+        open_stack.append(sp)
+    while open_stack:
+        out.append(_e(open_stack.pop()))
+
+    # -- fault / patch-site instants ------------------------------------
+    if events is not None:
+        for kind, pc, target, _instret, ucycles in events:
+            if kind not in (FAULT, PATCH):
+                continue
+            args = {"pc": f"{pc:#x}"}
+            if kind == PATCH:
+                args["target"] = f"{target:#x}"
+            out.append({
+                "name": KIND_NAMES[kind], "cat": "mutatee", "ph": "i",
+                "s": "t", "pid": MUTATEE_PID, "tid": 1,
+                "ts": to_us(ucycles), "args": args})
+
+    # -- pipeline track (host clock, rebased to zero) -------------------
+    timeline = (snapshot or {}).get("timeline") or []
+    if timeline:
+        out.append({"name": "process_name", "ph": "M",
+                    "pid": PIPELINE_PID, "tid": 0,
+                    "args": {"name": "repro pipeline (host clock)"}})
+        t0 = min(t["start_s"] for t in timeline)
+        for t in sorted(timeline, key=lambda t: t["start_s"]):
+            out.append({
+                "name": t["name"], "cat": "pipeline", "ph": "X",
+                "pid": PIPELINE_PID, "tid": 1,
+                "ts": (t["start_s"] - t0) * 1e6,
+                "dur": (t["end_s"] - t["start_s"]) * 1e6})
+
+    return {"traceEvents": out, "displayTimeUnit": "ns",
+            "otherData": {"schema": EVENT_SCHEMA}}
+
+
+def write_perfetto(path, spans: list[CallSpan], events=None,
+                   snapshot=None, to_us=None) -> dict:
+    """Write the trace-event JSON to *path*; returns the document."""
+    doc = perfetto_trace(spans, events=events, snapshot=snapshot,
+                         to_us=to_us)
+    with open(path, "w") as f:
+        json.dump(doc, f)
+    return doc
+
+
+def validate_perfetto(doc: dict) -> list[str]:
+    """Structural sanity checks; returns a list of problems (empty =
+    valid).  Checked: required keys, per-track B/E balance and nesting,
+    monotonically non-decreasing duration-event timestamps per track."""
+    problems: list[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    stacks: dict[tuple, list] = {}
+    last_ts: dict[tuple, float] = {}
+    for i, ev in enumerate(events):
+        for key in ("name", "ph", "pid"):
+            if key not in ev:
+                problems.append(f"event {i} missing {key!r}")
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        if "ts" not in ev:
+            problems.append(f"event {i} missing 'ts'")
+            continue
+        track = (ev.get("pid"), ev.get("tid"))
+        if ph in ("B", "E"):
+            if ev["ts"] < last_ts.get(track, float("-inf")):
+                problems.append(
+                    f"event {i} ts goes backwards on track {track}")
+            last_ts[track] = ev["ts"]
+            stack = stacks.setdefault(track, [])
+            if ph == "B":
+                stack.append(ev["name"])
+            else:
+                if not stack:
+                    problems.append(
+                        f"event {i}: E with empty stack on {track}")
+                elif stack[-1] != ev["name"]:
+                    problems.append(
+                        f"event {i}: E {ev['name']!r} does not close "
+                        f"B {stack[-1]!r} on {track}")
+                    stack.pop()
+                else:
+                    stack.pop()
+    for track, stack in stacks.items():
+        if stack:
+            problems.append(
+                f"track {track}: {len(stack)} unclosed B event(s)")
+    return problems

@@ -14,7 +14,7 @@ import pytest
 SRC = Path(__file__).parent.parent / "src" / "repro"
 
 COMPONENTS = ["symtab", "instruction", "parse", "dataflow", "codegen",
-              "patch", "proccontrol", "stackwalk"]
+              "patch", "proccontrol", "stackwalk", "tracing"]
 
 ALLOWED = {
     "symtab": set(),
@@ -25,6 +25,9 @@ ALLOWED = {
     "patch": {"codegen", "dataflow", "parse", "instruction", "symtab"},
     "proccontrol": {"instruction", "symtab"},
     "stackwalk": {"dataflow", "parse", "proccontrol", "instruction"},
+    # call-stack reconstruction / exporters consume raw event tuples and
+    # symbol triples; they must not reach into parse/sim themselves
+    "tracing": set(),
 }
 
 
@@ -54,7 +57,7 @@ def test_component_respects_figure2(component):
 
 def test_no_component_imports_the_facade():
     for comp in COMPONENTS + ["riscv", "elf", "sim", "semantics",
-                              "minicc"]:
+                              "minicc", "telemetry"]:
         for py in (SRC / comp).rglob("*.py"):
             tree = ast.parse(py.read_text())
             for node in ast.walk(tree):

@@ -1,0 +1,34 @@
+"""Every shipped example must run clean — and clean includes warnings.
+
+Each ``examples/*.py`` is executed in a subprocess with
+``-W error::DeprecationWarning``: an example that trips a deprecated
+code path (e.g. the legacy boolean kwargs the v2 API deprecates) fails
+loudly instead of teaching users the old style.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 10
+
+
+@pytest.mark.parametrize("example", EXAMPLES,
+                         ids=lambda p: p.stem)
+def test_example_runs_without_deprecation_warnings(example):
+    proc = subprocess.run(
+        [sys.executable, "-W", "error::DeprecationWarning",
+         str(example)],
+        capture_output=True, text=True, timeout=600,
+        env={"PYTHONPATH": str(REPO / "src")})
+    assert proc.returncode == 0, (
+        f"{example.name} failed (rc={proc.returncode}):\n"
+        f"--- stdout ---\n{proc.stdout[-2000:]}\n"
+        f"--- stderr ---\n{proc.stderr[-4000:]}")

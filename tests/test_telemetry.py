@@ -280,3 +280,117 @@ class TestMachineRunReport:
         ev2 = m2.run(report=io.StringIO())
         assert (ev1.reason, ev1.pc, m1.instret, m1.ucycles, m1.x) == \
             (ev2.reason, ev2.pc, m2.instret, m2.ucycles, m2.x)
+
+
+class TestPercentiles:
+    """pow2-bucket percentile estimation (telemetry.report helpers)."""
+
+    @staticmethod
+    def _hist(values):
+        rec = Recorder()
+        for v in values:
+            rec.observe("h", v)
+        return rec.snapshot()["histograms"]["h"]
+
+    def test_empty_histogram(self):
+        assert telemetry.estimate_percentile({}, 50) == 0.0
+        assert telemetry.percentiles({}) == {
+            "p50": 0.0, "p90": 0.0, "p99": 0.0}
+
+    def test_single_value_every_quantile(self):
+        h = self._hist([37])
+        for q in (0, 1, 50, 90, 99, 100):
+            assert telemetry.estimate_percentile(h, q) == 37
+
+    def test_extremes_clamp_to_observed_min_max(self):
+        h = self._hist([3, 100, 1000])
+        assert telemetry.estimate_percentile(h, 0) == 3
+        assert telemetry.estimate_percentile(h, 100) == 1000
+
+    def test_bucket_edges_power_of_two(self):
+        # 8 has bit_length 4 -> bucket le_2^4 (8 <= v < 16); 7 -> le_2^3
+        h = self._hist([7, 8])
+        assert set(h["buckets"]) == {"le_2^3", "le_2^4"}
+        p50 = telemetry.estimate_percentile(h, 50)
+        assert 4 <= p50 <= 8
+        p99 = telemetry.estimate_percentile(h, 99)
+        assert 8 <= p99 <= 16
+
+    def test_zero_values_land_in_bucket_zero(self):
+        h = self._hist([0, 0, 0, 16])
+        assert telemetry.estimate_percentile(h, 50) == 0.0
+        assert telemetry.estimate_percentile(h, 100) == 16
+
+    def test_estimates_within_bucket_bounds(self):
+        values = [1, 2, 3, 5, 9, 17, 33, 65, 129, 1025]
+        h = self._hist(values)
+        for q in (10, 25, 50, 75, 90, 99):
+            est = telemetry.estimate_percentile(h, q)
+            assert min(values) <= est <= max(values)
+            # the true percentile's bucket bounds the estimate: the
+            # estimate may never be off by more than one pow2 bucket
+            import math
+            rank = max(1, math.ceil(q / 100 * len(values)))
+            true = sorted(values)[rank - 1]
+            assert est <= 2 * true
+            assert est >= true / 2
+
+    def test_monotone_in_q(self):
+        h = self._hist([1, 3, 7, 20, 100, 5000])
+        last = -1.0
+        for q in range(0, 101, 5):
+            est = telemetry.estimate_percentile(h, q)
+            assert est >= last
+            last = est
+
+    def test_percentiles_dict_shape(self):
+        h = self._hist([10, 20, 30])
+        pct = telemetry.percentiles(h, qs=(50, 95))
+        assert set(pct) == {"p50", "p95"}
+
+    def test_accepts_int_bucket_keys(self):
+        # recorder-internal form ({exp: count}) works too
+        h = {"count": 2, "sum": 24, "min": 8, "max": 16,
+             "buckets": {4: 1, 5: 1}}
+        est = telemetry.estimate_percentile(h, 50)
+        assert 8 <= est <= 16
+
+    def test_format_report_shows_percentiles(self):
+        with telemetry.enabled() as rec:
+            for v in (1, 10, 100, 1000):
+                rec.observe("sim.block_len", v)
+            text = telemetry.format_report(rec.snapshot())
+        assert "p50" in text and "p90" in text and "p99" in text
+
+
+class TestTimelineRecorder:
+    def test_timeline_off_by_default(self):
+        rec = Recorder()
+        with rec.span("parse.x"):
+            pass
+        assert "timeline" not in rec.snapshot()
+
+    def test_timeline_records_span_instances(self):
+        rec = Recorder(timeline=True)
+        with rec.span("parse.x"):
+            pass
+        with rec.span("patch.y"):
+            pass
+        tl = rec.snapshot()["timeline"]
+        assert [t["name"] for t in tl] == ["parse.x", "patch.y"]
+        for t in tl:
+            assert t["end_s"] >= t["start_s"]
+
+    def test_timeline_bounded(self):
+        rec = Recorder(timeline=True, timeline_limit=3)
+        for _ in range(10):
+            rec.record_interval("sim.run", 0.0, 1.0)
+        assert len(rec.snapshot()["timeline"]) == 3
+        # aggregates keep counting past the timeline bound
+        assert rec.snapshot()["spans"]["sim.run"]["count"] == 10
+
+    def test_clear_drops_timeline(self):
+        rec = Recorder(timeline=True)
+        rec.record_interval("a.b", 0.0, 1.0)
+        rec.clear()
+        assert rec.snapshot()["timeline"] == []

@@ -304,3 +304,122 @@ cont:
         ev = proc.continue_to_event()
         assert ev.type is EventType.EXITED
         assert ev.exit_code == 6
+
+
+class TestObserverTraceCacheInteraction:
+    """Event-stream observers (repro.telemetry.events) vs the trace
+    cache: attach/detach must invalidate or deoptimise compiled
+    superblocks per the observer-overhead rule (docs/INTERNALS.md) and
+    never perturb architectural state."""
+
+    SRC = fib_source(10)
+
+    def _baseline(self):
+        prog = compile_source(self.SRC)
+        m = _machine(prog, True)
+        ev = m.run()
+        assert ev.reason is StopReason.EXITED
+        return prog, m
+
+    def _state(self, m):
+        return (list(m.x), list(m.f), m.pc, m.instret, m.ucycles,
+                bytes(m.stdout))
+
+    def test_attach_block_observer_flushes_compiled_traces(self):
+        from repro.telemetry.events import EventStream
+
+        prog, _ = self._baseline()
+        m = _machine(prog, True)
+        m.run()  # compiles traces (no block-enter emits inside)
+        assert m.traces.fns
+        es = EventStream(granularity="block")
+        m.attach_observer(es)
+        assert not m.traces.fns, \
+            "block observer needs traces recompiled with embedded emits"
+        m.detach_observer(es)
+        assert not m.traces.fns, \
+            "detach must drop traces that carry stale emit bindings"
+
+    def test_attach_instruction_observer_keeps_traces(self):
+        from repro.telemetry.events import EventStream
+
+        prog, _ = self._baseline()
+        m = _machine(prog, True)
+        m.run()
+        compiled = dict(m.traces.fns)
+        es = EventStream()
+        m.attach_observer(es)
+        assert m.traces.fns == compiled, \
+            "instruction observer deopts dispatch; traces stay cached"
+        m.detach_observer(es)
+        assert m.traces.fns == compiled
+
+    @pytest.mark.parametrize("granularity", ["instruction", "block"])
+    def test_mid_run_attach_detach_preserves_state(self, granularity):
+        """Run A: plain.  Run B: stop at a breakpoint mid-run, attach an
+        observer, continue, detach at a second stop, finish.  Both runs
+        must agree bit-for-bit on the architectural outcome."""
+        from repro.telemetry.events import EventStream
+
+        prog, plain = self._baseline()
+        m = _machine(prog, True)
+        proc = Process.attach(m)
+        fib = prog.symbol("fib").address
+        proc.insert_breakpoint(fib)
+        ev = proc.continue_to_event()
+        assert ev.type is EventType.STOPPED_BREAKPOINT
+        es = EventStream(granularity=granularity)
+        m.attach_observer(es)
+        ev = proc.continue_to_event()  # runs observed
+        assert ev.type is EventType.STOPPED_BREAKPOINT
+        m.detach_observer(es)
+        proc.remove_breakpoint(fib)
+        ev = proc.continue_to_event()  # runs unobserved again
+        assert ev.type is EventType.EXITED
+        assert self._state(m) == self._state(plain)
+        assert len(es) > 0, "the observed stretch must have emitted"
+
+    def test_block_events_only_from_observed_stretch(self):
+        """Events emitted while attached; silence before and after."""
+        from repro.telemetry.events import BLOCK, EventStream
+
+        prog, _ = self._baseline()
+        m = _machine(prog, True)
+        proc = Process.attach(m)
+        fib = prog.symbol("fib").address
+        proc.insert_breakpoint(fib)
+        proc.continue_to_event()
+        es = EventStream(granularity="block")
+        m.attach_observer(es)
+        proc.continue_to_event()
+        m.detach_observer(es)
+        seen = len(es)
+        assert seen > 0
+        assert all(e[0] == BLOCK for e in es)
+        proc.remove_breakpoint(fib)
+        proc.continue_to_event()
+        assert len(es) == seen, "no events after detach"
+
+    def test_self_modifying_store_invalidates_emitting_traces(self):
+        """The PR-1 invalidation rules hold for traces that carry
+        embedded block-enter emits: patched code re-fetches and the
+        patched instruction's effect is observed."""
+        from repro.telemetry.events import EventStream
+
+        src = f"""
+_start:
+  la t0, target
+  li t1, {_addi_a0(100):#x}
+  li a0, 0
+  sw t1, 0(t0)
+target:
+  addi a0, a0, 1
+  li a7, 93
+  ecall
+"""
+        m = _machine(assemble(src), True)
+        es = EventStream(granularity="block")
+        ev = m.run(trace=es)
+        assert ev.reason is StopReason.EXITED
+        assert ev.exit_code == 100
+        assert len(es) > 0

@@ -1,0 +1,18 @@
+#!/usr/bin/env python3
+"""Repository shim for the mutatee execution profiler.
+
+Runs :mod:`repro.tools.profile` from a source checkout without needing
+``PYTHONPATH=src``::
+
+    python tools/profile.py --perfetto out.json --flame out.folded
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.tools.profile import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
