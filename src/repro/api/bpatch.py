@@ -245,6 +245,12 @@ class BinaryEdit:
         single :meth:`commit`.  If the body raises, nothing is
         committed.  Entering a batch on an already-committed (or
         closed) edit raises immediately, and batches do not nest.
+
+        Two-phase semantics all the way down: a failed :meth:`commit`
+        leaves the edit uncommitted (retry-safe), and applying the
+        result to a live machine is itself transactional — see
+        :meth:`~repro.patch.patcher.PatchResult.apply_to_machine` and
+        the commit-protocol section of docs/INTERNALS.md.
         """
         self._ensure_uncommitted()
         if self._in_batch:
@@ -257,7 +263,11 @@ class BinaryEdit:
         self.commit()
 
     def commit(self) -> PatchResult:
-        """Build all trampolines/springboards (idempotent)."""
+        """Build all trampolines/springboards (idempotent).
+
+        Pure with respect to any machine: failures here touch nothing
+        and may simply be retried; mutation happens only in the
+        transactional ``apply_to_machine`` step."""
         if self._closed and self._result is None:
             raise ClosedEditError(
                 "cannot commit: BinaryEdit session is closed")
@@ -312,6 +322,7 @@ class BinaryEdit:
 
     def trace(self, timing: TimingModel = P550,
               max_steps: int | None = None, *,
+              max_instructions: int | None = None,
               granularity: str = "instruction",
               capacity: int | None = None,
               instrumented: bool = True) -> "TraceSession":
@@ -331,6 +342,13 @@ class BinaryEdit:
         process telemetry recorder is timeline-enabled, the session
         carries a snapshot so the Perfetto export gains the pipeline
         track.
+
+        *max_instructions* bounds runaway mutatees: exceeding the
+        budget raises
+        :class:`~repro.sim.machine.InstructionBudgetExceeded` (a
+        catchable :class:`~repro.errors.ReproError`) with the partial
+        session — events captured up to the budget — attached as
+        ``exc.session``.
         """
         from ..telemetry.events import DEFAULT_CAPACITY
         from .tracesession import run_traced
@@ -343,7 +361,8 @@ class BinaryEdit:
             result = self.commit()
         session = run_traced(
             self.symtab, self.cfg, result, timing=timing,
-            max_steps=max_steps, granularity=granularity,
+            max_steps=max_steps, max_instructions=max_instructions,
+            granularity=granularity,
             capacity=capacity or DEFAULT_CAPACITY)
         if self._telemetry.enabled:
             session.snapshot = self._telemetry.snapshot()

@@ -105,17 +105,35 @@ class TraceSession:
 def run_traced(symtab, cfg, patch_result=None, *,
                timing: TimingModel = P550,
                max_steps: int | None = None,
+               max_instructions: int | None = None,
                granularity: str = "instruction",
                capacity: int = DEFAULT_CAPACITY,
                snapshot: dict | None = None) -> TraceSession:
     """Load *symtab* into a fresh machine, apply *patch_result* (if
-    any), run with an attached event stream, and wrap the results."""
+    any), run with an attached event stream, and wrap the results.
+
+    When the *max_instructions* budget is exceeded the machine's
+    :class:`~repro.sim.machine.InstructionBudgetExceeded` propagates,
+    but the events captured so far are not lost: the partial session
+    (stop reason FAULT) is attached to the exception as ``.session``
+    before the re-raise.
+    """
+    from ..sim.machine import InstructionBudgetExceeded, StopReason
+
     m = Machine(timing)
     symtab.load_into(m)
     if patch_result is not None:
         patch_result.apply_to_machine(m)
     stream = EventStream(capacity=capacity, granularity=granularity)
-    stop = m.run(max_steps, trace=stream)
+    try:
+        stop = m.run(max_steps, trace=stream,
+                     max_instructions=max_instructions)
+    except InstructionBudgetExceeded as e:
+        stop = StopEvent(StopReason.FAULT, e.pc, fault=str(e))
+        e.session = TraceSession(m, stream, stop,
+                                 SymbolIndex.from_code_object(cfg),
+                                 snapshot=snapshot)
+        raise
     return TraceSession(m, stream, stop,
                         SymbolIndex.from_code_object(cfg),
                         snapshot=snapshot)

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import faults
 from . import structs as s
 from .structs import ElfFormatError
 
@@ -101,6 +102,7 @@ def read_elf(data: bytes) -> ElfFile:
     Malformed input raises :class:`ElfFormatError` — never a raw
     struct/index error (binaries come from untrusted places).
     """
+    faults.site("elf.read.parse")
     if len(data) < s.EHDR_SIZE:
         raise ElfFormatError("file too small for an ELF header")
     ehdr = s.ElfHeader.unpack(data)
@@ -127,6 +129,23 @@ def read_elf(data: bytes) -> ElfFile:
         headers.append(
             s.SectionHeader.unpack(data, ehdr.e_shoff + i * s.SHDR_SIZE))
 
+    # Validate section placement before any slicing: Python slices clamp
+    # silently, which would turn an out-of-range sh_offset or an
+    # impossible sh_size into a short (corrupt) section blob downstream
+    # instead of a parse error here.  SHT_NULL/SHT_NOBITS occupy no file
+    # bytes and are exempt.
+    faults.site("elf.read.sections")
+    for i, h in enumerate(headers):
+        if h.sh_type in (s.SHT_NULL, s.SHT_NOBITS):
+            continue
+        if h.sh_offset > len(data):
+            raise ElfFormatError(
+                f"section {i} offset {h.sh_offset:#x} past end of file")
+        if h.sh_size > len(data) - h.sh_offset:
+            raise ElfFormatError(
+                f"section {i} extends past end of file "
+                f"(offset {h.sh_offset:#x}, size {h.sh_size:#x})")
+
     # Resolve section names.
     shstr = b""
     if 0 <= ehdr.e_shstrndx < len(headers):
@@ -147,6 +166,7 @@ def read_elf(data: bytes) -> ElfFile:
     for sec in sections:
         if sec.header.sh_type != s.SHT_SYMTAB:
             continue
+        faults.site("elf.read.symbols")
         strsec = (sections[sec.header.sh_link]
                   if 0 <= sec.header.sh_link < len(sections) else None)
         strblob = strsec.data if strsec else b""

@@ -20,14 +20,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .structs import ElfFormatError
+
 TAG_FILE = 1
 TAG_RISCV_STACK_ALIGN = 4
 TAG_RISCV_ARCH = 5
 TAG_RISCV_UNALIGNED_ACCESS = 6
 
 
-class AttributesError(ValueError):
-    """Malformed .riscv.attributes content."""
+class AttributesError(ElfFormatError):
+    """Malformed .riscv.attributes content.
+
+    A clipped or corrupted attributes section is an ELF-format defect
+    like any other, so this subclasses :class:`ElfFormatError` (itself
+    a ``ValueError``): callers hardened against malformed binaries
+    catch one exception family for the whole reader."""
 
 
 def encode_uleb(value: int) -> bytes:

@@ -85,9 +85,12 @@ class ElfHeader:
 
     @classmethod
     def unpack(cls, data: bytes) -> "ElfHeader":
-        (ident, e_type, e_machine, _ver, e_entry, e_phoff, e_shoff,
-         e_flags, _ehsize, _phentsize, e_phnum, _shentsize, e_shnum,
-         e_shstrndx) = _EHDR.unpack_from(data, 0)
+        try:
+            (ident, e_type, e_machine, _ver, e_entry, e_phoff, e_shoff,
+             e_flags, _ehsize, _phentsize, e_phnum, _shentsize, e_shnum,
+             e_shstrndx) = _EHDR.unpack_from(data, 0)
+        except struct.error as e:
+            raise ElfFormatError(f"truncated ELF header: {e}") from e
         if ident[:4] != ELF_MAGIC:
             raise ElfFormatError("bad ELF magic")
         if ident[4] != ELFCLASS64 or ident[5] != ELFDATA2LSB:
@@ -117,8 +120,12 @@ class ProgramHeader:
 
     @classmethod
     def unpack(cls, data: bytes, off: int) -> "ProgramHeader":
-        (p_type, p_flags, p_offset, p_vaddr, _paddr, p_filesz, p_memsz,
-         p_align) = _PHDR.unpack_from(data, off)
+        try:
+            (p_type, p_flags, p_offset, p_vaddr, _paddr, p_filesz,
+             p_memsz, p_align) = _PHDR.unpack_from(data, off)
+        except struct.error as e:
+            raise ElfFormatError(
+                f"truncated program header at {off:#x}: {e}") from e
         return cls(p_type, p_flags, p_offset, p_vaddr, p_filesz, p_memsz,
                    p_align)
 
@@ -145,7 +152,11 @@ class SectionHeader:
 
     @classmethod
     def unpack(cls, data: bytes, off: int) -> "SectionHeader":
-        return cls(*_SHDR.unpack_from(data, off))
+        try:
+            return cls(*_SHDR.unpack_from(data, off))
+        except struct.error as e:
+            raise ElfFormatError(
+                f"truncated section header at {off:#x}: {e}") from e
 
 
 @dataclass
@@ -172,7 +183,11 @@ class ElfSymbol:
 
     @classmethod
     def unpack(cls, data: bytes, off: int) -> "ElfSymbol":
-        return cls(*_SYM.unpack_from(data, off))
+        try:
+            return cls(*_SYM.unpack_from(data, off))
+        except struct.error as e:
+            raise ElfFormatError(
+                f"truncated symbol entry at {off:#x}: {e}") from e
 
 
 def make_st_info(bind: int, typ: int) -> int:
@@ -199,5 +214,19 @@ class StringTable:
 
     @staticmethod
     def read(blob: bytes, offset: int) -> str:
-        end = blob.index(b"\x00", offset)
-        return blob[offset:end].decode()
+        """String at *offset*; raises :class:`ElfFormatError` (a
+        ``ValueError`` subclass, so legacy catch-sites still work) on
+        out-of-range offsets, unterminated strings, or bad UTF-8."""
+        if offset < 0 or offset >= len(blob):
+            raise ElfFormatError(
+                f"string offset {offset:#x} outside table "
+                f"of {len(blob)} bytes")
+        end = blob.find(b"\x00", offset)
+        if end < 0:
+            raise ElfFormatError(
+                f"unterminated string at offset {offset:#x}")
+        try:
+            return blob[offset:end].decode()
+        except UnicodeDecodeError as e:
+            raise ElfFormatError(
+                f"undecodable string at offset {offset:#x}") from e

@@ -38,9 +38,16 @@ class ReproError(Exception):
     * ``repro.patch.patcher.PatchError`` — uncommittable instrumentation
     * ``repro.patch.springboard.SpringboardError`` — no springboard fits
     * ``repro.elf.structs.ElfFormatError`` — malformed ELF input
+      (``repro.elf.riscv_attrs.AttributesError`` derives from it)
+    * ``repro.patch.transaction.TransactionError`` — commit/rollback
+      consistency failure (``RollbackVerifyError`` derives from it)
     * ``repro.sim.executor.SimFault`` — architectural simulator fault
     * ``repro.sim.memory.MemoryFault`` — unmapped-address access
+    * ``repro.sim.machine.InstructionBudgetExceeded`` — hard
+      ``max_instructions`` budget exhausted
     * ``repro.proccontrol.process.ProcControlError`` — debugger misuse
+    * ``repro.faults.InjectedFault`` — deterministic fault injection
+      (tests only; see :mod:`repro.faults`)
     """
 
 

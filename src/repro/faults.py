@@ -1,0 +1,169 @@
+"""Deterministic fault injection: named sites, seeded enumeration.
+
+Recovery claims are only credible when the failure paths are actually
+exercised (HolBA, formal-ISA symbolic execution): this module lets a
+test *walk* every failure point of the instrumentation commit path and
+check the recovery contract at each one.
+
+The toolkit threads named **injection sites** through its commit-path
+layers (``elf.reader``, ``patch.patcher``, ``patch.springboard``,
+``patch.relocate``, ``sim.memory``, ``sim.trace``).  A site is one
+cheap call::
+
+    from .. import faults
+    ...
+    faults.site("patch.txn.write_text")        # may raise InjectedFault
+
+or, for *pressure* sites where the product response is graceful
+degradation rather than an abort::
+
+    if faults.pressure("patch.springboard.ladder"):
+        ...fall back to the trap tier...
+
+With no plan armed (the default, and always in production) a site costs
+one module-global load and one ``is None`` test.
+
+Arming and enumeration
+----------------------
+A :class:`FaultPlan` records every site crossing in order and can be
+told to fire at exactly one of them::
+
+    with faults.active(FaultPlan()) as plan:    # recording pass
+        run_pipeline()
+    n_sites = len(plan.hits)
+
+    for k in range(n_sites):                    # the injection matrix
+        with faults.active(FaultPlan(fire_at=k)):
+            try:
+                run_pipeline()
+            except InjectedFault:
+                check_rollback_contract()
+
+Because the simulator and the commit path are deterministic, the k-th
+crossing of the recording pass is the k-th crossing of the injection
+pass: "inject at site k of N" is exhaustive and reproducible.  A plan
+fires **at most once** (rollback code re-crosses sites; those hits are
+logged but never fire again).
+
+This module is a cross-cutting dependency leaf: any layer may import it
+because it imports nothing from the toolkit except the shared exception
+base.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .errors import ReproError
+
+
+class InjectedFault(ReproError, RuntimeError):
+    """The deterministic failure raised at an armed injection site."""
+
+    def __init__(self, site: str, index: int):
+        super().__init__(
+            f"injected fault at site {site!r} (crossing #{index})")
+        self.site = site
+        self.index = index
+
+
+class FaultPlan:
+    """One injection schedule: record every site crossing, optionally
+    fire at one of them.
+
+    Parameters
+    ----------
+    fire_at:
+        Global crossing index to fire at (0-based over *all* site
+        crossings, in order), or ``None`` to only record.
+    site:
+        Fire at a *named* site instead; combined with *occurrence* (the
+        n-th crossing of that name, 0-based).  Mutually composable with
+        ``fire_at`` — whichever matches first fires; after one firing
+        the plan is spent.
+    """
+
+    def __init__(self, fire_at: int | None = None, *,
+                 site: str | None = None, occurrence: int = 0):
+        self.fire_at = fire_at
+        self.site = site
+        self.occurrence = occurrence
+        #: every site crossing, in order (survives across scopes so one
+        #: plan can span build and apply phases)
+        self.hits: list[str] = []
+        #: the fault this plan fired, if any
+        self.fired: InjectedFault | None = None
+
+    def _hit(self, name: str, raising: bool) -> bool:
+        idx = len(self.hits)
+        occ = self.hits.count(name)
+        self.hits.append(name)
+        if self.fired is not None:
+            return False
+        fire = (self.fire_at == idx
+                or (self.site == name and self.occurrence == occ))
+        if not fire:
+            return False
+        self.fired = InjectedFault(name, idx)
+        if raising:
+            raise self.fired
+        return True
+
+
+#: the armed plan (None in production: sites are near-free)
+_plan: FaultPlan | None = None
+
+
+def site(name: str) -> None:
+    """An abort-style injection site: raises :class:`InjectedFault`
+    when the armed plan schedules this crossing."""
+    plan = _plan
+    if plan is None:
+        return
+    plan._hit(name, raising=True)
+
+
+def pressure(name: str) -> bool:
+    """A degradation-style injection site: returns ``True`` when the
+    armed plan schedules this crossing (the caller degrades gracefully
+    instead of aborting), ``False`` otherwise."""
+    plan = _plan
+    if plan is None:
+        return False
+    return plan._hit(name, raising=False)
+
+
+def current() -> FaultPlan | None:
+    """The armed plan, or ``None``."""
+    return _plan
+
+
+@contextmanager
+def active(plan: FaultPlan | None = None):
+    """Arm *plan* (or a fresh recording-only plan) for a ``with``
+    scope, then restore the previous plan.  One plan may be armed in
+    several consecutive scopes; its hit log and firing state carry
+    over, which lets an injection schedule span the build phase and the
+    machine phase of one pipeline."""
+    global _plan
+    previous = _plan
+    armed = plan if plan is not None else FaultPlan()
+    _plan = armed
+    try:
+        yield armed
+    finally:
+        _plan = previous
+
+
+def enumerate_sites(fn) -> list[str]:
+    """Run *fn* under a recording-only plan and return the ordered site
+    crossings — the domain of the injection matrix."""
+    with active(FaultPlan()) as plan:
+        fn()
+    return list(plan.hits)
+
+
+__all__ = [
+    "FaultPlan", "InjectedFault", "active", "current",
+    "enumerate_sites", "pressure", "site",
+]

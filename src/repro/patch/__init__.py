@@ -16,6 +16,9 @@ from .springboard import (
     build_springboard,
 )
 from .trampoline import BuiltTrampoline, TrampolineBuilder
+from .transaction import (
+    RollbackVerifyError, TransactionError, WriteAheadJournal,
+)
 
 __all__ = [
     "PatchConflict", "PatchError", "PatchResult", "PatchStats", "Patcher",
@@ -27,4 +30,5 @@ __all__ = [
     "FAR_SIZE", "Springboard", "SpringboardError", "SpringboardKind",
     "build_springboard",
     "BuiltTrampoline", "TrampolineBuilder",
+    "RollbackVerifyError", "TransactionError", "WriteAheadJournal",
 ]

@@ -22,7 +22,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
-from .. import telemetry
+from .. import faults, telemetry
 from ..codegen.generator import (
     SnippetGenerator, required_scratch, snippet_calls,
 )
@@ -38,10 +38,11 @@ from ..symtab.symtab import Symtab
 from .points import Point
 from .relocate import consumed_instructions, lower_relocated
 from .springboard import (
-    FAR_SIZE, Springboard, SpringboardKind, build_springboard,
-    far_preamble_restore,
+    FAR_SIZE, Springboard, SpringboardError, SpringboardKind,
+    build_springboard, far_preamble_restore,
 )
 from .trampoline import TrampolineBuilder
+from .transaction import apply_result, remove_result
 
 
 class PatchError(ReproError, RuntimeError):
@@ -63,6 +64,8 @@ class PatchStats:
     spilled_regs: int = 0
     trampoline_bytes: int = 0
     trap_sites: int = 0
+    #: springboard-ladder exhaustions degraded to the trap tier
+    trap_fallbacks: int = 0
 
 
 @dataclass
@@ -93,29 +96,29 @@ class PatchResult:
     def apply_to_machine(self, machine) -> None:
         """Dynamic instrumentation: patch a loaded simulator machine.
 
-        Only the springboard spans are written; each write is followed
-        by an explicit ``invalidate_code_range`` so stale compiled code
-        is dropped even on machines whose memory write watch is not
-        armed (e.g. images loaded without an exec range).
+        The application is **transactional** (see
+        :mod:`repro.patch.transaction`): every page the commit touches
+        is journaled first, and any failure mid-apply rolls the machine
+        back to its pre-call architectural state bit-identically before
+        the exception propagates.  Only the springboard spans are
+        written; each write is followed by an explicit
+        ``invalidate_code_range`` so stale compiled code is dropped even
+        on machines whose memory write watch is not armed (e.g. images
+        loaded without an exec range).
         """
-        for lo, hi in self._text_spans():
-            off = lo - self.text_base
-            machine.write_mem(lo, self.text[off:off + (hi - lo)])
-            machine.invalidate_code_range(lo, hi - lo)
-        if self.trampoline_code:
-            machine.add_exec_range(
-                self.trampoline_base,
-                self.trampoline_base + len(self.trampoline_code))
-            machine.write_mem(self.trampoline_base, self.trampoline_code)
-            machine.invalidate_code_range(
-                self.trampoline_base, len(self.trampoline_code))
-        machine.mem.map_region(self.data_base, self.data_size)
-        machine.trap_redirects.update(self.trap_map)
+        apply_result(self, machine)
 
-    def remove_from_machine(self, machine) -> None:
+    def remove_from_machine(self, machine) -> tuple[int, int]:
         """Remove the instrumentation from a live machine: restore the
         original code bytes and retire the trap redirects.  Counter
         values in the data area survive (tools read them afterwards).
+
+        Transactional like :meth:`apply_to_machine`; additionally, a
+        springboard span that a *later* patch has since overwritten is
+        left in place (restoring our pre-patch bytes would orphan the
+        survivor), and a trap redirect is only retired while it still
+        points at our trampoline.  Returns ``(restored, skipped)`` span
+        counts.
 
         The machine must not be stopped *inside* a trampoline when this
         is called (the trampoline region is left mapped so a caller who
@@ -124,12 +127,7 @@ class PatchResult:
         """
         if not self.original_text:
             raise PatchError("original text not recorded; cannot remove")
-        for lo, hi in self._text_spans():
-            off = lo - self.text_base
-            machine.write_mem(lo, self.original_text[off:off + (hi - lo)])
-            machine.invalidate_code_range(lo, hi - lo)
-        for site in self.trap_map:
-            machine.trap_redirects.pop(site, None)
+        return remove_result(self, machine)
 
 
 class _IntersectedLiveness:
@@ -281,6 +279,7 @@ class Patcher:
         rec.count("patch.trampolines", stats.trampolines)
         rec.count("patch.trampoline_bytes", stats.trampoline_bytes)
         rec.count("patch.trap_sites", stats.trap_sites)
+        rec.count("springboard.trap_fallbacks", stats.trap_fallbacks)
         for kind, n in stats.springboards.items():
             rec.count(f"patch.springboard.{kind}", n)
         # §3.5/§4.3: every dead register claimed is one spill avoided
@@ -303,14 +302,17 @@ class Patcher:
         patched_ranges: list[tuple[int, int]] = []
 
         for req in ordered:
+            faults.site("patch.commit.point")
             point = req.point
             fn = point.function
             block = point.block
             site = point.address
 
             available = block.end - site
-            sb, slot = self._pick_springboard(site, cursor, available)
+            sb, slot, fell_back = self._pick_springboard(
+                site, cursor, available)
             stats.springboards[sb.kind.value] += 1
+            stats.trap_fallbacks += fell_back
             if sb.needs_trap:
                 trap_map[site] = cursor
                 stats.trap_sites += 1
@@ -490,22 +492,48 @@ class Patcher:
                 self._liveness[fn.entry] = analyze_liveness(fn)
         return self._liveness[fn.entry]
 
-    def _pick_springboard(self, site: int, target: int,
-                          available: int) -> tuple[Springboard, int]:
-        """Choose the slot size per the §3.1.2 ladder, then encode."""
+    def _pick_springboard(
+            self, site: int, target: int,
+            available: int) -> tuple[Springboard, int, bool]:
+        """Choose the slot size per the §3.1.2 ladder, then encode.
+
+        Returns ``(springboard, slot, fell_back)``.  Ladder exhaustion
+        — an encoding the plan expected to fit failing at build time, or
+        the ``patch.springboard.ladder`` pressure site firing — degrades
+        to the trap tier (the paper's any-distance worst case) instead
+        of aborting the commit; ``fell_back`` reports it so the
+        ``springboard.trap_fallbacks`` counter can account for every
+        degradation.  Only a point too small for even a compressed trap
+        is a hard error.
+        """
         disp = target - site
-        if available >= 4 and fits_signed(disp, 21):
+        if not faults.pressure("patch.springboard.ladder"):
+            if available >= 4 and fits_signed(disp, 21):
+                slot = 4
+            elif available >= 2 and self.isa.supports("c") \
+                    and CJ_RANGE[0] <= disp <= CJ_RANGE[1]:
+                slot = 2
+            elif available >= FAR_SIZE:
+                slot = FAR_SIZE
+            elif available >= 4:
+                slot = 4   # trap
+            elif available >= 2:
+                slot = 2   # compressed trap — the paper's worst case
+            else:
+                raise PatchError(
+                    f"no room for any springboard at {site:#x}")
+            try:
+                sb = build_springboard(site, target, slot, self.isa)
+                return sb, slot, False
+            except SpringboardError:
+                pass   # exhausted: degrade to the trap tier below
+        if available >= 4:
             slot = 4
-        elif available >= 2 and self.isa.supports("c") \
-                and CJ_RANGE[0] <= disp <= CJ_RANGE[1]:
-            slot = 2
-        elif available >= FAR_SIZE:
-            slot = FAR_SIZE
-        elif available >= 4:
-            slot = 4   # trap
         elif available >= 2:
-            slot = 2   # compressed trap — the paper's worst case
+            slot = 2
         else:
             raise PatchError(
                 f"no room for any springboard at {site:#x}")
-        return build_springboard(site, target, slot, self.isa), slot
+        sb = build_springboard(site, target, slot, self.isa,
+                               force_trap=True)
+        return sb, slot, True

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import faults
 from ..errors import ReproError
 from ..instruction.insn import Insn
 from ..riscv.materialize import materialize_imm
@@ -56,6 +57,7 @@ _BRANCHES = {"beq", "bne", "blt", "bge", "bltu", "bgeu"}
 def lower_relocated(insns: list[Insn]) -> RelocatedCode:
     """Lower displaced original instructions to symbolic trampoline
     items."""
+    faults.site("patch.relocate.lower")
     out = RelocatedCode()
     next_stub = 0
     for idx, insn in enumerate(insns):
@@ -108,6 +110,7 @@ def consumed_instructions(insns: list[Insn], start: int,
                           min_bytes: int) -> list[Insn]:
     """The complete instructions starting at *start* covering at least
     *min_bytes* (what a springboard of that size displaces)."""
+    faults.site("patch.relocate.consume")
     out: list[Insn] = []
     covered = 0
     for insn in insns:

@@ -21,6 +21,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from .. import faults
 from ..errors import ReproError
 from ..riscv.compressed import CJ_RANGE, encode_c_ebreak, encode_c_nop, encode_cj
 from ..riscv.encoder import encode
@@ -81,9 +82,17 @@ def _pad(code: bytes, size: int, compressed_ok: bool) -> bytes:
 
 
 def build_springboard(site: int, target: int, slot_size: int,
-                      isa: ISASubset) -> Springboard:
+                      isa: ISASubset, *,
+                      force_trap: bool = False) -> Springboard:
     """Pick and encode the most efficient springboard for jumping from
-    *site* to *target* given *slot_size* overwritable bytes."""
+    *site* to *target* given *slot_size* overwritable bytes.
+
+    ``force_trap=True`` skips ladder rungs 1–3 and encodes the trap
+    tier directly — the :class:`~repro.patch.patcher.Patcher` uses it
+    when the efficient rungs are exhausted (graceful degradation
+    instead of a failed commit).
+    """
+    faults.site("patch.springboard.build")
     if slot_size < 2:
         raise SpringboardError(f"slot at {site:#x} smaller than 2 bytes")
     has_c = isa.supports("c")
@@ -92,19 +101,21 @@ def build_springboard(site: int, target: int, slot_size: int,
     disp = target - site
 
     # 1. jal x0: single 4-byte instruction, ±1MiB
-    if slot_size >= 4 and fits_signed(disp, 21) and disp % 2 == 0:
+    if not force_trap \
+            and slot_size >= 4 and fits_signed(disp, 21) and disp % 2 == 0:
         code = encode("jal", rd=0, imm=disp).to_bytes(4, "little")
         return Springboard(SpringboardKind.JAL,
                            _pad(code, slot_size, has_c))
 
     # 2. c.j: 2 bytes, ±2KiB (the only option for 2-byte slots in range)
-    if has_c and CJ_RANGE[0] <= disp <= CJ_RANGE[1] and disp % 2 == 0:
+    if not force_trap \
+            and has_c and CJ_RANGE[0] <= disp <= CJ_RANGE[1] and disp % 2 == 0:
         code = encode_cj(disp).to_bytes(2, "little")
         return Springboard(SpringboardKind.CJ,
                            _pad(code, slot_size, has_c))
 
     # 3. far form: spill t6 below sp, auipc+jalr (16 bytes)
-    if slot_size >= FAR_SIZE:
+    if not force_trap and slot_size >= FAR_SIZE:
         hi, lo = pcrel_hi_lo(target, site + 8)  # auipc is the 3rd insn
         code = b"".join(w.to_bytes(4, "little") for w in (
             encode("addi", rd=2, rs1=2, imm=-16),

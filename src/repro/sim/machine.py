@@ -29,6 +29,7 @@ import time
 from dataclasses import dataclass
 
 from .. import telemetry
+from ..errors import ReproError
 from ..telemetry.events import (
     BLOCK, BRANCH, CALL, EventStream, FAULT, JUMP, LINK_REGS, PATCH, RET,
 )
@@ -61,6 +62,29 @@ class StopEvent:
     pc: int
     exit_code: int | None = None
     fault: str | None = None
+
+
+class InstructionBudgetExceeded(ReproError, RuntimeError):
+    """``Machine.run(max_instructions=...)`` retired its whole budget
+    without the mutatee exiting.
+
+    Unlike the cooperative ``max_steps`` bound (which *returns* a
+    ``STEPS_EXHAUSTED`` stop event), the budget is a guard rail against
+    runaway or instrumentation-corrupted mutatees, so exceeding it is an
+    **error** — catchable as :class:`~repro.errors.ReproError`.  Any
+    attached event streams receive a final FAULT event before the raise
+    (live :class:`~repro.api.tracesession.TraceSession` streams are
+    flushed, not lost; the API layer attaches the partial session as
+    ``exc.session``).
+    """
+
+    def __init__(self, pc: int, retired: int, budget: int):
+        super().__init__(
+            f"instruction budget exhausted after {retired} retired "
+            f"instructions (budget {budget}) at pc={pc:#x}")
+        self.pc = pc
+        self.retired = retired
+        self.budget = budget
 
 
 # Linux riscv64 syscall numbers (asm-generic).
@@ -400,12 +424,22 @@ class Machine:
         return None
 
     def run(self, max_steps: int | None = None, *,
-            report=None, trace: EventStream | None = None) -> StopEvent:
+            report=None, trace: EventStream | None = None,
+            max_instructions: int | None = None) -> StopEvent:
         """Run until exit, breakpoint, fault, or *max_steps*.
 
         Unbounded runs use the superblock trace compiler (when enabled);
         bounded runs need a per-instruction step budget and stay on the
         closure interpreter.
+
+        *max_instructions* is a **hard budget**, not a cooperative
+        bound: retiring that many instructions without stopping raises
+        :class:`InstructionBudgetExceeded` (a catchable
+        :class:`~repro.errors.ReproError`) after emitting a final FAULT
+        event to any attached streams.  Use it to bound runaway
+        mutatees; use *max_steps* to single-step or slice execution.
+        Budgeted runs count per-instruction and therefore stay on the
+        closure interpreter, like any bounded run.
 
         *trace* attaches an :class:`~repro.telemetry.events.EventStream`
         observer for the duration of this run only (equivalent to
@@ -430,13 +464,36 @@ class Machine:
         if trace is not None:
             self.attach_observer(trace)
             try:
-                return self.run(max_steps, report=report)
+                return self.run(max_steps, report=report,
+                                max_instructions=max_instructions)
             finally:
                 self.detach_observer(trace)
+        if max_instructions is not None:
+            return self._run_budgeted(max_steps, report, max_instructions)
         rec = telemetry.current()
         if not rec.enabled and not report:
             return self._dispatch_run(max_steps)
         return self._run_observed(max_steps, rec, report)
+
+    def _run_budgeted(self, max_steps: int | None, report,
+                      budget: int) -> StopEvent:
+        """Run under a hard instruction budget (see :meth:`run`)."""
+        if budget <= 0:
+            raise InstructionBudgetExceeded(self.pc, 0, budget)
+        start = self.instret
+        bound = budget if max_steps is None else min(max_steps, budget)
+        ev = self.run(bound, report=report)
+        if ev.reason is StopReason.STEPS_EXHAUSTED and (
+                max_steps is None or budget <= max_steps):
+            emit = self._emit
+            if emit is not None:
+                emit((FAULT, self.pc, 0, self.instret, self.ucycles))
+            rec = telemetry.current()
+            if rec.enabled:
+                rec.count("sim.budget_exceeded")
+            raise InstructionBudgetExceeded(
+                self.pc, self.instret - start, budget)
+        return ev
 
     def _dispatch_run(self, max_steps: int | None) -> StopEvent:
         """Pick the run loop: the unobserved fast paths, or — with

@@ -9,6 +9,7 @@ instrumentation correctness.
 
 from __future__ import annotations
 
+from .. import faults
 from ..errors import ReproError
 
 PAGE_BITS = 12
@@ -71,6 +72,7 @@ class Memory:
 
     def map_region(self, base: int, size: int) -> None:
         """Ensure pages covering [base, base+size) exist (zero-filled)."""
+        faults.site("sim.memory.map")
         first = base >> PAGE_BITS
         last = (base + size - 1) >> PAGE_BITS
         for idx in range(first, last + 1):
@@ -81,6 +83,49 @@ class Memory:
 
     def mapped_pages(self) -> int:
         return len(self._pages)
+
+    # -- write-ahead journal support (repro.patch.transaction) ------------
+
+    def capture_pages(self, base: int,
+                      size: int) -> list[tuple[int, bytes | None]]:
+        """Journal helper: ``(page index, content copy | None)`` for
+        every page overlapping ``[base, base+size)`` — ``None`` marks a
+        page that does not exist yet (so a rollback knows to unmap it
+        rather than zero it)."""
+        first = base >> PAGE_BITS
+        last = (base + size - 1) >> PAGE_BITS
+        pages = self._pages
+        return [
+            (idx, bytes(pages[idx]) if idx in pages else None)
+            for idx in range(first, last + 1)
+        ]
+
+    def restore_pages(self, captured) -> None:
+        """Bit-identical restore of :meth:`capture_pages` records:
+        rewrite surviving pages in place, recreate deleted ones, unmap
+        pages that did not exist at capture time.  Bypasses the write
+        watch — callers invalidate the affected code ranges explicitly
+        (see the trace-cache invalidation rules in docs/INTERNALS.md).
+        """
+        pages = self._pages
+        for idx, content in captured:
+            if content is None:
+                pages.pop(idx, None)
+            else:
+                page = pages.get(idx)
+                if page is None:
+                    pages[idx] = bytearray(content)
+                else:
+                    page[:] = content
+        # the one-entry page cache may reference an unmapped page
+        self._cache_idx = -1
+        self._cache_page = None
+
+    def page_content(self, idx: int) -> bytes | None:
+        """Current content of page *idx* (``None`` if unmapped) — the
+        read side of rollback verification."""
+        page = self._pages.get(idx)
+        return bytes(page) if page is not None else None
 
     # -- raw byte access -------------------------------------------------
 
@@ -110,6 +155,7 @@ class Memory:
         return bytes(out)
 
     def write_bytes(self, addr: int, data: bytes) -> None:
+        faults.site("sim.memory.write")
         n = len(data)
         base = addr
         pos = 0

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from .. import faults
 from ..riscv.decoder import DecodeError, decode
 from ..riscv.encoding import sign_extend, to_unsigned
 from . import fp
@@ -120,6 +121,7 @@ class TraceCache:
         """Drop every trace overlapping the written bytes
         ``[addr, addr+size)`` (3-byte pre-slack: an instruction starting
         just before *addr* may extend into the write)."""
+        faults.site("sim.trace.invalidate")
         lo = addr - 3
         hi = addr + size
         first = lo >> PAGE_BITS
@@ -182,6 +184,7 @@ class TraceCache:
         instruction that must run through the closure interpreter (the
         negative result is cached and invalidated like a real trace).
         """
+        faults.site("sim.trace.compile")
         try:
             fn, end, count = self._compile(pc)
         except (DecodeError, MemoryFault):

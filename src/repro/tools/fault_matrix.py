@@ -1,0 +1,170 @@
+"""Fault-injection matrix runner: the commit-protocol audit as a tool.
+
+Walks every named injection site the instrument-run-detach pipeline
+crosses (see :mod:`repro.faults` and the commit-protocol section of
+docs/INTERNALS.md) and checks, per site, that the pipeline either
+commits completely or rolls the mutatee back to architectural state
+bit-identical to a never-instrumented machine.  Emits a JSON summary
+(sites, per-phase outcomes, telemetry counters, violations) suitable
+as a CI artifact::
+
+    python tools/fault_matrix.py --json fault-matrix.json
+
+Exit status 0 when every site upholds the contract, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .. import faults, telemetry
+from ..api import open_binary
+from ..codegen import IncrementVar
+from ..faults import FaultPlan, InjectedFault
+from ..minicc import compile_source, fib_source
+from ..patch import PointType
+from ..sim import Machine, StopReason
+from ..symtab import Symtab
+
+
+def _state(m: Machine) -> dict:
+    return {
+        "pc": m.pc,
+        "x": list(m.x),
+        "f": list(m.f),
+        "pages": {idx: bytes(pg) for idx, pg in m.mem._pages.items()},
+        "traps": dict(m.trap_redirects),
+        "exec": list(m.exec_ranges),
+    }
+
+
+def _run(m: Machine):
+    ev = m.run(max_steps=10_000_000)
+    if ev.reason is not StopReason.EXITED:
+        raise RuntimeError(f"mutatee did not exit: {ev}")
+    return ev.exit_code, bytes(m.stdout)
+
+
+def _build(program, plan):
+    with faults.active(plan):
+        edit = open_binary(program)
+        calls = edit.allocate_variable("calls")
+        with edit.batch() as b:
+            b.insert(b.points("fib", PointType.FUNC_ENTRY),
+                     IncrementVar(calls))
+        return edit, calls, edit.commit()
+
+
+def run_matrix(n: int = 8) -> dict:
+    """The injection matrix over the fib(*n*) pipeline; returns the
+    summary dict (``summary["violations"]`` empty on success)."""
+    program = compile_source(fib_source(n))
+    base_m = Machine()
+    Symtab.from_program(program).load_into(base_m)
+    baseline = _run(base_m)
+
+    # recording pass
+    plan = FaultPlan()
+    edit, calls, result = _build(program, plan)
+    m = Machine()
+    edit.symtab.load_into(m)
+    with faults.active(plan):
+        result.apply_to_machine(m)
+    _run(m)
+    with faults.active(plan):
+        result.remove_from_machine(m)
+    sites = list(plan.hits)
+
+    outcomes: list[dict] = []
+    violations: list[str] = []
+
+    def check(k, name, cond, message):
+        if not cond:
+            violations.append(f"site {k} ({name}): {message}")
+
+    with telemetry.enabled() as rec:
+        for k, name in enumerate(sites):
+            plan = FaultPlan(fire_at=k)
+            entry = {"index": k, "site": name}
+            outcomes.append(entry)
+            try:
+                edit, calls, result = _build(program, plan)
+            except InjectedFault:
+                entry["phase"] = "build"
+                m = Machine()
+                Symtab.from_program(program).load_into(m)
+                check(k, name, _run(m) == baseline,
+                      "build-phase fault perturbed a fresh run")
+                continue
+            m = Machine()
+            edit.symtab.load_into(m)
+            pristine = _state(m)
+            try:
+                with faults.active(plan):
+                    result.apply_to_machine(m)
+            except InjectedFault:
+                entry["phase"] = "apply"
+                check(k, name, _state(m) == pristine,
+                      "rollback not bit-identical to pre-apply state")
+                check(k, name, _run(m) == baseline,
+                      "post-rollback run diverged from baseline")
+                continue
+            check(k, name, _run(m) == baseline,
+                  "committed run diverged from baseline")
+            before_remove = _state(m)
+            try:
+                with faults.active(plan):
+                    result.remove_from_machine(m)
+            except InjectedFault:
+                entry["phase"] = "remove"
+                check(k, name, _state(m) == before_remove,
+                      "remove rollback lost the instrumented state")
+                result.remove_from_machine(m)
+            else:
+                entry["phase"] = ("degraded" if plan.fired is not None
+                                  else "committed")
+            check(k, name,
+                  m.read_mem(result.text_base, len(result.text))
+                  == bytes(result.original_text),
+                  "text not restored after removal")
+        counters = rec.snapshot()["counters"]
+
+    phases = [e.get("phase") for e in outcomes]
+    return {
+        "schema": "repro.fault_matrix/1",
+        "mutatee": f"fib({n})",
+        "n_sites": len(sites),
+        "sites": sites,
+        "outcomes": outcomes,
+        "by_phase": {p: phases.count(p) for p in sorted(set(phases))},
+        "counters": {key: counters[key] for key in sorted(counters)
+                     if key.startswith(("commit.", "springboard.",
+                                        "patch.remove."))},
+        "violations": violations,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        description="walk the fault-injection matrix and summarise")
+    ap.add_argument("--fib", type=int, default=8,
+                    help="mutatee size: fib(N) (default 8)")
+    ap.add_argument("--json", metavar="PATH",
+                    help="write the JSON summary to PATH")
+    args = ap.parse_args(argv)
+
+    summary = run_matrix(args.fib)
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(summary, f, indent=2)
+    print(f"fault matrix: {summary['n_sites']} sites over "
+          f"{summary['mutatee']} — {summary['by_phase']}")
+    for v in summary["violations"]:
+        print(f"VIOLATION: {v}", file=sys.stderr)
+    return 1 if summary["violations"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

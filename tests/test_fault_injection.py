@@ -1,0 +1,311 @@
+"""The fault-injection matrix: transactional commit, verified rollback,
+graceful degradation.
+
+The headline robustness contract — for **every** named injection site
+the commit path crosses, a full instrument-run-detach pipeline either
+commits completely or rolls the mutatee back to architectural state
+bit-identical to a never-instrumented run.  :mod:`repro.faults` makes
+the walk deterministic: a recording pass enumerates the site crossings,
+then each matrix iteration re-runs the pipeline with exactly one
+crossing armed to fail.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import faults, telemetry
+from repro.api import open_binary
+from repro.codegen import IncrementVar
+from repro.errors import ReproError
+from repro.faults import FaultPlan, InjectedFault
+from repro.minicc import compile_source, fib_source
+from repro.patch import PointType
+from repro.sim import Machine, StopReason
+from repro.sim.machine import InstructionBudgetExceeded
+from repro.symtab import Symtab
+
+from strategies import minic_program
+
+FIB_CALLS = 67  # fib(8) entry count, matching the removal tests
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_source(fib_source(8))
+
+
+def _machine_state(m: Machine) -> dict:
+    """Full architectural snapshot: registers, pc, every memory page,
+    trap redirects, executable ranges — the bit-identity oracle."""
+    return {
+        "pc": m.pc,
+        "x": list(m.x),
+        "f": list(m.f),
+        "pages": {idx: bytes(pg) for idx, pg in m.mem._pages.items()},
+        "traps": dict(m.trap_redirects),
+        "exec": list(m.exec_ranges),
+    }
+
+
+def _run_to_exit(m: Machine):
+    ev = m.run(max_steps=5_000_000)
+    assert ev.reason is StopReason.EXITED
+    return ev.exit_code, bytes(m.stdout), list(m.x)
+
+
+@pytest.fixture(scope="module")
+def baseline(program):
+    """The never-instrumented run: (exit code, stdout, final regs)."""
+    m = Machine()
+    Symtab.from_program(program).load_into(m)
+    return _run_to_exit(m)
+
+
+def _build(program, plan):
+    """The build phase of the pipeline, armed with *plan*: open, queue,
+    batch-commit.  Pure with respect to any machine."""
+    with faults.active(plan):
+        edit = open_binary(program)
+        calls = edit.allocate_variable("calls")
+        with edit.batch() as b:
+            b.insert(b.points("fib", PointType.FUNC_ENTRY),
+                     IncrementVar(calls))
+        return edit, calls, edit.commit()
+
+
+class TestFaultInjectionMatrix:
+    def test_every_site_commits_or_rolls_back(self, program, baseline):
+        # Recording pass: one clean pipeline with the plan armed over
+        # the commit phases (build, apply, remove) — not the machine
+        # load, not the mutatee run.
+        plan = FaultPlan()
+        edit, calls, result = _build(program, plan)
+        m = Machine()
+        edit.symtab.load_into(m)
+        with faults.active(plan):
+            result.apply_to_machine(m)
+        _run_to_exit(m)
+        with faults.active(plan):
+            result.remove_from_machine(m)
+        sites = list(plan.hits)
+        assert len(sites) >= 10, f"commit path barely covered: {sites}"
+        assert plan.fired is None
+
+        outcomes: Counter = Counter()
+        with telemetry.enabled() as rec:
+            for k in range(len(sites)):
+                self._one_injection(program, baseline, k, outcomes)
+        counters = rec.snapshot()["counters"]
+
+        # every phase of the pipeline was actually hit by the matrix
+        assert outcomes["build"] > 0, outcomes
+        assert outcomes["apply"] > 0, outcomes
+        assert outcomes["remove"] > 0, outcomes
+        assert outcomes["degraded"] > 0, outcomes  # the pressure site
+        # and the telemetry contract: every fault that struck *after*
+        # journaling (i.e. with bytes already written) rolled back —
+        # faults during journaling itself have nothing to undo; every
+        # apply journaled its pre-images; the degradation was counted
+        assert counters["commit.rollbacks"] == (
+            outcomes["apply"] + outcomes["remove"]
+            - outcomes["journal-phase"])
+        assert counters["commit.journal_bytes"] > 0
+        assert counters["springboard.trap_fallbacks"] >= 1
+
+    def _one_injection(self, program, baseline, k, outcomes):
+        plan = FaultPlan(fire_at=k)
+        try:
+            edit, calls, result = _build(program, plan)
+        except InjectedFault:
+            # build is pure: a fresh uninstrumented run must be the
+            # baseline run
+            outcomes["build"] += 1
+            m = Machine()
+            Symtab.from_program(program).load_into(m)
+            assert _run_to_exit(m) == baseline
+            return
+        m = Machine()
+        edit.symtab.load_into(m)
+        pristine = _machine_state(m)
+        try:
+            with faults.active(plan):
+                result.apply_to_machine(m)
+        except InjectedFault as e:
+            # verified rollback: bit-identical to the pre-apply state,
+            # and the mutatee then runs exactly like the baseline
+            outcomes["apply"] += 1
+            if e.site == "patch.txn.journal":
+                outcomes["journal-phase"] += 1
+            assert _machine_state(m) == pristine
+            assert _run_to_exit(m) == baseline
+            return
+        assert _run_to_exit(m)[:2] == baseline[:2]
+        assert m.mem.read_int(calls.address, 8) == FIB_CALLS
+        before_remove = _machine_state(m)
+        try:
+            with faults.active(plan):
+                result.remove_from_machine(m)
+        except InjectedFault as e:
+            # rollback leaves the machine *fully instrumented*; an
+            # unarmed retry completes the detach
+            outcomes["remove"] += 1
+            if e.site == "patch.txn.journal":
+                outcomes["journal-phase"] += 1
+            assert _machine_state(m) == before_remove
+            result.remove_from_machine(m)
+        else:
+            # no abort anywhere: either a clean pipeline past the armed
+            # index (impossible — k < len(sites)) or the pressure site
+            # degraded the springboard ladder without failing
+            assert plan.fired is not None
+            outcomes["degraded"] += 1
+        assert m.read_mem(result.text_base, len(result.text)) == \
+            bytes(result.original_text)
+
+
+class TestGracefulDegradation:
+    def test_ladder_pressure_falls_back_to_traps(self, program, baseline):
+        """Springboard-ladder exhaustion must degrade to the trap tier
+        (paper §3.1.2's worst case), not abort the commit."""
+        plan = FaultPlan(site="patch.springboard.ladder")
+        with telemetry.enabled() as rec:
+            edit, calls, result = _build(program, plan)
+            m = Machine()
+            edit.symtab.load_into(m)
+            result.apply_to_machine(m)
+            assert _run_to_exit(m)[:2] == baseline[:2]
+        assert plan.fired is not None and plan.fired.site == \
+            "patch.springboard.ladder"
+        assert result.stats.trap_fallbacks >= 1
+        assert result.stats.springboards["trap"] >= 1
+        assert result.trap_map, "trap tier must use the redirect map"
+        assert m.mem.read_int(calls.address, 8) == FIB_CALLS
+        counters = rec.snapshot()["counters"]
+        assert counters["springboard.trap_fallbacks"] >= 1
+
+
+class TestSharedSpringboardRemoval:
+    def test_removing_overwritten_patch_keeps_survivor(self, program):
+        """Removing a patch whose springboard a later patch overwrote
+        must not orphan the survivor (the remove-path blind spot)."""
+        from repro.patch import Patcher
+        from repro.patch.points import function_entry
+
+        symtab = Symtab.from_program(program)
+        p1 = Patcher(symtab)
+        fib = next(f for f in p1.code_object.functions.values()
+                   if f.name == "fib")
+        c1 = p1.allocate_var("calls1")
+        p1.insert(function_entry(fib), IncrementVar(c1))
+        r1 = p1.commit()
+
+        # same site, later patch, disjoint patch area
+        p2 = Patcher(symtab, patch_base=p1.trampoline_base + 0x100000)
+        fib2 = next(f for f in p2.code_object.functions.values()
+                    if f.name == "fib")
+        c2 = p2.allocate_var("calls2")
+        p2.insert(function_entry(fib2), IncrementVar(c2))
+        r2 = p2.commit()
+
+        m = Machine()
+        symtab.load_into(m)
+        r1.apply_to_machine(m)
+        r2.apply_to_machine(m)   # overwrites r1's springboard
+
+        with telemetry.enabled() as rec:
+            restored, skipped = r1.remove_from_machine(m)
+        assert skipped >= 1, "overwritten span must be skipped"
+        counters = rec.snapshot()["counters"]
+        assert counters["patch.remove.skipped_spans"] >= 1
+
+        # the survivor still fires
+        assert _run_to_exit(m)[0] is not None
+        assert m.mem.read_int(c2.address, 8) == FIB_CALLS
+        # and removing the survivor restores the pristine text
+        r2.remove_from_machine(m)
+        assert m.read_mem(r2.text_base, len(r2.text)) == \
+            bytes(r2.original_text)
+
+
+class TestInstructionBudget:
+    def test_budget_raises_catchable_repro_error(self, program):
+        m = Machine()
+        Symtab.from_program(program).load_into(m)
+        with pytest.raises(ReproError) as exc_info:
+            m.run(max_instructions=100)
+        e = exc_info.value
+        assert isinstance(e, InstructionBudgetExceeded)
+        assert e.budget == 100
+        assert e.retired == 100
+
+    def test_budget_does_not_shadow_max_steps(self, program):
+        """A *larger* budget must let the cooperative max_steps bound
+        return its normal STEPS_EXHAUSTED stop event."""
+        m = Machine()
+        Symtab.from_program(program).load_into(m)
+        ev = m.run(max_steps=50, max_instructions=100)
+        assert ev.reason is StopReason.STEPS_EXHAUSTED
+
+    def test_budget_flushes_trace_session(self, program):
+        """Exceeding the budget under trace() must not lose the events
+        captured so far: the partial session rides on the exception."""
+        edit = open_binary(program)
+        calls = edit.allocate_variable("calls")
+        edit.insert(edit.points("fib", PointType.FUNC_ENTRY),
+                    IncrementVar(calls))
+        with pytest.raises(InstructionBudgetExceeded) as exc_info:
+            edit.trace(max_instructions=200)
+        session = exc_info.value.session
+        assert session.stop.reason is StopReason.FAULT
+        events = list(session.stream.events())
+        assert events, "flushed session must carry the partial stream"
+        from repro.telemetry.events import FAULT
+        assert events[-1][0] == FAULT
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_random_fault_rollback_property(data):
+    """PROPERTY: for a random MiniC program, a random patch set, and a
+    random single-site fault during apply, the post-rollback register
+    file and memory pages equal the pristine baseline."""
+    src = data.draw(minic_program())
+    program = compile_source(src)
+    edit = open_binary(program)
+    counter = edit.allocate_variable("hits")
+    names = sorted(fn.name for fn in edit.functions()
+                   if fn.name and fn.name != "_start")
+    chosen = data.draw(st.lists(st.sampled_from(names), min_size=1,
+                                max_size=len(names), unique=True))
+    queued = False
+    for name in chosen:
+        points = edit.points(name, PointType.FUNC_ENTRY)
+        if points:
+            edit.insert(points, IncrementVar(counter))
+            queued = True
+    if not queued:
+        return
+    result = edit.commit()
+
+    # enumerate the apply-phase crossings on a scratch machine
+    scratch = Machine()
+    edit.symtab.load_into(scratch)
+    sites = faults.enumerate_sites(
+        lambda: result.apply_to_machine(scratch))
+    assert sites
+
+    k = data.draw(st.integers(0, len(sites) - 1))
+    m = Machine()
+    edit.symtab.load_into(m)
+    pristine = _machine_state(m)
+    with pytest.raises(InjectedFault):
+        with faults.active(FaultPlan(fire_at=k)):
+            result.apply_to_machine(m)
+    post = _machine_state(m)
+    assert post["x"] == pristine["x"]
+    assert post["f"] == pristine["f"]
+    assert post["pages"] == pristine["pages"]
+    assert post == pristine

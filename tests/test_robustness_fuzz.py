@@ -34,7 +34,22 @@ def test_corrupted_elf_never_crashes(good_elf, data):
             Symtab.from_elf(elf)
         except (ValueError, KeyError):
             pass
-    except (ElfFormatError, ValueError):
+    except ElfFormatError:
+        # the reader's whole error surface: struct.error / IndexError /
+        # bare ValueError escaping read_elf is a hardening regression
+        pass
+
+
+@settings(max_examples=150, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(data=st.data())
+def test_truncated_elf_never_crashes(good_elf, data):
+    """PROPERTY: clipping a valid ELF at any byte — the classic
+    truncated-download shape — parses or raises ElfFormatError only."""
+    cut = data.draw(st.integers(0, len(good_elf) - 1))
+    try:
+        read_elf(bytes(good_elf[:cut]))
+    except ElfFormatError:
         pass
 
 
@@ -43,7 +58,7 @@ def test_corrupted_elf_never_crashes(good_elf, data):
 def test_arbitrary_bytes_never_crash_reader(blob):
     try:
         read_elf(blob)
-    except (ElfFormatError, ValueError):
+    except ElfFormatError:
         pass
 
 
@@ -70,6 +85,60 @@ def test_arbitrary_code_region_parses_cleanly(blob):
             for insn in b.insns:
                 assert insn.address == pc
                 pc += insn.length
+
+
+class TestHardenedReader:
+    """Targeted malformed-ELF shapes (the fuzz tests' named cousins):
+    each must raise :class:`ElfFormatError`, never struct.error or
+    IndexError."""
+
+    def _shdr_field(self, blob: bytearray, index: int, field_off: int,
+                    value: int) -> None:
+        from repro.elf import structs as s
+        ehdr = s.ElfHeader.unpack(bytes(blob))
+        off = ehdr.e_shoff + index * s.SHDR_SIZE + field_off
+        blob[off:off + 8] = value.to_bytes(8, "little")
+
+    def test_section_offset_past_eof(self, good_elf):
+        blob = bytearray(good_elf)
+        # sh_offset is the 3rd u64 field (after two u32 + two u64)
+        self._shdr_field(blob, 1, 4 + 4 + 8 + 8, len(blob) + 0x1000)
+        with pytest.raises(ElfFormatError):
+            read_elf(bytes(blob))
+
+    def test_impossible_section_size(self, good_elf):
+        blob = bytearray(good_elf)
+        self._shdr_field(blob, 1, 4 + 4 + 8 + 8 + 8, 1 << 62)
+        with pytest.raises(ElfFormatError):
+            read_elf(bytes(blob))
+
+    def test_truncated_section_header_table(self, good_elf):
+        from repro.elf import structs as s
+        ehdr = s.ElfHeader.unpack(bytes(good_elf))
+        cut = ehdr.e_shoff + s.SHDR_SIZE // 2
+        with pytest.raises(ElfFormatError):
+            read_elf(bytes(good_elf[:cut]))
+
+    def test_clipped_attributes_section(self):
+        from repro.elf.riscv_attrs import (
+            AttributesError, build_attributes_section,
+            parse_attributes_section,
+        )
+        section = build_attributes_section("rv64imafdc")
+        for cut in range(1, len(section)):
+            try:
+                parse_attributes_section(section[:cut])
+            except AttributesError:
+                pass
+        # and the clipped-attributes error IS an ELF format error
+        assert issubclass(AttributesError, ElfFormatError)
+
+    def test_unterminated_string_table(self):
+        from repro.elf.structs import StringTable
+        with pytest.raises(ElfFormatError):
+            StringTable.read(b"abc", 0)          # no NUL terminator
+        with pytest.raises(ElfFormatError):
+            StringTable.read(b"abc\x00", 99)     # offset out of range
 
 
 class TestBreakpointWriteThrough:

@@ -1,0 +1,18 @@
+#!/usr/bin/env python3
+"""Repository shim for the fault-injection matrix runner.
+
+Runs :mod:`repro.tools.fault_matrix` from a source checkout without
+needing ``PYTHONPATH=src``::
+
+    python tools/fault_matrix.py [--json fault-matrix.json] [--fib N]
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.tools.fault_matrix import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
