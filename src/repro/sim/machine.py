@@ -98,6 +98,10 @@ def _traces_default() -> bool:
     return os.environ.get("REPRO_SIM_TRACES", "1") != "0"
 
 
+def _mega_default() -> bool:
+    return os.environ.get("REPRO_SIM_MEGATRACES", "1") != "0"
+
+
 class Machine:
     """One simulated RV64GC hart plus memory.
 
@@ -111,10 +115,18 @@ class Machine:
         Defaults to on; set ``REPRO_SIM_TRACES=0`` (or pass ``False``)
         to force the per-pc closure interpreter everywhere — results are
         architecturally identical either way.
+    megatraces:
+        Enable tier-2 megatrace promotion (hot loops compiled into
+        single looping functions with register caching — see
+        docs/INTERNALS.md, "JIT tiers").  Defaults to on when tracing
+        is on; set ``REPRO_SIM_MEGATRACES=0`` (or pass ``False``) to
+        cap the JIT at superblocks.  Architecturally identical either
+        way.
     """
 
     def __init__(self, timing: TimingModel = P550,
-                 trace_compile: bool | None = None):
+                 trace_compile: bool | None = None,
+                 megatraces: bool | None = None):
         self.timing = timing
         self.mem = Memory()
         self.x: list[int] = [0] * 32
@@ -136,7 +148,9 @@ class Machine:
         self.trap_redirects: dict[int, int] = {}
         self.trace_compile = (_traces_default() if trace_compile is None
                               else trace_compile)
-        self.traces = TraceCache(self)
+        self.megatraces = (_mega_default() if megatraces is None
+                           else megatraces)
+        self.traces = TraceCache(self, mega=self.megatraces)
         #: armed only for telemetry-observed runs: the traced dispatch
         #: loop then counts cache hits (disabled runs skip the wrapper
         #: entirely, so the hot loop stays wrapper-free)
@@ -517,7 +531,10 @@ class Machine:
         traces = self.traces
         instret0, ucycles0 = self.instret, self.ucycles
         base = (traces.compiles, traces.invalidations, traces.links,
-                traces.hits)
+                traces.hits, traces.mega_compiles, traces.jalr_hits[0],
+                traces.jalr_misses[0], traces.deopt_count[0],
+                traces.persist_loads, traces.persist_stores,
+                traces.persist_stale)
         self._count_hits = rec.enabled or bool(report)
         t0 = time.perf_counter()
         try:
@@ -532,6 +549,13 @@ class Machine:
             "invalidations": traces.invalidations - base[1],
             "links": traces.links - base[2],
             "hits": traces.hits - base[3],
+            "megatraces_compiled": traces.mega_compiles - base[4],
+            "jalr_guard_hits": traces.jalr_hits[0] - base[5],
+            "jalr_guard_misses": traces.jalr_misses[0] - base[6],
+            "deopts": traces.deopt_count[0] - base[7],
+            "persist.loads": traces.persist_loads - base[8],
+            "persist.stores": traces.persist_stores - base[9],
+            "persist.stale": traces.persist_stale - base[10],
         }
         if rec.enabled:
             rec.record_span("sim.run", elapsed)
@@ -565,6 +589,11 @@ class Machine:
             f"hits={deltas['hits']} compiles={deltas['compiles']} "
             f"links={deltas['links']} "
             f"invalidations={deltas['invalidations']}",
+            f"  trace tiers            "
+            f"megatraces={deltas['megatraces_compiled']} "
+            f"jalr_guard_hits={deltas['jalr_guard_hits']} "
+            f"jalr_guard_misses={deltas['jalr_guard_misses']} "
+            f"deopts={deltas['deopts']}",
         ]
         return "\n".join(lines) + "\n"
 

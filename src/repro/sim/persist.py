@@ -1,0 +1,98 @@
+"""Persistent compiled-trace cache for the simulator JIT.
+
+Repeat runs of the same binary — the service workload the roadmap is
+heading towards — should not pay trace-selection warmup and compile
+time again.  This module stores the *shape* of every compiled trace
+(generated source, chain-cell count, fault sync tables, inlined body
+sites, jalr guard targets — see :meth:`TraceCache.persist_save`) in a
+JSON file keyed by the **content hash of the executable image**, and
+revives the traces into a fresh :class:`Machine` before its first run.
+
+Safety model
+------------
+Persisted metadata is advisory, never authoritative:
+
+* the store file is keyed by a digest over the executable ranges plus
+  the timing-model fingerprint, so a rebuilt binary or a different
+  timing model simply misses the cache;
+* inside a snapshot, every trace lists the code pages it spans and the
+  save-time sha256 of each; :meth:`TraceCache.persist_load` re-hashes
+  the live pages and rejects any trace whose pages changed (counted
+  under ``trace.persist.stale``), so a patched or self-modified binary
+  falls back to demand compilation for exactly the affected traces;
+* once revived, a trace is an ordinary cache entry: the page-bucketed
+  write watch invalidates it like any demand-compiled trace, and it is
+  never written back — :func:`save_traces` always serializes the live
+  cache state.
+
+A corrupt or unreadable store file is treated as a miss, not an error.
+"""
+
+from __future__ import annotations
+
+import json
+import hashlib
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from .trace import _timing_key
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .machine import Machine
+
+
+def image_key(machine: "Machine") -> str:
+    """Cache key for the loaded binary: a sha256 over the bytes of
+    every executable range plus the timing-model fingerprint."""
+    h = hashlib.sha256()
+    h.update(_timing_key(machine.timing).encode())
+    for lo, hi in sorted(machine.exec_ranges):
+        h.update(f"|{lo:#x}+{hi - lo:#x}|".encode())
+        h.update(machine.mem.read_bytes(lo, hi - lo))
+    return h.hexdigest()[:32]
+
+
+def save_traces(machine: "Machine") -> dict:
+    """Snapshot the machine's compiled traces (see
+    :meth:`TraceCache.persist_save`); JSON-serializable."""
+    return machine.traces.persist_save()
+
+
+def load_traces(machine: "Machine", data: dict) -> int:
+    """Revive persisted traces into *machine* (call after
+    ``load_image``/``load_program``, before the first ``run()``).
+    Returns the number of traces materialized."""
+    return machine.traces.persist_load(data)
+
+
+class TraceStore:
+    """Directory-backed trace store: one JSON file per executable
+    image, named by :func:`image_key`."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def _path(self, machine: "Machine") -> Path:
+        return self.root / f"traces-{image_key(machine)}.json"
+
+    def save(self, machine: "Machine") -> Path:
+        """Serialize *machine*'s compiled traces to the store."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(machine)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(save_traces(machine)))
+        tmp.replace(path)
+        return path
+
+    def load(self, machine: "Machine") -> int:
+        """Revive any stored traces for *machine*'s loaded image.
+        Returns the number of traces materialized (0 on miss or on a
+        corrupt store file)."""
+        path = self._path(machine)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return 0
+        if not isinstance(data, dict):
+            return 0
+        return load_traces(machine, data)

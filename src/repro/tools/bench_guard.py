@@ -1,0 +1,107 @@
+"""Throughput regression guard over ``BENCH_sim.json``.
+
+Reads the snapshot written by ``benchmarks/test_sim_throughput.py`` and
+fails when the tiered trace JIT has regressed below the floors::
+
+    python tools/bench_guard.py [--json BENCH_sim.json] [--floor 3.0]
+
+Checks, in order:
+
+* the headline ``speedup`` (megatrace tier over the closure
+  interpreter) is at or above ``--floor``;
+* the superblock tier is at or above ``--superblock-floor``;
+* the warm persistent-cache tier compiled **nothing** — every trace it
+  ran was revived from the snapshot (``persist_loads > 0``, both
+  compile counters zero).
+
+The CI floors sit below the benchmark's own acceptance bars (4.5x
+megatrace, 2.0x superblock) on purpose: shared runners are noisy, and
+the guard exists to catch regressions of the *mechanism* — a dropped
+tier, a warm run that silently recompiles — not to re-litigate the
+exact multiplier measured on a quiet host.  Exit status 0 when every
+check passes, 1 otherwise (2 when the snapshot is missing/unreadable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: default CI floors (see module docstring for why they are below the
+#: benchmark's local acceptance bars)
+MEGATRACE_FLOOR = 3.0
+SUPERBLOCK_FLOOR = 1.6
+
+
+def check(bench: dict, floor: float = MEGATRACE_FLOOR,
+          superblock_floor: float = SUPERBLOCK_FLOOR) -> list[str]:
+    """Return the list of violated checks (empty = all green)."""
+    bad: list[str] = []
+    speedup = bench.get("speedup")
+    if not isinstance(speedup, (int, float)):
+        return [f"no usable 'speedup' key in snapshot: {speedup!r}"]
+    if speedup < floor:
+        bad.append(f"megatrace speedup {speedup:.2f}x below the "
+                   f"{floor:.2f}x floor")
+    sb = bench.get("speedup_superblock")
+    if isinstance(sb, (int, float)) and sb < superblock_floor:
+        bad.append(f"superblock speedup {sb:.2f}x below the "
+                   f"{superblock_floor:.2f}x floor")
+    warm = bench.get("tiers", {}).get("persist_warm", {})
+    if warm:
+        if warm.get("superblocks_compiled", 0) or \
+                warm.get("megatraces_compiled", 0):
+            bad.append(
+                "warm persistent-cache tier compiled traces "
+                f"({warm.get('superblocks_compiled')} superblocks, "
+                f"{warm.get('megatraces_compiled')} megatraces) — "
+                "must be zero compile events")
+        if not warm.get("persist_loads"):
+            bad.append("warm tier revived no traces (persist_loads=0)")
+    return bad
+
+
+def main(argv: list[str] | None = None) -> int:
+    repo = Path(__file__).resolve().parents[3]
+    ap = argparse.ArgumentParser(
+        description="fail when BENCH_sim.json shows a JIT regression")
+    ap.add_argument("--json", default=str(repo / "BENCH_sim.json"),
+                    help="snapshot path (default: repo BENCH_sim.json)")
+    ap.add_argument("--floor", type=float, default=MEGATRACE_FLOOR,
+                    help="minimum megatrace-over-interpreter speedup")
+    ap.add_argument("--superblock-floor", type=float,
+                    default=SUPERBLOCK_FLOOR,
+                    help="minimum superblock-over-interpreter speedup")
+    args = ap.parse_args(argv)
+
+    path = Path(args.json)
+    try:
+        bench = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"bench_guard: cannot read {path}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    tiers = bench.get("tiers", {})
+    print(f"bench_guard: {bench.get('benchmark', '?')} "
+          f"(N={bench.get('matmul_n')}, reps={bench.get('matmul_reps')},"
+          f" {bench.get('instructions', 0):,} instructions)")
+    for name, t in tiers.items():
+        speed = t.get("speedup", 1.0)
+        print(f"  {name:<14} {t.get('instr_per_sec', 0) / 1e6:8.2f} "
+              f"Minstr/s  {speed:5.2f}x  "
+              f"(spread {t.get('run_to_run_spread', 0):.1%})")
+
+    bad = check(bench, args.floor, args.superblock_floor)
+    for msg in bad:
+        print(f"bench_guard: FAIL: {msg}", file=sys.stderr)
+    if not bad:
+        print(f"bench_guard: OK (megatrace {bench['speedup']:.2f}x >= "
+              f"{args.floor:.2f}x floor)")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,207 @@
+"""Persistent compiled-trace cache: warm revival, stale rejection,
+and invalidation of revived traces.
+
+The contract (docs/INTERNALS.md "JIT tiers"): a warm run of an
+unchanged binary revives every trace from the snapshot and reports
+**zero** compile events with an architectural outcome bit-identical to
+the cold run; any code page patched since the save rejects exactly the
+traces that span it (content-hash mismatch, counted under
+``trace.persist.stale``) and demand compilation takes over; revived
+traces obey the same page-bucketed write-watch invalidation as
+demand-compiled ones.
+"""
+
+import json
+
+from repro.minicc import compile_source
+from repro.minicc.workloads import matmul_source
+from repro.proccontrol import EventType, Process
+from repro.riscv import assemble
+from repro.riscv.encoder import encode
+from repro.sim import (
+    Machine, P550, StopReason, TraceStore, X86PROXY,
+    image_key, load_traces, save_traces,
+)
+from repro.telemetry.events import EventStream
+
+MATMUL = compile_source(matmul_source(8, 3))
+
+#: self-patching loop mutatee: the store at i==3 rewrites the hot body
+SELF_PATCH = f"""
+_start:
+  li a0, 0
+  li t2, 0
+  la t0, target
+  li t1, {encode('addi', rd=10, rs1=10, imm=10):#x}
+loop:
+target:
+  addi a0, a0, 1
+  addi t2, t2, 1
+  li t4, 3
+  bne t2, t4, skip
+  sw t1, 0(t0)
+skip:
+  li t3, 6
+  blt t2, t3, loop
+  li a7, 93
+  ecall
+"""
+
+#: plain counted loop (no self-modification): its save-time page
+#: hashes match a fresh load of the same image
+LOOP = """
+_start:
+  li a0, 0
+  li t0, 0
+loop:
+  addi t0, t0, 1
+body:
+  addi a0, a0, 1
+  li t4, 8
+  blt t0, t4, loop
+  li a7, 93
+  ecall
+"""
+
+
+def _cold_run(prog, **kw):
+    m = Machine(P550, trace_compile=True, megatraces=True, **kw)
+    m.load_program(prog)
+    ev = m.run()
+    return m, ev
+
+
+def _state(m):
+    return (m.pc, list(m.x), list(m.f), m.instret, m.ucycles,
+            bytes(m.stdout))
+
+
+class TestWarmRevival:
+    def test_warm_run_zero_compiles_identical_state(self):
+        cold, ev0 = _cold_run(MATMUL)
+        assert cold.traces.mega_compiles > 0
+        snap = json.loads(json.dumps(save_traces(cold)))  # JSON trip
+
+        warm = Machine(P550, trace_compile=True, megatraces=True)
+        warm.load_program(MATMUL)
+        n = load_traces(warm, snap)
+        assert n == len(snap["traces"]) > 0
+        assert warm.traces.persist_loads == n
+        ev1 = warm.run()
+
+        # zero compile events: every executed trace was revived
+        assert warm.traces.compiles == 0
+        assert warm.traces.mega_compiles == 0
+        assert warm.traces.persist_stale == 0
+        assert ev1.reason is ev0.reason is StopReason.EXITED
+        assert _state(warm) == _state(cold)
+
+    def test_store_roundtrip_on_disk(self, tmp_path):
+        cold, _ = _cold_run(MATMUL)
+        store = TraceStore(tmp_path)
+        path = store.save(cold)
+        assert path.name == f"traces-{image_key(cold)}.json"
+
+        warm = Machine(P550, trace_compile=True, megatraces=True)
+        warm.load_program(MATMUL)
+        assert store.load(warm) == len(
+            json.loads(path.read_text())["traces"])
+        warm.run()
+        assert warm.traces.compiles == warm.traces.mega_compiles == 0
+        assert _state(warm) == _state(cold)
+
+    def test_corrupt_store_is_a_miss(self, tmp_path):
+        cold, _ = _cold_run(MATMUL)
+        store = TraceStore(tmp_path)
+        store.save(cold).write_text("{not json")
+        warm = Machine(P550, trace_compile=True, megatraces=True)
+        warm.load_program(MATMUL)
+        assert store.load(warm) == 0
+
+    def test_timing_model_mismatch_misses(self):
+        cold, _ = _cold_run(MATMUL)
+        snap = save_traces(cold)
+        other = Machine(X86PROXY, trace_compile=True, megatraces=True)
+        other.load_program(MATMUL)
+        assert load_traces(other, snap) == 0
+        assert other.traces.persist_stale == len(snap["traces"])
+
+    def test_block_observer_refuses_snapshot(self):
+        """Persisted traces carry no compiled-in event emits, so a
+        block-granularity observer forces demand compilation."""
+        cold, _ = _cold_run(MATMUL)
+        snap = save_traces(cold)
+        m = Machine(P550, trace_compile=True, megatraces=True)
+        m.load_program(MATMUL)
+        m.attach_observer(EventStream(granularity="block"))
+        assert load_traces(m, snap) == 0
+
+
+class TestStaleRejection:
+    def test_patched_page_rejects_and_recompiles(self):
+        """Rewrite one instruction between save and load: every trace
+        on the patched page must be rejected by the hash check, demand
+        compilation must take over, and the outcome must be
+        bit-identical to a cold run of the patched image."""
+        prog = assemble(SELF_PATCH)
+        cold, _ = _cold_run(prog)
+        snap = save_traces(cold)
+        total = len(snap["traces"])
+        assert total > 0
+
+        patch = encode("addi", rd=10, rs1=10, imm=2).to_bytes(
+            4, "little")
+        target = prog.symbol("target").address
+
+        warm = Machine(P550, trace_compile=True, megatraces=True)
+        warm.load_program(prog)
+        warm.mem.write_bytes(target, patch)
+        assert load_traces(warm, snap) == 0  # one code page: all stale
+        assert warm.traces.persist_stale == total
+        ev = warm.run()
+        assert warm.traces.compiles > 0  # demand compilation took over
+
+        ref = Machine(P550, trace_compile=True, megatraces=True)
+        ref.load_program(prog)
+        ref.mem.write_bytes(target, patch)
+        ev_ref = ref.run()
+        assert ev.exit_code == ev_ref.exit_code == 3 * 2 + 3 * 10
+        assert _state(warm) == _state(ref)
+
+    def test_revived_traces_obey_write_watch(self):
+        """A code write (here: breakpoint insertion) must invalidate
+        *revived* traces exactly like demand-compiled ones — the
+        breakpoint has to fire, not be run over by a stale trace."""
+        prog = assemble(LOOP)
+        cold, ev0 = _cold_run(prog)
+        assert ev0.exit_code == 8
+        snap = save_traces(cold)
+
+        warm = Machine(P550, trace_compile=True, megatraces=True)
+        warm.load_program(prog)
+        assert load_traces(warm, snap) > 0
+        proc = Process.attach(warm)
+        body = prog.symbol("body").address
+        proc.insert_breakpoint(body)
+        assert warm.traces.invalidations > 0
+        ev = proc.continue_to_event()
+        assert ev.type is EventType.STOPPED_BREAKPOINT
+        assert ev.pc == body
+        assert warm.x[5] == 1  # stopped in the first iteration
+        proc.remove_breakpoint(body)
+        ev = proc.continue_to_event()
+        assert ev.type is EventType.EXITED
+        assert ev.exit_code == 8
+
+    def test_image_key_tracks_code_and_timing(self):
+        m1, _ = _cold_run(MATMUL)
+        m2 = Machine(P550)
+        m2.load_program(MATMUL)
+        assert image_key(m1) == image_key(m2)
+        m3 = Machine(X86PROXY)
+        m3.load_program(MATMUL)
+        assert image_key(m3) != image_key(m1)
+        prog2 = assemble(SELF_PATCH)
+        m4 = Machine(P550)
+        m4.load_program(prog2)
+        assert image_key(m4) != image_key(m1)

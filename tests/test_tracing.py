@@ -17,6 +17,7 @@ from repro.codegen import IncrementVar
 from repro.minicc import compile_source
 from repro.minicc.workloads import fib_source, matmul_source
 from repro.patch import PointType
+from repro.proccontrol import EventType, Process
 from repro.riscv import assemble
 from repro.sim import Machine, P550, StopReason
 from repro.telemetry.events import (
@@ -199,6 +200,95 @@ _start:
         m.detach_observer(es)
         assert stop.reason is StopReason.STEPS_EXHAUSTED
         assert len(es) > 0
+
+
+# ---------------------------------------------------------------------------
+# Observer interaction with the tier-2 megatrace JIT
+
+
+class TestMegatraceObserverInteraction:
+    """Attaching an event stream at a mid-run debugger stop must deopt
+    megatraces correctly: block granularity flushes the cache (emits
+    are compiled *into* traces) and suppresses tier-2 promotion while
+    observed; instruction granularity leaves compiled traces intact but
+    undispatched.  Either way the architectural outcome is
+    bit-identical to an unobserved continuation."""
+
+    def _stop_at_print(self):
+        """Run the megatraced matmul up to a breakpoint on
+        ``print_long`` — fired once, after the hot loops have been
+        promoted to megatraces — then clear the breakpoint."""
+        m = Machine(P550, trace_compile=True, megatraces=True)
+        m.load_program(MATMUL)
+        proc = Process.attach(m)
+        pl = MATMUL.symbol("print_long").address
+        proc.insert_breakpoint(pl)
+        ev = proc.continue_to_event()
+        assert ev.type is EventType.STOPPED_BREAKPOINT
+        assert ev.pc == pl
+        proc.remove_breakpoint(pl)
+        return m, proc
+
+    def _state(self, m):
+        return (m.pc, list(m.x), list(m.f), m.instret, m.ucycles,
+                bytes(m.stdout))
+
+    def test_midrun_block_attach_deopts_megatraces(self):
+        ref, rproc = self._stop_at_print()
+        assert ref.traces.mega_compiles > 0, \
+            "hot loops must be tier-2 by the time print_long runs"
+        assert rproc.continue_to_event().type is EventType.EXITED
+
+        m, proc = self._stop_at_print()
+        mega_at_stop = m.traces.mega_compiles
+        es = EventStream(granularity="block")
+        m.attach_observer(es)
+        # block emits are compiled into traces: the attach must flush
+        # every compiled trace, megatraces included
+        assert len(m.traces.fns) == 0
+        ev = proc.continue_to_event()
+        assert ev.type is EventType.EXITED
+        # superblocks recompiled with the emit; tier-2 promotion is
+        # refused while a block observer wants every block entry
+        assert m.traces.compiles > 0
+        assert m.traces.mega_compiles == mega_at_stop
+        assert len(es) > 0 and {e[0] for e in es} == {BLOCK}
+        assert self._state(m) == self._state(ref)
+
+    def test_midrun_instruction_attach_undispatches_traces(self):
+        ref, rproc = self._stop_at_print()
+        assert rproc.continue_to_event().type is EventType.EXITED
+
+        m, proc = self._stop_at_print()
+        fns = len(m.traces.fns)
+        compiles, mega = m.traces.compiles, m.traces.mega_compiles
+        assert fns > 0 and mega > 0
+        es = EventStream(granularity="instruction")
+        m.attach_observer(es)
+        # traces stay resident — they are simply not dispatched while
+        # the observer wants per-instruction events
+        assert len(m.traces.fns) == fns
+        ev = proc.continue_to_event()
+        assert ev.type is EventType.EXITED
+        assert m.traces.compiles == compiles
+        assert m.traces.mega_compiles == mega
+        kinds = {e[0] for e in es}
+        assert CALL in kinds and RET in kinds
+        assert self._state(m) == self._state(ref)
+
+    def test_detach_restores_megatrace_promotion(self):
+        m, proc = self._stop_at_print()
+        es = EventStream(granularity="block")
+        m.attach_observer(es)
+        assert proc.continue_to_event().type is EventType.EXITED
+        mega_observed = m.traces.mega_compiles
+        m.detach_observer(es)
+        assert not m.observed
+        # a fresh run of the same image must promote to tier 2 again
+        m.load_program(MATMUL)
+        stop = m.run()
+        assert stop.reason is StopReason.EXITED
+        assert m.traces.mega_compiles > mega_observed
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,18 @@
+#!/usr/bin/env python3
+"""Repository shim for the throughput regression guard.
+
+Runs :mod:`repro.tools.bench_guard` from a source checkout without
+needing ``PYTHONPATH=src``::
+
+    python tools/bench_guard.py [--json BENCH_sim.json] [--floor 3.0]
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.tools.bench_guard import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
