@@ -1,20 +1,33 @@
 """High-level toolkit facade (the BPatch analogue).
 
-The v2 session surface: :func:`open_binary` (a context manager),
-:class:`InstrumentOptions` configuration, the :class:`ReproError`-rooted
-exception hierarchy, and per-session telemetry snapshots.
+Two complementary surfaces:
+
+* the **immutable analysis** surface — :func:`analyze` produces a
+  frozen, shareable :class:`Analysis` (symtab + CFG + liveness),
+  content-addressed through :mod:`repro.artifacts` so byte-identical
+  binaries never re-pay parse/classification/liveness;
+* the **mutable session** surface — :func:`open_binary` /
+  :class:`BinaryEdit` context managers that *borrow* an analysis and
+  own only per-session patch state, with :class:`InstrumentOptions`
+  configuration, the :class:`ReproError`-rooted exception hierarchy,
+  and per-session telemetry snapshots.
+
+Many concurrent sessions — including remote ones served by
+:mod:`repro.service` — share one :class:`Analysis`.
 """
 
 from ..errors import ReproError
+from .analysis import Analysis, AnalysisMismatchError, analyze
 from .bpatch import (
-    AlreadyCommittedError, ApiError, BinaryEdit, ClosedEditError, attach,
-    load_rewritten, one_time_code, open_binary,
+    BinaryEdit, attach, load_rewritten, one_time_code, open_binary,
 )
+from .errors import AlreadyCommittedError, ApiError, ClosedEditError
 from .options import DEFAULT_OPTIONS, InstrumentOptions
 from .tracesession import TraceSession
 
 __all__ = [
-    "AlreadyCommittedError", "ApiError", "BinaryEdit", "ClosedEditError",
-    "DEFAULT_OPTIONS", "InstrumentOptions", "ReproError", "TraceSession",
+    "AlreadyCommittedError", "Analysis", "AnalysisMismatchError",
+    "ApiError", "BinaryEdit", "ClosedEditError", "DEFAULT_OPTIONS",
+    "InstrumentOptions", "ReproError", "TraceSession", "analyze",
     "attach", "load_rewritten", "one_time_code", "open_binary",
 ]

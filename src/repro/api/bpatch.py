@@ -12,13 +12,20 @@ One import gives tools the whole stack with the paper's Figure 1 flows:
 Tools written against this layer contain no RISC-V specifics: points and
 snippets are the machine-independent abstractions of §2.2.
 
-The v2 session surface (this PR's API redesign):
+The v2 session surface, completed by this PR's Analysis/BinaryEdit
+split:
 
-* configuration travels in a frozen :class:`InstrumentOptions` instead
-  of scattered boolean kwargs (legacy keywords still accepted, with a
-  ``DeprecationWarning``);
+* **analysis is immutable and shared**: :func:`repro.api.analyze`
+  produces a frozen :class:`~repro.api.analysis.Analysis` (symtab +
+  CFG + liveness) that any number of concurrent :class:`BinaryEdit`
+  sessions *borrow* — and that the content-addressed artifact store
+  (:mod:`repro.artifacts`) caches across processes;
+* configuration travels in a frozen :class:`InstrumentOptions`; the
+  legacy boolean keywords finished their deprecation cycle and now
+  raise :class:`ApiError` with a migration hint;
 * :func:`open_binary` returns a context-manager session —
-  ``with open_binary(prog) as edit: ...``;
+  ``with open_binary(prog) as edit: ...`` — and accepts an ELF path
+  alongside bytes/Program/Symtab/Analysis;
 * :meth:`BinaryEdit.batch` scopes a group of insertions and commits
   them once on exit;
 * every user mistake raises an :class:`ApiError` (a
@@ -29,14 +36,14 @@ The v2 session surface (this PR's API redesign):
 
 from __future__ import annotations
 
-import warnings
+import os
 from contextlib import contextmanager
 
 from .. import telemetry
 from ..codegen.snippets import Snippet, Variable
-from ..errors import ReproError
+from ..errors import ReproError  # noqa: F401  (re-exported surface)
 from ..parse.cfg import Function
-from ..parse.parser import CodeObject, parse_binary
+from ..parse.parser import CodeObject
 from ..patch.patcher import Patcher, PatchResult
 from ..patch.points import Point, PointType, points_for
 from ..patch.rewriter import load_instrumented, rewrite
@@ -45,104 +52,115 @@ from ..riscv.assembler import Program
 from ..sim.machine import Machine
 from ..sim.timing import P550, TimingModel
 from ..symtab.symtab import Symtab
-from .options import DEFAULT_OPTIONS, InstrumentOptions
-
-
-class ApiError(ReproError, RuntimeError):
-    """The BPatch facade was misused (bad argument, wrong state...)."""
-
-
-class AlreadyCommittedError(ApiError):
-    """Instrumentation was modified after :meth:`BinaryEdit.commit`.
-
-    A :class:`BinaryEdit` commits exactly once; ``insert`` /
-    ``replace_*`` / ``delete_instruction`` calls after that cannot take
-    effect and raise this error.  Open a fresh edit (or queue
-    everything inside one :meth:`BinaryEdit.batch` block) instead.
-    """
-
-
-class ClosedEditError(ApiError):
-    """A :class:`BinaryEdit` session was used after it was closed."""
-
+from .analysis import (
+    SOURCE_KINDS, Analysis, AnalysisMismatchError, analyze,
+)
+from .errors import AlreadyCommittedError, ApiError, ClosedEditError
+from .options import InstrumentOptions
 
 #: sentinel distinguishing "not passed" from any real value
 _UNSET = object()
 
+#: the v1 boolean keywords, now two PRs past their deprecation cycle
+_LEGACY_KWARGS = ("gap_parsing", "use_dead_registers", "patch_base")
 
-def _merge_legacy_options(options: InstrumentOptions | None,
-                          legacy: dict) -> InstrumentOptions:
-    """Fold deprecated keyword arguments into an options object."""
-    passed = {k: v for k, v in legacy.items() if v is not _UNSET}
-    if not passed:
-        return options if options is not None else DEFAULT_OPTIONS
-    if options is not None:
+
+def _reject_legacy_kwargs(legacy: dict) -> None:
+    """The v1 boolean keywords emitted ``DeprecationWarning`` for two
+    releases; the cycle is over and they now fail loudly with the
+    migration spelled out."""
+    passed = sorted(k for k, v in legacy.items() if v is not _UNSET)
+    if passed:
+        hints = ", ".join(f"{k}=..." for k in passed)
         raise ApiError(
-            "pass configuration either as InstrumentOptions or as "
-            f"legacy keywords, not both ({', '.join(sorted(passed))})")
-    warnings.warn(
-        f"keyword argument(s) {', '.join(sorted(passed))} are "
-        f"deprecated; pass options=InstrumentOptions(...) instead",
-        DeprecationWarning, stacklevel=3)
-    return DEFAULT_OPTIONS.replace(**passed)
+            f"the legacy keyword argument(s) {', '.join(passed)} were "
+            f"removed after their deprecation cycle; pass "
+            f"options=InstrumentOptions({hints}) instead "
+            f"(see docs/TELEMETRY.md, 'v2 API surface')")
 
 
-def open_binary(source: bytes | Program | Symtab,
+def open_binary(source: bytes | Program | Symtab | Analysis | str
+                | os.PathLike,
                 options: InstrumentOptions | None = None, *,
+                store=None,
                 gap_parsing=_UNSET, use_dead_registers=_UNSET,
                 patch_base=_UNSET) -> "BinaryEdit":
     """Open a mutatee for analysis and instrumentation.
 
-    Accepts raw ELF bytes, an assembled/compiled :class:`Program`, or an
-    existing :class:`Symtab`.  The returned :class:`BinaryEdit` is a
-    context manager::
+    Accepts raw ELF bytes, a filesystem path to an ELF (``str`` or
+    :class:`os.PathLike`), an assembled/compiled :class:`Program`, an
+    existing :class:`Symtab`, or an already-computed
+    :class:`~repro.api.analysis.Analysis` (the shared-analysis flow).
+    The returned :class:`BinaryEdit` is a context manager::
 
         with open_binary(program) as edit:
             edit.insert(edit.points("main", PointType.FUNC_ENTRY), snip)
             blob = edit.rewrite()
 
-    Configuration goes in *options* (an :class:`InstrumentOptions`);
-    the old boolean keywords are accepted for one deprecation cycle.
+    Configuration goes in *options* (an :class:`InstrumentOptions`).
+    *store* is forwarded to :func:`repro.api.analyze` — with an
+    artifact store, re-opening a byte-identical binary revives the
+    cached analysis instead of re-parsing.  For many sessions against
+    one binary, call :func:`analyze` once and hand each session the
+    result (``BinaryEdit(analysis)``).
     """
-    opts = _merge_legacy_options(options, dict(
+    _reject_legacy_kwargs(dict(
         gap_parsing=gap_parsing, use_dead_registers=use_dead_registers,
         patch_base=patch_base))
-    if isinstance(source, Symtab):
-        symtab = source
-    elif isinstance(source, Program):
-        symtab = Symtab.from_program(source)
-    elif isinstance(source, (bytes, bytearray)):
-        symtab = Symtab.from_bytes(bytes(source))
-    else:
-        raise ApiError(f"cannot open {type(source).__name__}")
-    return BinaryEdit(symtab, opts)
+    if isinstance(source, Analysis):
+        return BinaryEdit(source, options)
+    analysis = analyze(source, options, store=store)
+    return BinaryEdit(analysis, options)
 
 
 class BinaryEdit:
-    """An opened mutatee session: analysis results plus snippet
-    insertion.  Usable directly or as a context manager (the session
-    closes on scope exit; a closed session rejects further
-    instrumentation)."""
+    """One mutatee *session*: snippet insertion and commit state over a
+    borrowed, immutable :class:`~repro.api.analysis.Analysis`.
 
-    def __init__(self, symtab: Symtab,
+    The split matters for sharing: the analysis half (symtab, CFG,
+    liveness) is read-only and safely referenced by N concurrent
+    sessions; everything mutable — queued requests, the data area, the
+    commit result — lives here, one instance per session.  Usable
+    directly or as a context manager (the session closes on scope
+    exit; a closed session rejects further instrumentation)."""
+
+    def __init__(self, source: Analysis | Symtab,
                  options: InstrumentOptions | None = None, *,
                  gap_parsing=_UNSET, use_dead_registers=_UNSET,
                  patch_base=_UNSET):
-        opts = _merge_legacy_options(options, dict(
+        _reject_legacy_kwargs(dict(
             gap_parsing=gap_parsing,
             use_dead_registers=use_dead_registers,
             patch_base=patch_base))
-        self.symtab = symtab
+        if isinstance(source, Analysis):
+            analysis = source
+            opts = options if options is not None else analysis.options
+            if opts.analysis_fields() != analysis.options.analysis_fields():
+                raise AnalysisMismatchError(
+                    "session options disagree with the borrowed "
+                    f"Analysis on {sorted(opts.ANALYSIS_FIELDS)}; "
+                    "run analyze() with the new options instead")
+        elif isinstance(source, Symtab):
+            # direct-Symtab compatibility: analyze in place (no store)
+            analysis = analyze(source, options, store=False)
+            opts = analysis.options
+        else:
+            raise ApiError(
+                f"BinaryEdit takes an Analysis or Symtab, got "
+                f"{type(source).__name__}; for {SOURCE_KINDS} use "
+                f"open_binary()/analyze()")
+        self.analysis = analysis
+        self.symtab = analysis.symtab
         self.options = opts
         self._telemetry = telemetry.current()
-        self.cfg: CodeObject = parse_binary(
-            symtab, gap_parsing=opts.gap_parsing)
+        self.cfg: CodeObject = analysis.cfg
         self._patcher = Patcher(
-            symtab, self.cfg,
+            self.symtab, self.cfg,
             use_dead_registers=opts.use_dead_registers,
             patch_base=opts.patch_base,
             data_size=opts.data_size,
-            interprocedural_liveness=opts.interprocedural_liveness)
+            interprocedural_liveness=opts.interprocedural_liveness,
+            liveness=analysis)
         self._result: PatchResult | None = None
         self._closed = False
         self._in_batch = False

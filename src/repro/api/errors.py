@@ -1,0 +1,28 @@
+"""Facade-level errors, shared by :mod:`repro.api.analysis` (the
+immutable analysis surface) and :mod:`repro.api.bpatch` (the mutable
+session surface)."""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+
+class ApiError(ReproError, RuntimeError):
+    """The BPatch facade was misused (bad argument, wrong state...)."""
+
+
+class AlreadyCommittedError(ApiError):
+    """Instrumentation was modified after :meth:`BinaryEdit.commit`.
+
+    A :class:`BinaryEdit` commits exactly once; ``insert`` /
+    ``replace_*`` / ``delete_instruction`` calls after that cannot take
+    effect and raise this error.  Open a fresh edit (or queue
+    everything inside one :meth:`BinaryEdit.batch` block) instead.
+    """
+
+
+class ClosedEditError(ApiError):
+    """A :class:`BinaryEdit` session was used after it was closed."""
+
+
+__all__ = ["ApiError", "AlreadyCommittedError", "ClosedEditError"]

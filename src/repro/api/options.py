@@ -14,8 +14,9 @@ Derive variants with :meth:`InstrumentOptions.replace`::
 
     far = opts.replace(patch_base=0x4000_0000)
 
-The legacy keyword forms still work but emit ``DeprecationWarning``;
-see docs/TELEMETRY.md ("v2 API surface") for the migration table.
+The legacy boolean keyword forms completed their deprecation cycle and
+now raise :class:`repro.api.ApiError` with a migration hint; see
+docs/TELEMETRY.md ("v2 API surface") for the migration table.
 """
 
 from __future__ import annotations
@@ -57,6 +58,17 @@ class InstrumentOptions:
     def replace(self, **changes) -> "InstrumentOptions":
         """A copy with *changes* applied (options are immutable)."""
         return dataclasses.replace(self, **changes)
+
+    #: fields that change what :func:`repro.api.analyze` computes (and
+    #: therefore participate in the artifact-store key).  Patch
+    #: placement (``patch_base``, ``data_size``) and codegen knobs
+    #: (``use_dead_registers``) are per-session: sessions differing
+    #: only in those share one cached analysis.
+    ANALYSIS_FIELDS = ("gap_parsing", "interprocedural_liveness")
+
+    def analysis_fields(self) -> dict:
+        """The analysis-relevant field values (artifact key input)."""
+        return {name: getattr(self, name) for name in self.ANALYSIS_FIELDS}
 
 
 #: the defaults, shared (options are immutable so sharing is safe)

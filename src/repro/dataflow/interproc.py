@@ -274,3 +274,56 @@ def analyze_interprocedural(code_object: "CodeObject",
                             ) -> InterproceduralLiveness:
     """Compute whole-program summary-based liveness."""
     return InterproceduralLiveness(code_object)
+
+
+# -- snapshots ------------------------------------------------------------
+
+def interproc_to_snapshot(ip: InterproceduralLiveness) -> dict:
+    """Serialize the whole-program solution: per-function summaries,
+    demanded pass-through sets, and every function's live-in/out masks
+    (JSON-ready; consumed by the artifact store)."""
+    from .liveness import mask_of
+
+    for fn in ip.code_object.functions.values():
+        ip.result_for(fn)  # materialize every result before serializing
+    results = []
+    for entry, res in sorted(ip._results.items()):
+        results.append([
+            entry,
+            [[a, mask_of(s)] for a, s in sorted(res.live_in.items())],
+            [[a, mask_of(s)] for a, s in sorted(res.live_out.items())],
+        ])
+    return {
+        "summaries": [[e, mask_of(s.uses), mask_of(s.kills)]
+                      for e, s in sorted(ip.summaries.items())],
+        "exit_extra": [[e, mask_of(s)]
+                       for e, s in sorted(ip._exit_extra.items())],
+        "results": results,
+    }
+
+
+def interproc_from_snapshot(code_object: "CodeObject",
+                            data: dict) -> InterproceduralLiveness:
+    """Revive the whole-program solution without running either
+    fixpoint.  Per-instruction refinement still works: the revived
+    summaries drive :meth:`InterproceduralLiveness._call_effects`
+    exactly as the solver's own would."""
+    from .liveness import regs_of
+
+    ip = object.__new__(InterproceduralLiveness)
+    ip.code_object = code_object
+    ip.summaries = {
+        e: FunctionSummary(regs_of(u), regs_of(k))
+        for e, u, k in data["summaries"]
+    }
+    ip._exit_extra = {e: regs_of(m) for e, m in data["exit_extra"]}
+    ip._results = {}
+    for entry, live_in, live_out in data["results"]:
+        fn = code_object.functions.get(entry)
+        if fn is None:
+            continue
+        ip._results[entry] = _SharpLivenessResult(
+            ip, fn,
+            {a: regs_of(m) for a, m in live_in},
+            {a: regs_of(m) for a, m in live_out})
+    return ip

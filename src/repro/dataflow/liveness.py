@@ -184,6 +184,39 @@ class LivenessResult:
         return [r for r in pool if r not in live]
 
 
+# -- snapshots ------------------------------------------------------------
+#
+# Liveness results serialize as their bitmask tables — the exact
+# internal representation the fixpoint computes — so revival performs
+# zero dataflow work: masks are copied in and the frozenset views are
+# expanded once.  Consumed by the content-addressed artifact store.
+
+def liveness_to_snapshot(result: LivenessResult) -> dict:
+    """Serialize one function's fixpoint solution (JSON-ready)."""
+    masks = result._out_masks
+    if masks is not None:
+        out = {a: masks[a] for a in result.live_out}
+    else:
+        out = {a: mask_of(s) for a, s in result.live_out.items()}
+    return {
+        "in": [[a, mask_of(s)] for a, s in sorted(result.live_in.items())],
+        "out": [[a, out[a]] for a in sorted(out)],
+    }
+
+
+def liveness_from_snapshot(fn: Function, data: dict) -> LivenessResult:
+    """Revive a :class:`LivenessResult` for *fn* without re-solving."""
+    in_masks = {a: m for a, m in data["in"]}
+    out_masks = {a: m for a, m in data["out"]}
+    result = LivenessResult(
+        fn,
+        {a: regs_of(m) for a, m in in_masks.items()},
+        {a: regs_of(m) for a, m in out_masks.items()},
+    )
+    result._out_masks = out_masks
+    return result
+
+
 def analyze_liveness(fn: Function) -> LivenessResult:
     """Solve backward may-liveness over the function's blocks.
 

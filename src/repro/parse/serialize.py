@@ -1,0 +1,136 @@
+"""CFG snapshots: serialize a parsed :class:`CodeObject`, revive it
+without re-parsing.
+
+The traversal parse — gap scanning, jal/jalr classification, jump-table
+slicing — is a pure function of the binary's bytes, so its result can be
+stored once and revived for every later session against the same image
+(the content-addressed artifact store, :mod:`repro.artifacts`).  A
+snapshot records the *shape* of the analysis: block extents, typed
+edges, function membership, jump tables, discovered names.  Instruction
+objects are not serialized; revival re-decodes them from the binary's
+own bytes (decoding is deterministic and two orders of magnitude
+cheaper than classification), so a snapshot can never disagree with the
+image it is applied to about what the instructions *are* — only the
+control-flow facts travel.
+
+Snapshots are JSON-serializable dicts under the ``repro.cfg/1`` schema.
+Revival validates the schema and raises :class:`CfgSnapshotError` on
+anything malformed; callers (the artifact store) treat that as a cache
+miss, never an error.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from ..instruction.insn import decode_insn
+from ..riscv.decoder import DecodeError
+from ..symtab.symtab import Symtab
+from .cfg import Block, Edge, EdgeType, Function
+from .parser import CodeObject
+
+#: snapshot schema identifier (bump on incompatible change)
+CFG_SCHEMA = "repro.cfg/1"
+
+
+class CfgSnapshotError(ReproError, ValueError):
+    """A CFG snapshot is malformed or does not match the binary."""
+
+
+def cfg_to_snapshot(co: CodeObject) -> dict:
+    """Serialize a parsed :class:`CodeObject` (JSON-ready dict).
+
+    Blocks are stored as ``[start, n_insns]`` (instructions are
+    contiguous); edges as ``[src, kind, target, resolved]`` with -1 for
+    "no target".  Functions reference blocks by start address.
+    """
+    blocks = [[b.start, len(b.insns)]
+              for b in sorted(co.blocks.values(), key=lambda b: b.start)]
+    edges = []
+    for b in sorted(co.blocks.values(), key=lambda b: b.start):
+        for e in b.out_edges:
+            edges.append([b.start, e.kind.value,
+                          -1 if e.target is None else e.target,
+                          1 if e.resolved else 0])
+    functions = []
+    for fn in sorted(co.functions.values(), key=lambda f: f.entry):
+        functions.append({
+            "entry": fn.entry,
+            "name": fn.name,
+            "blocks": sorted(fn.blocks),
+            "callees": sorted(fn.callees),
+            "tail_callees": sorted(fn.tail_callees),
+            "returns": fn.returns,
+            "unresolved": list(fn.unresolved),
+            "jump_tables": [[site, targets] for site, targets
+                            in sorted(fn.jump_tables.items())],
+        })
+    return {
+        "schema": CFG_SCHEMA,
+        "blocks": blocks,
+        "edges": edges,
+        "functions": functions,
+        "names": [[a, n] for a, n in sorted(co._names.items())],
+    }
+
+
+def cfg_from_snapshot(symtab: Symtab, data: dict) -> CodeObject:
+    """Revive a :class:`CodeObject` from a snapshot against *symtab*.
+
+    No traversal, no classification, no gap scan: blocks are re-decoded
+    instruction-by-instruction at their recorded addresses and the
+    recorded edges/functions are re-attached.  Raises
+    :class:`CfgSnapshotError` when the snapshot is malformed or its
+    block extents do not decode against this binary.
+    """
+    if not isinstance(data, dict) or data.get("schema") != CFG_SCHEMA:
+        raise CfgSnapshotError(
+            f"not a {CFG_SCHEMA} snapshot: {data.get('schema')!r}"
+            if isinstance(data, dict) else "snapshot is not a dict")
+    co = CodeObject(symtab)
+    try:
+        for start, n in data["blocks"]:
+            block = Block(start, _decode_insns(symtab, start, n))
+            co.blocks[start] = block
+        co._block_starts = sorted(co.blocks)
+        for src, kind, target, resolved in data["edges"]:
+            block = co.blocks[src]
+            block.out_edges.append(Edge(
+                block, EdgeType(kind),
+                None if target == -1 else target, bool(resolved)))
+        for f in data["functions"]:
+            fn = Function(f["entry"], f["name"])
+            for addr in f["blocks"]:
+                fn.blocks[addr] = co.blocks[addr]
+            fn.callees = set(f["callees"])
+            fn.tail_callees = set(f["tail_callees"])
+            fn.returns = bool(f["returns"])
+            fn.unresolved = list(f["unresolved"])
+            fn.jump_tables = {site: list(targets)
+                              for site, targets in f["jump_tables"]}
+            co.functions[fn.entry] = fn
+        co._names = {a: n for a, n in data["names"]}
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CfgSnapshotError(f"malformed CFG snapshot: {exc}") from exc
+    co.finalize_in_edges()
+    return co
+
+
+def _decode_insns(symtab: Symtab, start: int, n: int) -> list:
+    """Decode *n* contiguous instructions at *start* from the binary's
+    own bytes (the snapshot only records extents)."""
+    region = symtab.region_at(start)
+    if region is None or not region.executable:
+        raise CfgSnapshotError(
+            f"block {start:#x} is not in an executable region")
+    insns = []
+    pc = start
+    for _ in range(n):
+        try:
+            insn = decode_insn(region.data, pc - region.addr, pc)
+        except DecodeError as exc:
+            raise CfgSnapshotError(
+                f"snapshot block at {start:#x} does not decode against "
+                f"this binary: {exc}") from exc
+        insns.append(insn)
+        pc = insn.next_address
+    return insns

@@ -184,11 +184,17 @@ class Patcher:
                  *, patch_base: int | None = None,
                  data_size: int = 0x2_0000,
                  use_dead_registers: bool = True,
-                 interprocedural_liveness: bool = False):
+                 interprocedural_liveness: bool = False,
+                 liveness=None):
         self.symtab = symtab
         self.code_object = code_object or parse_binary(symtab)
         self.use_dead_registers = use_dead_registers
         self.interprocedural_liveness = interprocedural_liveness
+        #: optional precomputed-liveness provider (``result_for(fn) ->
+        #: LivenessResult | None``) — a shared, revived-from-store
+        #: :class:`repro.api.Analysis` in the session flows.  Functions
+        #: it does not know fall back to on-demand analysis.
+        self._liveness_provider = liveness
         self._interproc = None
         self.isa = symtab.isa
         if patch_base is None:
@@ -481,6 +487,11 @@ class Patcher:
 
     def _liveness_for(self, fn) -> LivenessResult:
         if fn.entry not in self._liveness:
+            if self._liveness_provider is not None:
+                res = self._liveness_provider.result_for(fn)
+                if res is not None:
+                    self._liveness[fn.entry] = res
+                    return res
             if self.interprocedural_liveness:
                 if self._interproc is None:
                     from ..dataflow.interproc import analyze_interprocedural

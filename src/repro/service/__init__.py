@@ -1,0 +1,37 @@
+"""Instrumentation-as-a-service: a concurrent session server.
+
+The Analysis/BinaryEdit split makes analysis state immutable and the
+artifact store makes it content-addressed; this package serves both
+over a socket so *many processes* — the paper's tool ecosystem scaled
+to a service workload — share one analysis of one binary:
+
+* :class:`~repro.service.server.SessionServer` — a multi-process
+  worker pool behind one ``AF_UNIX`` socket.  Workers share the
+  listening socket (the kernel load-balances ``accept``), so client
+  sessions shard across processes with no dispatcher; every worker
+  revives analyses from the shared content-addressed store
+  (:mod:`repro.artifacts`) and keeps an in-memory cache so its own
+  sessions share one :class:`~repro.api.Analysis` object.
+* :class:`~repro.service.client.ServiceClient` — the client: open a
+  binary, enumerate points, insert snippets, run, rewrite — the
+  ``BinaryEdit`` vocabulary over the wire, with bit-identical results
+  to the in-process API.
+* :mod:`repro.service.protocol` — the length-prefixed JSON protocol
+  both ends speak.
+
+Run a server from the command line::
+
+    python -m repro.service --socket /tmp/repro.sock \
+        --store /tmp/repro-artifacts --workers 4
+
+See docs/SERVICE.md for the protocol reference and store layout.
+"""
+
+from .client import RemoteSession, ServiceClient
+from .protocol import ProtocolError, ServiceError
+from .server import SessionServer
+
+__all__ = [
+    "ProtocolError", "RemoteSession", "ServiceClient", "ServiceError",
+    "SessionServer",
+]

@@ -1,0 +1,49 @@
+"""Run a session server from the command line::
+
+    python -m repro.service --socket /tmp/repro.sock \
+        --store /tmp/repro-artifacts --workers 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+
+from .server import SessionServer
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve concurrent instrumentation sessions over "
+                    "an AF_UNIX socket (see docs/SERVICE.md).")
+    parser.add_argument("--socket", required=True,
+                        help="path for the AF_UNIX listening socket")
+    parser.add_argument("--store", default=None,
+                        help="artifact-store directory (default: "
+                             "$REPRO_ARTIFACTS or ~/.cache/repro)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker processes (0 = serve in-process)")
+    args = parser.parse_args(argv)
+
+    server = SessionServer(args.socket, store=args.store,
+                           workers=args.workers)
+    stop = {"flag": False}
+
+    def _shutdown(signum, frame):
+        stop["flag"] = True
+
+    signal.signal(signal.SIGTERM, _shutdown)
+    signal.signal(signal.SIGINT, _shutdown)
+    with server:
+        root = server.store.root if server.store else "disabled"
+        print(f"repro.service listening on {args.socket} "
+              f"({args.workers} workers, store={root})", flush=True)
+        while not stop["flag"]:
+            signal.pause()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,159 @@
+"""Client for the session service.
+
+:class:`ServiceClient` owns one connection to a
+:class:`~repro.service.server.SessionServer`; :class:`RemoteSession`
+mirrors the :class:`~repro.api.BinaryEdit` vocabulary over the wire::
+
+    with ServiceClient("/tmp/repro.sock") as client:
+        with client.open(elf_bytes) as session:
+            session.allocate("calls")
+            session.insert("fib", "FUNC_ENTRY",
+                           {"kind": "increment", "var": "calls"})
+            result = session.run()
+            print(result["variables"]["calls"])
+
+Server-side failures re-raise as
+:class:`~repro.service.protocol.ServiceError` carrying the original
+exception class name in ``.kind`` — still a
+:class:`~repro.errors.ReproError`, so one catch clause covers remote
+and in-process use alike.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import socket
+import threading
+
+from ..api.options import InstrumentOptions
+from .protocol import (
+    ProtocolError, ServiceError, decode_bytes, encode_bytes,
+    recv_message, send_message,
+)
+
+
+def options_to_wire(options: InstrumentOptions | None) -> dict | None:
+    return dataclasses.asdict(options) if options is not None else None
+
+
+class ServiceClient:
+    """One connection to the session server (thread-safe: requests on
+    a connection serialize through a lock)."""
+
+    def __init__(self, socket_path: str | os.PathLike,
+                 timeout: float | None = 30.0):
+        self.socket_path = os.fspath(socket_path)
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        self._sock.connect(self.socket_path)
+        self._lock = threading.Lock()
+
+    # -- plumbing ----------------------------------------------------------
+
+    def request(self, op: str, **fields) -> dict:
+        """Send one request, wait for its response, unwrap errors."""
+        with self._lock:
+            send_message(self._sock, {"op": op, **fields})
+            resp = recv_message(self._sock)
+        if resp is None:
+            raise ProtocolError("server closed the connection")
+        if not resp.get("ok"):
+            raise ServiceError(resp.get("error", "unknown failure"),
+                               kind=resp.get("kind", "ServiceError"))
+        return resp
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # -- service ops -------------------------------------------------------
+
+    def ping(self) -> dict:
+        """Probe the worker this connection landed on."""
+        return self.request("ping")
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def open(self, source: bytes | str | os.PathLike,
+             options: InstrumentOptions | None = None) -> "RemoteSession":
+        """Open a session for an ELF image (bytes) or path."""
+        if isinstance(source, bytes):
+            resp = self.request("open", elf=encode_bytes(source),
+                                options=options_to_wire(options))
+        else:
+            resp = self.request("open", path=os.fspath(source),
+                                options=options_to_wire(options))
+        return RemoteSession(self, resp)
+
+
+class RemoteSession:
+    """A server-side BinaryEdit, driven over the wire."""
+
+    def __init__(self, client: ServiceClient, opened: dict):
+        self._client = client
+        self.id = opened["session"]
+        #: artifact-store key of the borrowed analysis
+        self.key = opened["key"]
+        #: True when the server revived the analysis from the store
+        self.revived = opened["revived"]
+        self.functions = opened["functions"]
+        self._closed = False
+
+    def _request(self, op: str, **fields) -> dict:
+        return self._client.request(op, session=self.id, **fields)
+
+    def points(self, function: str,
+               point: str = "FUNC_ENTRY") -> list[int]:
+        resp = self._request("points", function=function, point=point)
+        return resp["addresses"]
+
+    def allocate(self, name: str, size: int = 8) -> int:
+        return self._request("allocate", name=name, size=size)["address"]
+
+    def insert(self, function: str, point: str, snippet: dict) -> int:
+        """Queue *snippet* (a wire spec) at every *point* of
+        *function*; returns the number of points instrumented."""
+        resp = self._request("insert", function=function, point=point,
+                             snippet=snippet)
+        return resp["points"]
+
+    def commit(self) -> None:
+        self._request("commit")
+
+    def run(self, max_steps: int | None = None,
+            read: list[str] | None = None) -> dict:
+        """Commit (if needed), load, run; returns the stop event,
+        registers, and all variable values."""
+        return self._request("run", max_steps=max_steps,
+                             read=read or [])
+
+    def rewrite(self) -> bytes:
+        """Static rewriting: the instrumented ELF image."""
+        return decode_bytes(self._request("rewrite")["elf"])
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._request("close")
+
+    def __enter__(self) -> "RemoteSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+__all__ = ["RemoteSession", "ServiceClient", "options_to_wire"]

@@ -1,0 +1,162 @@
+"""The session-service wire protocol.
+
+One connection carries a sequence of request/response pairs.  Every
+message is a JSON object preceded by a 4-byte big-endian length; binary
+payloads (ELF images) travel base64-encoded.  Requests name an ``op``
+and its arguments; responses always carry ``ok`` and either the
+op-specific fields or ``error``/``kind`` describing the failure (the
+server maps :class:`repro.errors.ReproError` subclasses onto ``kind``
+so clients can re-raise meaningfully).
+
+The op vocabulary mirrors the in-process v2 API (see docs/SERVICE.md
+for the full reference):
+
+====================  ====================================================
+``ping``              liveness probe; returns the worker id/pid
+``open``              ELF bytes or path + options -> a session id
+``points``            (function, point type) -> point addresses
+``allocate``          allocate an instrumentation variable
+``insert``            queue a snippet at points (spec format below)
+``commit``            build trampolines/springboards once
+``run``               run instrumented under the simulator; returns the
+                      stop event, registers, and variable values
+``rewrite``           static rewriting; returns the instrumented ELF
+``trace``             run under the event observer; returns a summary
+``close``             end a session
+``stats``             worker/session/artifact-cache statistics
+====================  ====================================================
+
+Snippet specs are small JSON trees (the machine-independent subset a
+remote tool needs)::
+
+    {"kind": "increment", "var": "calls", "step": 1}
+    {"kind": "set",       "var": "flag",  "value": 7}
+    {"kind": "sequence",  "items": [ ... ]}
+
+Variables are named; the session allocates them (``allocate``) before
+snippets reference them.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import socket
+import struct
+
+from ..codegen.snippets import (
+    IncrementVar, Sequence, SetVar, Snippet, Variable,
+)
+from ..errors import ReproError
+
+#: protocol identifier, exchanged in `ping` and checked by clients
+PROTOCOL = "repro.service/1"
+
+#: hard cap on one message (a rewritten ELF fits comfortably)
+MAX_MESSAGE = 64 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+class ProtocolError(ReproError, RuntimeError):
+    """Malformed framing or message content on the service socket."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The server reported a failure for a request.
+
+    ``kind`` carries the server-side exception class name (e.g.
+    ``ApiError``), so clients can dispatch without parsing messages.
+    """
+
+    def __init__(self, message: str, kind: str = "ServiceError"):
+        super().__init__(message)
+        self.kind = kind
+
+
+# -- framing ---------------------------------------------------------------
+
+def send_message(sock: socket.socket, obj: dict) -> None:
+    """Serialize and send one length-prefixed JSON message."""
+    blob = json.dumps(obj, separators=(",", ":")).encode()
+    if len(blob) > MAX_MESSAGE:
+        raise ProtocolError(f"message too large: {len(blob)} bytes")
+    sock.sendall(_LEN.pack(len(blob)) + blob)
+
+
+def recv_message(sock: socket.socket) -> dict | None:
+    """Receive one message; ``None`` on clean EOF at a frame boundary."""
+    header = _recv_exact(sock, _LEN.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_MESSAGE:
+        raise ProtocolError(f"frame length {length} exceeds cap")
+    blob = _recv_exact(sock, length, eof_ok=False)
+    try:
+        obj = json.loads(blob)
+    except ValueError as exc:
+        raise ProtocolError(f"frame is not JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("frame is not a JSON object")
+    return obj
+
+
+def _recv_exact(sock: socket.socket, n: int,
+                *, eof_ok: bool) -> bytes | None:
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            if eof_ok and not buf:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({len(buf)}/{n} bytes)")
+        buf += chunk
+    return bytes(buf)
+
+
+# -- binary payloads -------------------------------------------------------
+
+def encode_bytes(data: bytes) -> str:
+    return base64.b64encode(data).decode("ascii")
+
+
+def decode_bytes(text: str) -> bytes:
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError) as exc:
+        raise ProtocolError(f"bad base64 payload: {exc}") from exc
+
+
+# -- snippet specs ---------------------------------------------------------
+
+def snippet_from_spec(spec: dict,
+                      variables: dict[str, Variable]) -> Snippet:
+    """Build a snippet AST from its wire spec.  *variables* maps the
+    session's allocated names to their :class:`Variable` slots."""
+    if not isinstance(spec, dict) or "kind" not in spec:
+        raise ProtocolError(f"malformed snippet spec: {spec!r}")
+    kind = spec["kind"]
+    try:
+        if kind == "increment":
+            return IncrementVar(variables[spec["var"]],
+                                int(spec.get("step", 1)))
+        if kind == "set":
+            from ..codegen.snippets import Const
+
+            return SetVar(variables[spec["var"]],
+                          Const(int(spec["value"])))
+        if kind == "sequence":
+            return Sequence([snippet_from_spec(s, variables)
+                             for s in spec["items"]])
+    except KeyError as exc:
+        raise ProtocolError(
+            f"snippet spec references unknown variable or field: "
+            f"{exc}") from exc
+    raise ProtocolError(f"unknown snippet kind {kind!r}")
+
+
+def error_response(exc: BaseException) -> dict:
+    return {"ok": False, "error": str(exc),
+            "kind": type(exc).__name__}

@@ -1,0 +1,307 @@
+"""The concurrent session server.
+
+One :class:`SessionServer` owns an ``AF_UNIX`` listening socket and a
+pool of worker *processes* that all ``accept`` on it — the kernel
+load-balances incoming connections, so sessions shard across workers
+with no dispatcher process.  Each worker serves its connections with a
+thread per connection and keeps an in-memory ``{artifact key ->
+Analysis}`` cache: the first session for a binary revives (or computes
+and stores) the analysis via the shared content-addressed store, and
+every later session in that worker borrows the same frozen
+:class:`~repro.api.analysis.Analysis` object.  Sessions landing on
+*other* workers revive from the store — warm-path cost, never a
+re-parse.
+
+``workers=0`` serves in a daemon thread of the calling process — the
+mode tests use (one address space, full introspection) — with the
+identical protocol and dispatch code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import signal
+import socket
+import threading
+
+from .. import telemetry
+from ..api.analysis import Analysis, analyze
+from ..api.bpatch import BinaryEdit
+from ..api.options import InstrumentOptions
+from ..artifacts import ArtifactStore, artifact_key, content_digest
+from ..patch.points import PointType
+from .protocol import (
+    PROTOCOL, ProtocolError, decode_bytes, encode_bytes, error_response,
+    recv_message, send_message, snippet_from_spec,
+)
+
+
+def options_from_wire(data: dict | None) -> InstrumentOptions:
+    """Rebuild an :class:`InstrumentOptions` from its wire dict,
+    rejecting unknown fields loudly."""
+    if not data:
+        return InstrumentOptions()
+    names = {f.name for f in dataclasses.fields(InstrumentOptions)}
+    unknown = sorted(set(data) - names)
+    if unknown:
+        raise ProtocolError(
+            f"unknown InstrumentOptions field(s): {', '.join(unknown)}")
+    return InstrumentOptions(**data)
+
+
+class _Session:
+    """Mutable per-session state: the BinaryEdit and its variables."""
+
+    def __init__(self, edit: BinaryEdit):
+        self.edit = edit
+        self.variables = {}
+
+    def resolve_points(self, req: dict):
+        fn = req["function"]
+        try:
+            ptype = PointType[req.get("point", "FUNC_ENTRY")]
+        except KeyError:
+            raise ProtocolError(
+                f"unknown point type {req.get('point')!r}") from None
+        return self.edit.points(fn, ptype)
+
+
+class SessionServer:
+    """Serve BinaryEdit sessions over an ``AF_UNIX`` socket.
+
+    Parameters
+    ----------
+    socket_path:
+        Filesystem path to bind; unlinked on :meth:`close`.
+    store:
+        Shared :class:`~repro.artifacts.ArtifactStore` (or a path for
+        one).  ``None`` uses the process default.
+    workers:
+        Worker processes to fork.  ``0`` serves from a daemon thread in
+        this process (tests); ``N >= 1`` forks N accept-looping workers
+        sharing the listener.
+    """
+
+    BACKLOG = 64
+
+    def __init__(self, socket_path: str | os.PathLike,
+                 store: ArtifactStore | str | os.PathLike | None = None,
+                 workers: int = 0):
+        self.socket_path = os.fspath(socket_path)
+        if isinstance(store, ArtifactStore):
+            self.store = store
+        elif store is None:
+            self.store = ArtifactStore.default()  # None without env
+        else:
+            self.store = ArtifactStore(store)
+        self.workers = workers
+        self._procs: list[multiprocessing.Process] = []
+        self._thread: threading.Thread | None = None
+        self._closed = False
+        # worker-local state (each forked worker gets its own copies)
+        self._analyses: dict[str, Analysis] = {}
+        self._cache_lock = threading.Lock()
+        self._session_seq = 0
+
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+        self._listener = socket.socket(socket.AF_UNIX,
+                                       socket.SOCK_STREAM)
+        self._listener.bind(self.socket_path)
+        self._listener.listen(self.BACKLOG)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "SessionServer":
+        if self.workers:
+            ctx = multiprocessing.get_context("fork")
+            for idx in range(self.workers):
+                p = ctx.Process(target=self._worker_main, args=(idx,),
+                                daemon=True, name=f"repro-svc-{idx}")
+                p.start()
+                self._procs.append(p)
+        else:
+            self._thread = threading.Thread(
+                target=self._serve_forever, args=(0,), daemon=True,
+                name="repro-svc")
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for p in self._procs:
+            p.terminate()
+        for p in self._procs:
+            p.join(timeout=5)
+        if os.path.exists(self.socket_path):
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "SessionServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # -- worker side -------------------------------------------------------
+
+    def _worker_main(self, worker_id: int) -> None:
+        # the parent may trap SIGTERM/SIGINT for its own shutdown
+        # loop; workers must stay terminable by Process.terminate()
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.SIG_DFL)
+        # fresh post-fork state: caches must not alias the parent's
+        self._analyses = {}
+        self._cache_lock = threading.Lock()
+        self._session_seq = 0
+        self._serve_forever(worker_id)
+
+    def _serve_forever(self, worker_id: int) -> None:
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed: shutdown
+            t = threading.Thread(
+                target=self._serve_connection, args=(conn, worker_id),
+                daemon=True)
+            t.start()
+
+    def _serve_connection(self, conn: socket.socket,
+                          worker_id: int) -> None:
+        sessions: dict[str, _Session] = {}
+        try:
+            while True:
+                try:
+                    req = recv_message(conn)
+                except ProtocolError:
+                    return  # unframeable peer: drop the connection
+                if req is None:
+                    return
+                try:
+                    resp = self._dispatch(req, sessions, worker_id)
+                except ProtocolError as exc:
+                    resp = error_response(exc)
+                except Exception as exc:  # noqa: BLE001 — wire boundary
+                    resp = error_response(exc)
+                try:
+                    send_message(conn, resp)
+                except OSError:
+                    return
+        finally:
+            conn.close()
+
+    # -- request dispatch --------------------------------------------------
+
+    def _dispatch(self, req: dict, sessions: dict[str, _Session],
+                  worker_id: int) -> dict:
+        op = req.get("op")
+        telemetry.current().count(f"service.op.{op}")
+        if op == "ping":
+            return {"ok": True, "protocol": PROTOCOL,
+                    "pid": os.getpid(), "worker": worker_id}
+        if op == "open":
+            return self._op_open(req, sessions)
+        if op == "stats":
+            return {"ok": True, "pid": os.getpid(),
+                    "worker": worker_id,
+                    "sessions": len(sessions),
+                    "analyses": sorted(self._analyses),
+                    "store": (str(self.store.root)
+                              if self.store else None)}
+        if op not in ("points", "allocate", "insert", "commit", "run",
+                      "rewrite", "close"):
+            raise ProtocolError(f"unknown op {op!r}")
+        # every remaining op addresses a session
+        session = sessions.get(req.get("session"))
+        if session is None:
+            raise ProtocolError(
+                f"unknown session {req.get('session')!r}")
+        if op == "points":
+            pts = session.resolve_points(req)
+            return {"ok": True, "addresses": [p.address for p in pts]}
+        if op == "allocate":
+            var = session.edit.allocate_variable(
+                req["name"], int(req.get("size", 8)))
+            session.variables[req["name"]] = var
+            return {"ok": True, "address": var.address}
+        if op == "insert":
+            pts = session.resolve_points(req)
+            snip = snippet_from_spec(req["snippet"], session.variables)
+            session.edit.insert(pts, snip)
+            return {"ok": True, "points": len(pts)}
+        if op == "commit":
+            session.edit.commit()
+            return {"ok": True}
+        if op == "run":
+            return self._op_run(req, session)
+        if op == "rewrite":
+            blob = session.edit.rewrite()
+            return {"ok": True, "elf": encode_bytes(blob)}
+        # op == "close"
+        session.edit.close()
+        del sessions[req["session"]]
+        return {"ok": True}
+
+    def _op_open(self, req: dict,
+                 sessions: dict[str, _Session]) -> dict:
+        if "elf" in req:
+            data = decode_bytes(req["elf"])
+            path = req.get("path")
+        elif "path" in req:
+            path = req["path"]
+            with open(path, "rb") as fh:
+                data = fh.read()
+        else:
+            raise ProtocolError("open needs 'elf' (base64) or 'path'")
+        opts = options_from_wire(req.get("options"))
+        key = artifact_key(content_digest(data), opts.analysis_fields())
+        with self._cache_lock:
+            analysis = self._analyses.get(key)
+        if analysis is None:
+            analysis = analyze(
+                data, opts,
+                store=self.store if self.store is not None else False)
+            with self._cache_lock:
+                analysis = self._analyses.setdefault(key, analysis)
+            telemetry.current().count("service.analyses")
+        source = path if path else "<bytes>"
+        with self._cache_lock:
+            self._session_seq += 1
+            sid = f"s{self._session_seq}"
+        sessions[sid] = _Session(BinaryEdit(analysis, opts))
+        telemetry.current().count("service.sessions")
+        return {"ok": True, "session": sid, "key": analysis.key,
+                "revived": analysis.revived, "source": source,
+                "functions": sorted(
+                    f.name for f in analysis.cfg.functions.values()
+                    if f.name)}
+
+    def _op_run(self, req: dict, session: _Session) -> dict:
+        machine, event = session.edit.run_instrumented(
+            max_steps=req.get("max_steps"))
+        values = {name: session.edit.read_variable(machine, var)
+                  for name, var in session.variables.items()}
+        reads = {}
+        for name in req.get("read", []):
+            var = session.variables.get(name)
+            if var is None:
+                raise ProtocolError(f"unknown variable {name!r}")
+            reads[name] = session.edit.read_variable(machine, var)
+        return {"ok": True, "reason": event.reason.name,
+                "pc": event.pc, "x": list(machine.x),
+                "variables": values, "read": reads}
+
+
+__all__ = ["SessionServer", "options_from_wire"]

@@ -1,11 +1,14 @@
-"""Throughput regression guard over ``BENCH_sim.json``.
+"""Performance regression guard over the benchmark snapshots.
 
-Reads the snapshot written by ``benchmarks/test_sim_throughput.py`` and
-fails when the tiered trace JIT has regressed below the floors::
+Reads ``BENCH_sim.json`` (written by
+``benchmarks/test_sim_throughput.py``) and ``BENCH_service.json``
+(written by ``benchmarks/test_service_bench.py``) and fails when
+either mechanism has regressed below the floors::
 
     python tools/bench_guard.py [--json BENCH_sim.json] [--floor 3.0]
+        [--service-json BENCH_service.json] [--warm-floor 3.0]
 
-Checks, in order:
+Simulator checks, in order:
 
 * the headline ``speedup`` (megatrace tier over the closure
   interpreter) is at or above ``--floor``;
@@ -14,12 +17,22 @@ Checks, in order:
   ran was revived from the snapshot (``persist_loads > 0``, both
   compile counters zero).
 
-The CI floors sit below the benchmark's own acceptance bars (4.5x
-megatrace, 2.0x superblock) on purpose: shared runners are noisy, and
-the guard exists to catch regressions of the *mechanism* — a dropped
-tier, a warm run that silently recompiles — not to re-litigate the
-exact multiplier measured on a quiet host.  Exit status 0 when every
-check passes, 1 otherwise (2 when the snapshot is missing/unreadable).
+Artifact-store / service checks:
+
+* a warm ``analyze()`` (artifact-store revival) is at or above
+  ``--warm-floor`` times faster than a cold one on the matmul fixture;
+* the warm open recomputed nothing: exactly one ``artifacts.hits``
+  counter and **no** ``parse.*`` / ``liveness.*`` telemetry;
+* the session service actually served its concurrent clients
+  (``clients >= 8``, ``sessions_per_sec > 0``).
+
+The sim-tier CI floors sit below the benchmark's own acceptance bars
+(4.5x megatrace, 2.0x superblock) on purpose: shared runners are
+noisy, and the guard exists to catch regressions of the *mechanism* —
+a dropped tier, a warm run that silently recompiles or re-parses — not
+to re-litigate the exact multiplier measured on a quiet host.  Exit
+status 0 when every check passes, 1 otherwise (2 when a snapshot is
+missing/unreadable).
 """
 
 from __future__ import annotations
@@ -33,6 +46,13 @@ from pathlib import Path
 #: benchmark's local acceptance bars)
 MEGATRACE_FLOOR = 3.0
 SUPERBLOCK_FLOOR = 1.6
+
+#: warm analyze() must beat cold by this much (ISSUE 7 acceptance bar;
+#: the revive path does no parsing, so this holds even on noisy hosts)
+WARM_ANALYZE_FLOOR = 3.0
+
+#: the service benchmark must exercise at least this many clients
+MIN_CLIENTS = 8
 
 
 def check(bench: dict, floor: float = MEGATRACE_FLOOR,
@@ -63,6 +83,33 @@ def check(bench: dict, floor: float = MEGATRACE_FLOOR,
     return bad
 
 
+def check_service(bench: dict,
+                  warm_floor: float = WARM_ANALYZE_FLOOR) -> list[str]:
+    """Violated checks for the BENCH_service.json snapshot."""
+    bad: list[str] = []
+    speedup = bench.get("warm_speedup")
+    if not isinstance(speedup, (int, float)):
+        return [f"no usable 'warm_speedup' key in snapshot: {speedup!r}"]
+    if speedup < warm_floor:
+        bad.append(f"warm analyze() only {speedup:.2f}x faster than "
+                   f"cold (floor {warm_floor:.2f}x)")
+    counters = bench.get("warm_counters", {})
+    if counters.get("artifacts.hits") != 1:
+        bad.append("warm open did not hit the artifact store "
+                   f"(warm_counters={counters!r})")
+    recomputed = sorted(n for n in counters
+                        if n.startswith(("parse.", "liveness.")))
+    if recomputed:
+        bad.append("warm open recomputed analysis work: "
+                   + ", ".join(recomputed))
+    if bench.get("clients", 0) < MIN_CLIENTS:
+        bad.append(f"service benchmark ran {bench.get('clients')} "
+                   f"concurrent clients (need >= {MIN_CLIENTS})")
+    if not bench.get("sessions_per_sec"):
+        bad.append("service served no sessions (sessions_per_sec=0)")
+    return bad
+
+
 def main(argv: list[str] | None = None) -> int:
     repo = Path(__file__).resolve().parents[3]
     ap = argparse.ArgumentParser(
@@ -74,6 +121,13 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--superblock-floor", type=float,
                     default=SUPERBLOCK_FLOOR,
                     help="minimum superblock-over-interpreter speedup")
+    ap.add_argument("--service-json",
+                    default=str(repo / "BENCH_service.json"),
+                    help="artifact-store/service snapshot "
+                         "(default: repo BENCH_service.json)")
+    ap.add_argument("--warm-floor", type=float,
+                    default=WARM_ANALYZE_FLOOR,
+                    help="minimum warm-over-cold analyze() speedup")
     args = ap.parse_args(argv)
 
     path = Path(args.json)
@@ -81,6 +135,13 @@ def main(argv: list[str] | None = None) -> int:
         bench = json.loads(path.read_text())
     except (OSError, ValueError) as exc:
         print(f"bench_guard: cannot read {path}: {exc}",
+              file=sys.stderr)
+        return 2
+    service_path = Path(args.service_json)
+    try:
+        service = json.loads(service_path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"bench_guard: cannot read {service_path}: {exc}",
               file=sys.stderr)
         return 2
 
@@ -94,12 +155,22 @@ def main(argv: list[str] | None = None) -> int:
               f"Minstr/s  {speed:5.2f}x  "
               f"(spread {t.get('run_to_run_spread', 0):.1%})")
 
+    print(f"bench_guard: {service.get('benchmark', '?')} "
+          f"(cold {service.get('analyze_cold_s', 0):.4f}s, warm "
+          f"{service.get('analyze_warm_s', 0):.4f}s = "
+          f"{service.get('warm_speedup', 0):.2f}x; "
+          f"{service.get('clients')} clients @ "
+          f"{service.get('sessions_per_sec', 0):.1f} sessions/s)")
+
     bad = check(bench, args.floor, args.superblock_floor)
+    bad += check_service(service, args.warm_floor)
     for msg in bad:
         print(f"bench_guard: FAIL: {msg}", file=sys.stderr)
     if not bad:
         print(f"bench_guard: OK (megatrace {bench['speedup']:.2f}x >= "
-              f"{args.floor:.2f}x floor)")
+              f"{args.floor:.2f}x floor; warm analyze "
+              f"{service['warm_speedup']:.2f}x >= "
+              f"{args.warm_floor:.2f}x floor)")
     return 1 if bad else 0
 
 

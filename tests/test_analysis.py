@@ -1,0 +1,193 @@
+"""The immutable Analysis / mutable BinaryEdit split: analyze(),
+source kinds (including ELF paths), sharing one analysis across
+sessions, and warm revival equivalence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.api import (
+    Analysis, AnalysisMismatchError, ApiError, BinaryEdit,
+    InstrumentOptions, analyze, open_binary,
+)
+from repro.artifacts import ArtifactStore
+from repro.codegen.snippets import IncrementVar
+from repro.elf.writer import write_program
+from repro.minicc import compile_source
+from repro.minicc.workloads import fib_source
+from repro.patch.points import PointType
+from repro.sim.machine import StopReason
+from repro.symtab.symtab import Symtab
+
+
+@pytest.fixture(scope="module")
+def fib_prog():
+    return compile_source(fib_source(8))
+
+
+@pytest.fixture(scope="module")
+def fib_elf(fib_prog):
+    return write_program(fib_prog)
+
+
+def _instrument_and_run(edit):
+    c = edit.allocate_variable("calls")
+    edit.insert(edit.points("fib", PointType.FUNC_ENTRY),
+                IncrementVar(c))
+    m, ev = edit.run_instrumented()
+    return ev.reason, list(m.x), edit.read_variable(m, c)
+
+
+class TestSourceKinds:
+    def test_bytes_program_symtab_agree(self, fib_prog, fib_elf):
+        kinds = [fib_elf, fib_prog, Symtab.from_program(fib_prog)]
+        entries = [sorted(analyze(k, store=False).cfg.functions)
+                   for k in kinds]
+        assert entries[0] == entries[1] == entries[2]
+
+    def test_path_source(self, fib_elf, tmp_path):
+        p = tmp_path / "mutatee.elf"
+        p.write_bytes(fib_elf)
+        for source in (str(p), p):  # str and PathLike
+            a = analyze(source, store=False)
+            assert a.source_path == str(p)
+            assert a.function("fib").name == "fib"
+
+    def test_path_reaches_open_binary(self, fib_elf, tmp_path):
+        p = tmp_path / "mutatee.elf"
+        p.write_bytes(fib_elf)
+        with open_binary(p) as edit:
+            reason, _, calls = _instrument_and_run(edit)
+        assert reason is StopReason.EXITED and calls == 67
+
+    def test_path_threads_into_store_metadata(self, fib_elf, tmp_path):
+        p = tmp_path / "mutatee.elf"
+        p.write_bytes(fib_elf)
+        store = ArtifactStore(tmp_path / "store")
+        a = analyze(p, store=store)
+        assert store.meta(a.key)["source_paths"] == [str(p)]
+        # a second path to the same bytes accumulates, same key
+        q = tmp_path / "copy.elf"
+        q.write_bytes(fib_elf)
+        store.evict(a.key)
+        analyze(p, store=store)
+        b = analyze(q, store=store)
+        assert b.key == a.key
+
+    def test_missing_path_is_clear(self, tmp_path):
+        with pytest.raises(ApiError, match="cannot read ELF"):
+            analyze(tmp_path / "nope.elf", store=False)
+
+    def test_bad_source_lists_accepted_kinds(self):
+        with pytest.raises(ApiError, match=r"bytes, Program, Symtab"):
+            analyze(12345, store=False)
+        with pytest.raises(ApiError, match=r"ELF path"):
+            open_binary(object())
+
+
+class TestAnalysisObject:
+    def test_immutable(self, fib_prog):
+        a = analyze(fib_prog, store=False)
+        with pytest.raises(AttributeError, match="immutable"):
+            a.cfg = None
+        with pytest.raises(AttributeError, match="immutable"):
+            a.new_field = 1
+
+    def test_liveness_provider_protocol(self, fib_prog):
+        a = analyze(fib_prog, store=False)
+        fib = a.function("fib")
+        res = a.result_for(fib)
+        assert res is not None
+        assert a.liveness_for(fib) is res
+
+    def test_unknown_function_raises(self, fib_prog):
+        a = analyze(fib_prog, store=False)
+        with pytest.raises(ApiError, match="no function"):
+            a.function("nope")
+
+
+class TestBinaryEditBorrows:
+    def test_edit_borrows_not_copies(self, fib_prog):
+        a = analyze(fib_prog, store=False)
+        edit = BinaryEdit(a)
+        assert edit.analysis is a
+        assert edit.cfg is a.cfg
+        assert edit.symtab is a.symtab
+
+    def test_shared_analysis_across_sessions(self, fib_prog):
+        """N sessions borrow one Analysis; each gets independent patch
+        state and identical results."""
+        a = analyze(fib_prog, store=False)
+        results = []
+        for _ in range(3):
+            with BinaryEdit(a) as edit:
+                results.append(_instrument_and_run(edit))
+        assert results[0] == results[1] == results[2]
+        assert results[0][0] is StopReason.EXITED
+        assert results[0][2] == 67
+
+    def test_session_options_may_differ(self, fib_prog):
+        a = analyze(fib_prog, store=False)
+        edit = BinaryEdit(a, InstrumentOptions(
+            use_dead_registers=False, patch_base=0x4000_0000))
+        assert edit._patcher.data_base == 0x4000_0000
+        reason, _, calls = _instrument_and_run(edit)
+        assert reason is StopReason.EXITED and calls == 67
+
+    def test_analysis_options_must_match(self, fib_prog):
+        a = analyze(fib_prog, store=False)
+        with pytest.raises(AnalysisMismatchError, match="analyze"):
+            BinaryEdit(a, InstrumentOptions(gap_parsing=False))
+
+    def test_open_binary_accepts_analysis(self, fib_prog):
+        a = analyze(fib_prog, store=False)
+        with open_binary(a) as edit:
+            assert edit.analysis is a
+
+
+class TestWarmEquivalence:
+    def test_revived_analysis_is_bit_identical(self, fib_elf, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        cold = analyze(fib_elf, store=store)
+        with telemetry.enabled() as rec:
+            warm = analyze(fib_elf, store=store)
+        snap = rec.snapshot()
+        assert warm.revived
+        assert snap["counters"].get("artifacts.hits") == 1
+        assert not any(n.startswith("parse.") for n in snap["spans"])
+
+        with BinaryEdit(cold) as e1, BinaryEdit(warm) as e2:
+            assert _instrument_and_run(e1) == _instrument_and_run(e2)
+
+    def test_revived_cfg_matches_structurally(self, fib_elf, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        cold = analyze(fib_elf, store=store)
+        warm = analyze(fib_elf, store=store)
+        for entry, fn in cold.cfg.functions.items():
+            wfn = warm.cfg.functions[entry]
+            assert wfn.name == fn.name
+            assert sorted(wfn.blocks) == sorted(fn.blocks)
+            for start, blk in fn.blocks.items():
+                wblk = wfn.blocks[start]
+                assert len(wblk.insns) == len(blk.insns)
+                assert wblk.end == blk.end
+        for fn in cold.cfg.functions.values():
+            c = cold.result_for(fn)
+            w = warm.result_for(warm.cfg.functions[fn.entry])
+            for blk in fn.blocks.values():
+                for insn in blk.insns:
+                    assert c.live_before(insn.address) == \
+                        w.live_before(insn.address)
+
+    def test_interproc_revival(self, fib_elf, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        opts = InstrumentOptions(interprocedural_liveness=True)
+        cold = analyze(fib_elf, opts, store=store)
+        with telemetry.enabled() as rec:
+            warm = analyze(fib_elf, opts, store=store)
+        assert warm.revived
+        counters = rec.snapshot()["counters"]
+        assert not any(n.startswith("liveness.") for n in counters)
+        with BinaryEdit(cold, opts) as e1, BinaryEdit(warm, opts) as e2:
+            assert _instrument_and_run(e1) == _instrument_and_run(e2)

@@ -58,32 +58,27 @@ class TestInstrumentOptions:
         assert edit.functions()  # symbol-driven parse still works
 
 
-class TestDeprecationShims:
-    def test_legacy_open_binary_kwarg_warns_and_works(self, fib_prog):
-        with pytest.warns(DeprecationWarning, match="gap_parsing"):
-            edit = open_binary(fib_prog, gap_parsing=False)
-        assert edit.options.gap_parsing is False
+class TestLegacyKwargRemoval:
+    """The v1 boolean keywords finished their deprecation cycle: they
+    now raise ApiError with a migration hint instead of warning."""
 
-    def test_legacy_binary_edit_kwargs(self, fib_prog):
+    def test_legacy_open_binary_kwarg_raises(self, fib_prog):
+        with pytest.raises(ApiError, match="gap_parsing"):
+            open_binary(fib_prog, gap_parsing=False)
+
+    def test_legacy_binary_edit_kwargs_raise(self, fib_prog):
         st = Symtab.from_program(fib_prog)
-        with pytest.warns(DeprecationWarning, match="use_dead_registers"):
-            edit = BinaryEdit(st, use_dead_registers=False,
-                              patch_base=0x4000_0000)
-        assert edit.options.use_dead_registers is False
-        assert edit.options.patch_base == 0x4000_0000
+        with pytest.raises(ApiError, match="use_dead_registers"):
+            BinaryEdit(st, use_dead_registers=False,
+                       patch_base=0x4000_0000)
 
-    def test_legacy_call_form_still_instruments(self, fib_prog):
-        with pytest.warns(DeprecationWarning):
-            edit = open_binary(fib_prog, gap_parsing=True)
-        c = edit.allocate_variable("c")
-        edit.insert(edit.points("fib", PointType.FUNC_ENTRY),
-                    IncrementVar(c))
-        m, ev = edit.run_instrumented()
-        assert ev.reason is StopReason.EXITED
-        assert edit.read_variable(m, c) == 67
+    def test_error_carries_the_migration_hint(self, fib_prog):
+        with pytest.raises(ApiError,
+                           match=r"InstrumentOptions\(gap_parsing=") :
+            open_binary(fib_prog, gap_parsing=True)
 
-    def test_options_plus_legacy_kwarg_conflict(self, fib_prog):
-        with pytest.raises(ApiError, match="not both"):
+    def test_options_plus_legacy_kwarg_still_rejected(self, fib_prog):
+        with pytest.raises(ApiError, match="legacy keyword"):
             open_binary(fib_prog, InstrumentOptions(),
                         gap_parsing=False)
 

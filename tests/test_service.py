@@ -1,0 +1,244 @@
+"""The session service: wire protocol, dispatch, error mapping, and —
+the acceptance bar — 8 concurrent clients against one shared Analysis
+producing bit-identical results to the in-process API."""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+
+import pytest
+
+from repro.api import open_binary
+from repro.codegen.snippets import IncrementVar, Variable
+from repro.elf.writer import write_program
+from repro.minicc import compile_source
+from repro.minicc.workloads import fib_source
+from repro.patch.points import PointType
+from repro.service import (
+    ProtocolError, ServiceClient, ServiceError, SessionServer,
+)
+from repro.service.protocol import (
+    recv_message, send_message, snippet_from_spec,
+)
+from repro.service.server import options_from_wire
+from repro.sim.machine import StopReason
+
+
+@pytest.fixture(scope="module")
+def fib_elf():
+    return write_program(compile_source(fib_source(8)))
+
+
+@pytest.fixture(scope="module")
+def reference(fib_elf):
+    """In-process result the service must reproduce bit-identically."""
+    edit = open_binary(fib_elf)
+    c = edit.allocate_variable("calls")
+    edit.insert(edit.points("fib", PointType.FUNC_ENTRY),
+                IncrementVar(c))
+    m, ev = edit.run_instrumented()
+    assert ev.reason is StopReason.EXITED
+    return {"reason": ev.reason.name, "x": list(m.x),
+            "calls": edit.read_variable(m, c),
+            "rewritten": edit.rewrite()}
+
+
+@pytest.fixture()
+def server(fib_elf, tmp_path):
+    sock = os.fspath(tmp_path / "svc.sock")
+    with SessionServer(sock, store=tmp_path / "store",
+                       workers=0) as srv:
+        yield srv
+
+
+def _session_cycle(client, elf):
+    with client.open(elf) as s:
+        s.allocate("calls")
+        s.insert("fib", "FUNC_ENTRY",
+                 {"kind": "increment", "var": "calls"})
+        r = s.run()
+        return {"reason": r["reason"], "x": r["x"],
+                "calls": r["variables"]["calls"]}
+
+
+class TestProtocol:
+    def test_framing_round_trip(self):
+        a, b = socket.socketpair()
+        try:
+            send_message(a, {"op": "ping", "n": 7})
+            assert recv_message(b) == {"op": "ping", "n": 7}
+            a.close()
+            assert recv_message(b) is None  # clean EOF
+        finally:
+            b.close()
+
+    def test_mid_frame_eof_is_an_error(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(b"\x00\x00\x01\x00partial")
+            a.close()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                recv_message(b)
+        finally:
+            b.close()
+
+    def test_non_json_frame_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(b"\x00\x00\x00\x04abcd")
+            with pytest.raises(ProtocolError, match="not JSON"):
+                recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_snippet_specs(self):
+        v = {"calls": Variable("calls", 0x1000)}
+        snip = snippet_from_spec(
+            {"kind": "sequence", "items": [
+                {"kind": "increment", "var": "calls", "step": 2},
+                {"kind": "set", "var": "calls", "value": 9}]}, v)
+        assert len(snip.items) == 2
+        with pytest.raises(ProtocolError, match="unknown snippet"):
+            snippet_from_spec({"kind": "launch_missiles"}, v)
+        with pytest.raises(ProtocolError, match="unknown variable"):
+            snippet_from_spec({"kind": "increment", "var": "nope"}, v)
+
+    def test_options_from_wire_rejects_unknown_fields(self):
+        opts = options_from_wire({"gap_parsing": False})
+        assert opts.gap_parsing is False
+        with pytest.raises(ProtocolError, match="unknown"):
+            options_from_wire({"gap_parsing": False, "turbo": True})
+
+
+class TestSingleClient:
+    def test_ping(self, server):
+        with ServiceClient(server.socket_path) as cl:
+            resp = cl.ping()
+            assert resp["protocol"] == "repro.service/1"
+            assert resp["pid"] == os.getpid()  # workers=0: in-process
+
+    def test_full_cycle_matches_in_process(self, server, fib_elf,
+                                           reference):
+        with ServiceClient(server.socket_path) as cl:
+            got = _session_cycle(cl, fib_elf)
+        assert got["reason"] == reference["reason"]
+        assert got["x"] == reference["x"]
+        assert got["calls"] == reference["calls"]
+
+    def test_points_and_functions(self, server, fib_elf):
+        with ServiceClient(server.socket_path) as cl, \
+                cl.open(fib_elf) as s:
+            assert "fib" in s.functions
+            addrs = s.points("fib", "FUNC_ENTRY")
+            assert len(addrs) == 1
+
+    def test_rewrite_matches_in_process(self, server, fib_elf,
+                                        reference):
+        with ServiceClient(server.socket_path) as cl, \
+                cl.open(fib_elf) as s:
+            s.allocate("calls")
+            s.insert("fib", "FUNC_ENTRY",
+                     {"kind": "increment", "var": "calls"})
+            assert s.rewrite() == reference["rewritten"]
+
+    def test_open_by_path(self, server, fib_elf, tmp_path):
+        p = tmp_path / "mutatee.elf"
+        p.write_bytes(fib_elf)
+        with ServiceClient(server.socket_path) as cl, \
+                cl.open(p) as s:
+            assert "fib" in s.functions
+
+    def test_second_open_shares_the_analysis(self, server, fib_elf):
+        with ServiceClient(server.socket_path) as cl:
+            with cl.open(fib_elf) as s1, cl.open(fib_elf) as s2:
+                assert s1.key == s2.key
+                assert s1.id != s2.id
+            stats = cl.stats()
+            assert stats["analyses"] == [s1.key]
+
+
+class TestErrorMapping:
+    def test_server_errors_carry_their_kind(self, server, fib_elf):
+        with ServiceClient(server.socket_path) as cl, \
+                cl.open(fib_elf) as s:
+            with pytest.raises(ServiceError, match="no function") as ei:
+                s.points("no_such_fn")
+            assert ei.value.kind == "ApiError"
+
+    def test_unknown_session(self, server):
+        with ServiceClient(server.socket_path) as cl:
+            with pytest.raises(ServiceError, match="unknown session"):
+                cl.request("commit", session="s999")
+
+    def test_unknown_op(self, server):
+        with ServiceClient(server.socket_path) as cl:
+            with pytest.raises(ServiceError, match="unknown op"):
+                cl.request("frobnicate")
+
+    def test_bad_elf_maps_to_api_error(self, server):
+        with ServiceClient(server.socket_path) as cl:
+            with pytest.raises(ServiceError) as ei:
+                cl.open(b"not an elf")
+            assert ei.value.kind in ("ApiError", "ElfFormatError")
+
+    def test_connection_survives_errors(self, server, fib_elf,
+                                        reference):
+        with ServiceClient(server.socket_path) as cl:
+            with pytest.raises(ServiceError):
+                cl.request("frobnicate")
+            # same connection still serves a full session
+            got = _session_cycle(cl, fib_elf)
+            assert got["calls"] == reference["calls"]
+
+
+class TestConcurrentClients:
+    CLIENTS = 8
+
+    def _hammer(self, sock_path, fib_elf):
+        results, errors = [], []
+
+        def one():
+            try:
+                with ServiceClient(sock_path) as cl:
+                    results.append(_session_cycle(cl, fib_elf))
+            except Exception as exc:  # noqa: BLE001 — surfaced below
+                errors.append(repr(exc))
+
+        threads = [threading.Thread(target=one)
+                   for _ in range(self.CLIENTS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        return results
+
+    def test_8_clients_one_shared_analysis(self, server, fib_elf,
+                                           reference):
+        """workers=0: one address space, so all 8 sessions literally
+        borrow one Analysis object — and every result is bit-identical
+        to the in-process API."""
+        results = self._hammer(server.socket_path, fib_elf)
+        assert len(results) == self.CLIENTS
+        for got in results:
+            assert got["reason"] == reference["reason"]
+            assert got["x"] == reference["x"]
+            assert got["calls"] == reference["calls"]
+        with ServiceClient(server.socket_path) as cl:
+            assert len(cl.stats()["analyses"]) == 1
+
+    def test_8_clients_across_worker_processes(self, fib_elf, tmp_path,
+                                               reference):
+        """workers=2: sessions shard across processes; workers share
+        the analysis through the content-addressed store."""
+        sock = os.fspath(tmp_path / "mp.sock")
+        with SessionServer(sock, store=tmp_path / "store", workers=2):
+            results = self._hammer(sock, fib_elf)
+        assert len(results) == self.CLIENTS
+        for got in results:
+            assert got["reason"] == reference["reason"]
+            assert got["x"] == reference["x"]
+            assert got["calls"] == reference["calls"]

@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
-"""Repository shim for the throughput regression guard.
+"""Repository shim for the performance regression guard.
 
 Runs :mod:`repro.tools.bench_guard` from a source checkout without
 needing ``PYTHONPATH=src``::
 
     python tools/bench_guard.py [--json BENCH_sim.json] [--floor 3.0]
+        [--service-json BENCH_service.json] [--warm-floor 3.0]
 """
 
 import sys

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Out-of-process smoke test for the session service.
+
+Starts a real server (``python -m repro.service``) as a subprocess,
+then runs N concurrent clients through the full instrument-and-run
+cycle against one shared binary, checking every result bit-identical
+to the in-process API::
+
+    python tools/service_smoke.py [--clients 8] [--workers 2]
+
+Exit status 0 when every client matched; 1 otherwise.  This is the CI
+job's proof that the service boots from the CLI, shards sessions
+across forked workers, and agrees with :func:`repro.api.open_binary`
+— the pytest suites cover the same properties in-process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.api import open_binary  # noqa: E402
+from repro.codegen.snippets import IncrementVar  # noqa: E402
+from repro.elf.writer import write_program  # noqa: E402
+from repro.minicc import compile_source  # noqa: E402
+from repro.minicc.workloads import fib_source  # noqa: E402
+from repro.patch.points import PointType  # noqa: E402
+from repro.service import ServiceClient  # noqa: E402
+
+
+def wait_for_socket(path: str, timeout: float = 15.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if os.path.exists(path):
+            try:
+                ServiceClient(path, timeout=2.0).close()
+                return
+            except OSError:
+                pass
+        time.sleep(0.05)
+    raise TimeoutError(f"server socket {path} never came up")
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        description="boot a service subprocess, hammer it with "
+                    "concurrent clients, compare to in-process results")
+    ap.add_argument("--clients", type=int, default=8)
+    ap.add_argument("--workers", type=int, default=2)
+    args = ap.parse_args(argv)
+
+    elf = write_program(compile_source(fib_source(8)))
+
+    edit = open_binary(elf)
+    c = edit.allocate_variable("calls")
+    edit.insert(edit.points("fib", PointType.FUNC_ENTRY),
+                IncrementVar(c))
+    m, ev = edit.run_instrumented()
+    reference = (ev.reason.name, list(m.x), edit.read_variable(m, c))
+    print(f"in-process reference: {reference[0]}, "
+          f"calls={reference[2]}")
+
+    with tempfile.TemporaryDirectory() as td:
+        sock = os.path.join(td, "svc.sock")
+        env = dict(os.environ,
+                   PYTHONPATH=str(REPO / "src"))
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro.service",
+             "--socket", sock, "--store", os.path.join(td, "store"),
+             "--workers", str(args.workers)],
+            env=env)
+        try:
+            wait_for_socket(sock)
+            results, errors = [], []
+
+            def one_client(i: int) -> None:
+                try:
+                    with ServiceClient(sock) as cl, cl.open(elf) as s:
+                        s.allocate("calls")
+                        s.insert("fib", "FUNC_ENTRY",
+                                 {"kind": "increment", "var": "calls"})
+                        r = s.run()
+                        results.append(
+                            (i, cl.ping()["pid"], r["reason"],
+                             r["x"], r["variables"]["calls"]))
+                except Exception as exc:  # noqa: BLE001 — reported
+                    errors.append(f"client {i}: {exc!r}")
+
+            t0 = time.perf_counter()
+            threads = [threading.Thread(target=one_client, args=(i,))
+                       for i in range(args.clients)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            wall = time.perf_counter() - t0
+        finally:
+            server.terminate()
+            server.wait(timeout=10)
+
+    for msg in errors:
+        print(f"service_smoke: FAIL: {msg}", file=sys.stderr)
+    bad = 0
+    pids = set()
+    for i, pid, reason, x, calls in results:
+        pids.add(pid)
+        if (reason, x, calls) != reference:
+            print(f"service_smoke: FAIL: client {i} diverged "
+                  f"(reason={reason}, calls={calls})", file=sys.stderr)
+            bad += 1
+    if errors or bad or len(results) != args.clients:
+        return 1
+    print(f"service_smoke: OK — {args.clients} clients across "
+          f"{len(pids)} worker pid(s) in {wall:.2f}s, all "
+          f"bit-identical to in-process")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
