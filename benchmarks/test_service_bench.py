@@ -11,7 +11,11 @@ repository root (consumed by ``tools/bench_guard.py`` in CI):
 * **sessions/sec** — a 4-worker :class:`~repro.service.SessionServer`
   under 8 concurrent clients, each running the full open -> allocate ->
   insert -> run -> close cycle against one shared binary, with every
-  result checked bit-identical to the in-process API.
+  result checked bit-identical to the in-process API.  Measured twice:
+  metrics plane off (the zero-cost-when-unobserved configuration the
+  bench_guard floors assume) and armed (per-worker recorders + flush
+  files + request tracing), recording the observed-mode ratio as the
+  observability plane's ablation.
 
 Also writes the paper-style table to
 ``benchmarks/results/service_bench.txt``.
@@ -111,36 +115,48 @@ def test_service_benchmark(record):
 
         # -- sessions/sec: 8 concurrent clients, 4 workers --------------
         sock = os.path.join(td, "svc.sock")
-        results, errors = [], []
 
-        def one_client():
-            try:
-                with ServiceClient(sock) as cl, cl.open(elf) as s:
-                    s.allocate("calls")
-                    s.insert("main", "FUNC_ENTRY",
-                             {"kind": "increment", "var": "calls"})
-                    r = s.run()
-                    results.append(
-                        (r["reason"], r["x"], r["variables"]["calls"]))
-            except Exception as exc:  # noqa: BLE001 — surfaced below
-                errors.append(repr(exc))
+        def hammer(**server_kw):
+            results, errors = [], []
 
-        with SessionServer(sock, store=ArtifactStore(store_dir),
-                           workers=WORKERS):
-            threads = [threading.Thread(target=one_client)
-                       for _ in range(CLIENTS)]
-            t0 = time.perf_counter()
-            for t in threads:
-                t.start()
-            for t in threads:
-                t.join()
-            wall = time.perf_counter() - t0
+            def one_client():
+                try:
+                    with ServiceClient(sock) as cl, cl.open(elf) as s:
+                        s.allocate("calls")
+                        s.insert("main", "FUNC_ENTRY",
+                                 {"kind": "increment", "var": "calls"})
+                        r = s.run()
+                        results.append(
+                            (r["reason"], r["x"],
+                             r["variables"]["calls"]))
+                except Exception as exc:  # noqa: BLE001 — surfaced
+                    errors.append(repr(exc))
 
-        assert not errors, errors
-        assert len(results) == CLIENTS
-        for got in results:
-            assert got == list(reference) or tuple(got) == reference
+            with SessionServer(sock, store=ArtifactStore(store_dir),
+                               workers=WORKERS, **server_kw):
+                threads = [threading.Thread(target=one_client)
+                           for _ in range(CLIENTS)]
+                t0 = time.perf_counter()
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                wall = time.perf_counter() - t0
+            assert not errors, errors
+            assert len(results) == CLIENTS
+            for got in results:
+                assert got == list(reference) or tuple(got) == reference
+            return wall
+
+        # unobserved: the configuration the bench_guard floor holds for
+        wall = hammer()
         sessions_per_sec = CLIENTS / wall
+        # observed: metrics plane armed (per-worker recorders, request
+        # tracing, periodic flushes) — the observability ablation
+        wall_observed = hammer(
+            metrics_dir=os.path.join(td, "metrics"),
+            flush_interval=0.5)
+        sessions_per_sec_observed = CLIENTS / wall_observed
 
         lines = [
             "Artifact store + session service "
@@ -158,6 +174,10 @@ def test_service_benchmark(record):
             f"service: {CLIENTS} concurrent clients / {WORKERS} "
             f"workers: {sessions_per_sec:.1f} sessions/s "
             f"({wall:.2f}s wall), all bit-identical to in-process",
+            f"observed (metrics armed): "
+            f"{sessions_per_sec_observed:.1f} sessions/s "
+            f"({wall_observed:.2f}s wall, "
+            f"{wall_observed / wall:.2f}x unobserved wall)",
         ]
         record("service_bench", "\n".join(lines) + "\n")
 
@@ -176,6 +196,11 @@ def test_service_benchmark(record):
             "workers": WORKERS,
             "sessions_per_sec": round(sessions_per_sec, 2),
             "service_wall_s": round(wall, 3),
+            # observability-plane ablation (not a guarded floor: the
+            # armed path pays recorder locks + flush files by design)
+            "sessions_per_sec_observed":
+                round(sessions_per_sec_observed, 2),
+            "service_wall_observed_s": round(wall_observed, 3),
         }, indent=2) + "\n")
 
     # acceptance bar: warm open >= 3x cold (ISSUE 7 criterion)

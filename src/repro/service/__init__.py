@@ -19,12 +19,24 @@ to a service workload — share one analysis of one binary:
 * :mod:`repro.service.protocol` — the length-prefixed JSON protocol
   both ends speak.
 
+The server also carries an opt-in observability plane (armed with
+``metrics_dir=`` / ``--metrics-dir`` / ``REPRO_SERVICE_METRICS``):
+request ids and client trace contexts on every response, per-op
+latency histograms, a slow-request ring linked to pipeline counter
+deltas, periodic per-worker snapshot flushes merged fleet-wide by the
+``metrics`` op (JSON and Prometheus exposition), a ``healthz`` op,
+and structured JSON request logs (``REPRO_SERVICE_LOG``).  The live
+console over it is ``tools/repro_top.py``.  Unobserved servers record
+nothing.
+
 Run a server from the command line::
 
     python -m repro.service --socket /tmp/repro.sock \
-        --store /tmp/repro-artifacts --workers 4
+        --store /tmp/repro-artifacts --workers 4 \
+        --metrics-dir /tmp/repro-metrics
 
-See docs/SERVICE.md for the protocol reference and store layout.
+See docs/SERVICE.md for the protocol reference, store layout, and the
+monitoring guide.
 """
 
 from .client import RemoteSession, ServiceClient

@@ -1,7 +1,14 @@
 """Run a session server from the command line::
 
     python -m repro.service --socket /tmp/repro.sock \
-        --store /tmp/repro-artifacts --workers 4
+        --store /tmp/repro-artifacts --workers 4 \
+        --metrics-dir /tmp/repro-metrics --log /tmp/repro-svc.log
+
+``--metrics-dir`` (or ``REPRO_SERVICE_METRICS``) arms the
+observability plane: per-worker snapshot flushes, the ``metrics`` /
+``healthz`` protocol ops, and ``tools/repro_top.py`` as the live
+console.  ``--log`` (or ``REPRO_SERVICE_LOG``) emits one structured
+JSON line per request.
 """
 
 from __future__ import annotations
@@ -25,10 +32,29 @@ def main(argv: list[str] | None = None) -> int:
                              "$REPRO_ARTIFACTS or ~/.cache/repro)")
     parser.add_argument("--workers", type=int, default=4,
                         help="worker processes (0 = serve in-process)")
+    parser.add_argument("--metrics-dir", default=None,
+                        help="run directory for per-worker metric "
+                             "snapshot flushes; arms the metrics/"
+                             "healthz ops (default: "
+                             "$REPRO_SERVICE_METRICS, unset = off)")
+    parser.add_argument("--flush-interval", type=float, default=2.0,
+                        help="seconds between worker snapshot flushes")
+    parser.add_argument("--slow-us", type=float, default=None,
+                        help="slow-request ring threshold in "
+                             "microseconds (default: "
+                             "$REPRO_SERVICE_SLOW_US or 10000)")
+    parser.add_argument("--log", default=None,
+                        help="structured JSON request log: a file "
+                             "path, or 'stderr' (default: "
+                             "$REPRO_SERVICE_LOG, unset = off)")
     args = parser.parse_args(argv)
 
     server = SessionServer(args.socket, store=args.store,
-                           workers=args.workers)
+                           workers=args.workers,
+                           metrics_dir=args.metrics_dir,
+                           flush_interval=args.flush_interval,
+                           slow_threshold_us=args.slow_us,
+                           log=args.log)
     stop = {"flag": False}
 
     def _shutdown(signum, frame):
@@ -38,8 +64,10 @@ def main(argv: list[str] | None = None) -> int:
     signal.signal(signal.SIGINT, _shutdown)
     with server:
         root = server.store.root if server.store else "disabled"
+        metrics = server.metrics_dir or "off"
         print(f"repro.service listening on {args.socket} "
-              f"({args.workers} workers, store={root})", flush=True)
+              f"({args.workers} workers, store={root}, "
+              f"metrics={metrics})", flush=True)
         while not stop["flag"]:
             signal.pause()
     return 0

@@ -39,11 +39,24 @@ def options_to_wire(options: InstrumentOptions | None) -> dict | None:
 
 class ServiceClient:
     """One connection to the session server (thread-safe: requests on
-    a connection serialize through a lock)."""
+    a connection serialize through a lock).
+
+    *trace* is an optional client-side trace context (any short
+    string — a request id from an outer system, a tenant tag...).  It
+    is attached to every request, echoed back by the server, and
+    stamped onto the server's structured request log and slow-request
+    ring, so an operator can grep one client's requests across the
+    worker fleet.  The server's own per-request id arrives on every
+    response and is kept in :attr:`last_rid`.
+    """
 
     def __init__(self, socket_path: str | os.PathLike,
-                 timeout: float | None = 30.0):
+                 timeout: float | None = 30.0,
+                 trace: str | None = None):
         self.socket_path = os.fspath(socket_path)
+        self.trace = trace
+        #: request id of the most recent response (server-assigned)
+        self.last_rid: str | None = None
         self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         if timeout is not None:
             self._sock.settimeout(timeout)
@@ -54,11 +67,14 @@ class ServiceClient:
 
     def request(self, op: str, **fields) -> dict:
         """Send one request, wait for its response, unwrap errors."""
+        if self.trace is not None and "trace" not in fields:
+            fields["trace"] = self.trace
         with self._lock:
             send_message(self._sock, {"op": op, **fields})
             resp = recv_message(self._sock)
         if resp is None:
             raise ProtocolError("server closed the connection")
+        self.last_rid = resp.get("rid")
         if not resp.get("ok"):
             raise ServiceError(resp.get("error", "unknown failure"),
                                kind=resp.get("kind", "ServiceError"))
@@ -84,7 +100,21 @@ class ServiceClient:
         return self.request("ping")
 
     def stats(self) -> dict:
+        """Statistics for the worker this connection landed on —
+        per-accepting-worker only; use :meth:`metrics` for the fleet
+        view."""
         return self.request("stats")
+
+    def metrics(self) -> dict:
+        """Fleet-wide metrics: the merged snapshot (counters summed,
+        histograms bucket-wise merged, gauges last-write), per-worker
+        snapshots, the slow-request ring, and Prometheus exposition
+        text.  ``tools/repro_top.py`` renders this live."""
+        return self.request("metrics")
+
+    def healthz(self) -> dict:
+        """Worker liveness / session-count report."""
+        return self.request("healthz")
 
     def open(self, source: bytes | str | os.PathLike,
              options: InstrumentOptions | None = None) -> "RemoteSession":

@@ -23,8 +23,16 @@ for the full reference):
 ``rewrite``           static rewriting; returns the instrumented ELF
 ``trace``             run under the event observer; returns a summary
 ``close``             end a session
-``stats``             worker/session/artifact-cache statistics
+``stats``             per-accepting-worker statistics + live telemetry
+``metrics``           fleet-wide merged snapshot, per-worker snapshots,
+                      slow-request ring, Prometheus exposition text
+``healthz``           worker liveness / session-count report
 ====================  ====================================================
+
+Every request may carry an optional ``trace`` field (a client-side
+trace context string); the server echoes it on the response and stamps
+it onto its structured request log.  Every response carries ``rid``,
+the server-assigned request id (``w<worker>-<seq>``).
 
 Snippet specs are small JSON trees (the machine-independent subset a
 remote tool needs)::

@@ -15,16 +15,44 @@ re-parse.
 ``workers=0`` serves in a daemon thread of the calling process — the
 mode tests use (one address space, full introspection) — with the
 identical protocol and dispatch code.
+
+Observability plane (docs/SERVICE.md, "Monitoring the service"):
+
+* every request gets a request id (``w<worker>-<seq>``, echoed as
+  ``rid``) and may carry a client-propagated ``trace`` context that is
+  echoed back and stamped onto logs and slow-request records;
+* with a recorder active, each dispatch is timed into the pow2
+  histogram ``service.op.<op>.us`` and requests slower than
+  *slow_threshold_us* land in a bounded ring together with the delta
+  of pipeline counters (``parse.*``/``liveness.*``/``patch.*``/
+  ``sim.*``/``artifacts.*``) produced while serving them;
+* with *metrics_dir* set (or ``REPRO_SERVICE_METRICS``), each worker
+  enables its own recorder and periodically flushes its snapshot to
+  ``worker-<pid>.json`` (atomic rename); the ``metrics`` op merges all
+  live flush files into a fleet-wide snapshot + Prometheus exposition,
+  and ``healthz`` reports per-worker liveness;
+* ``REPRO_SERVICE_LOG`` (or ``log=``) emits one structured JSON line
+  per request: timestamp, rid, trace, worker, pid, op, session,
+  duration, error kind.
+
+With none of that configured the dispatch path stays on the null
+recorder — the zero-cost-when-unobserved rule the bench_guard floors
+assume.
 """
 
 from __future__ import annotations
 
+import collections
 import dataclasses
+import itertools
+import json
 import multiprocessing
 import os
 import signal
 import socket
+import sys
 import threading
+import time
 
 from .. import telemetry
 from ..api.analysis import Analysis, analyze
@@ -32,10 +60,16 @@ from ..api.bpatch import BinaryEdit
 from ..api.options import InstrumentOptions
 from ..artifacts import ArtifactStore, artifact_key, content_digest
 from ..patch.points import PointType
+from ..telemetry import aggregate
 from .protocol import (
     PROTOCOL, ProtocolError, decode_bytes, encode_bytes, error_response,
     recv_message, send_message, snippet_from_spec,
 )
+
+#: environment variables configuring the observability plane
+ENV_METRICS = "REPRO_SERVICE_METRICS"
+ENV_LOG = "REPRO_SERVICE_LOG"
+ENV_SLOW_US = "REPRO_SERVICE_SLOW_US"
 
 
 def options_from_wire(data: dict | None) -> InstrumentOptions:
@@ -49,6 +83,16 @@ def options_from_wire(data: dict | None) -> InstrumentOptions:
         raise ProtocolError(
             f"unknown InstrumentOptions field(s): {', '.join(unknown)}")
     return InstrumentOptions(**data)
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
 
 
 class _Session:
@@ -82,13 +126,49 @@ class SessionServer:
         Worker processes to fork.  ``0`` serves from a daemon thread in
         this process (tests); ``N >= 1`` forks N accept-looping workers
         sharing the listener.
+    metrics_dir:
+        Run directory for per-worker snapshot flush files.  Setting it
+        (or ``REPRO_SERVICE_METRICS``) arms the observability plane:
+        each serving process installs a :class:`~repro.telemetry.core.
+        Recorder` (if none is active) and flushes its snapshot every
+        *flush_interval* seconds; the ``metrics``/``healthz`` ops
+        aggregate the files.  ``None`` leaves telemetry untouched.
+    flush_interval:
+        Seconds between periodic worker snapshot flushes.
+    slow_threshold_us:
+        Requests slower than this land in the slow-request ring
+        (default 10 000 µs, override with ``REPRO_SERVICE_SLOW_US``).
+    log:
+        Structured request-log target: a path to append JSON lines to,
+        or ``"stderr"``/``"-"``/``"1"`` for stderr.  Defaults to
+        ``REPRO_SERVICE_LOG``; ``None``/unset disables logging.
     """
 
     BACKLOG = 64
 
+    #: the complete op vocabulary; anything else counts once under
+    #: ``service.op.unknown`` (bounded counter cardinality) and fails
+    KNOWN_OPS = frozenset({
+        "ping", "open", "points", "allocate", "insert", "commit",
+        "run", "rewrite", "close", "stats", "metrics", "healthz",
+    })
+
+    #: ops that address an existing session
+    SESSION_OPS = frozenset({
+        "points", "allocate", "insert", "commit", "run", "rewrite",
+        "close",
+    })
+
+    #: bounded slow-request ring capacity (per worker)
+    SLOW_RING = 64
+
     def __init__(self, socket_path: str | os.PathLike,
                  store: ArtifactStore | str | os.PathLike | None = None,
-                 workers: int = 0):
+                 workers: int = 0,
+                 metrics_dir: str | os.PathLike | None = None,
+                 flush_interval: float = 2.0,
+                 slow_threshold_us: float | None = None,
+                 log: str | os.PathLike | None = None):
         self.socket_path = os.fspath(socket_path)
         if isinstance(store, ArtifactStore):
             self.store = store
@@ -97,13 +177,33 @@ class SessionServer:
         else:
             self.store = ArtifactStore(store)
         self.workers = workers
+        if metrics_dir is None:
+            metrics_dir = os.environ.get(ENV_METRICS) or None
+        self.metrics_dir = (os.fspath(metrics_dir)
+                            if metrics_dir else None)
+        self.flush_interval = flush_interval
+        if slow_threshold_us is None:
+            slow_threshold_us = float(
+                os.environ.get(ENV_SLOW_US, 10_000.0))
+        self.slow_threshold_us = slow_threshold_us
+        if log is None:
+            log = os.environ.get(ENV_LOG) or None
+        self._log_target = os.fspath(log) if log is not None else None
+        self._log_fh = None
+        self._log_lock = threading.Lock()
         self._procs: list[multiprocessing.Process] = []
         self._thread: threading.Thread | None = None
         self._closed = False
         # worker-local state (each forked worker gets its own copies)
+        self._worker_id = 0
         self._analyses: dict[str, Analysis] = {}
         self._cache_lock = threading.Lock()
         self._session_seq = 0
+        self._rid_seq = itertools.count(1)
+        self._live_sessions = 0
+        self._slow: collections.deque = collections.deque(
+            maxlen=self.SLOW_RING)
+        self._started_at = time.time()
 
         if os.path.exists(self.socket_path):
             os.unlink(self.socket_path)
@@ -115,6 +215,8 @@ class SessionServer:
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> "SessionServer":
+        if self.metrics_dir:
+            self._clear_stale_flushes()
         if self.workers:
             ctx = multiprocessing.get_context("fork")
             for idx in range(self.workers):
@@ -141,6 +243,13 @@ class SessionServer:
             p.terminate()
         for p in self._procs:
             p.join(timeout=5)
+        with self._log_lock:
+            if self._log_fh is not None and self._log_fh is not sys.stderr:
+                try:
+                    self._log_fh.close()
+                except OSError:
+                    pass
+            self._log_fh = None
         if os.path.exists(self.socket_path):
             try:
                 os.unlink(self.socket_path)
@@ -165,9 +274,16 @@ class SessionServer:
         self._analyses = {}
         self._cache_lock = threading.Lock()
         self._session_seq = 0
+        self._rid_seq = itertools.count(1)
+        self._live_sessions = 0
+        self._slow = collections.deque(maxlen=self.SLOW_RING)
+        self._log_fh = None
+        self._log_lock = threading.Lock()
         self._serve_forever(worker_id)
 
     def _serve_forever(self, worker_id: int) -> None:
+        self._worker_id = worker_id
+        self._observability_init()
         while True:
             try:
                 conn, _ = self._listener.accept()
@@ -189,40 +305,171 @@ class SessionServer:
                     return  # unframeable peer: drop the connection
                 if req is None:
                     return
-                try:
-                    resp = self._dispatch(req, sessions, worker_id)
-                except ProtocolError as exc:
-                    resp = error_response(exc)
-                except Exception as exc:  # noqa: BLE001 — wire boundary
-                    resp = error_response(exc)
+                resp = self._handle(req, sessions, worker_id)
                 try:
                     send_message(conn, resp)
                 except OSError:
                     return
         finally:
             conn.close()
+            if sessions:  # connection died with sessions still open
+                self._session_closed(len(sessions))
+
+    # -- observability plane ----------------------------------------------
+
+    def _observability_init(self) -> None:
+        """Arm per-worker metrics: install a recorder (unless one is
+        already active), publish a first flush so ``healthz`` sees the
+        worker immediately, and start the periodic flusher."""
+        if not self.metrics_dir:
+            return
+        os.makedirs(self.metrics_dir, exist_ok=True)
+        if not telemetry.active():
+            telemetry.enable(telemetry.Recorder())
+        self._flush_snapshot()
+        threading.Thread(target=self._flush_loop, daemon=True,
+                         name=f"repro-svc-flush-{self._worker_id}"
+                         ).start()
+
+    def _flush_loop(self) -> None:
+        while not self._closed:
+            time.sleep(self.flush_interval)
+            try:
+                self._flush_snapshot()
+            except OSError:
+                pass  # disk hiccup: retry next round
+
+    def _flush_snapshot(self) -> None:
+        if not self.metrics_dir:
+            return
+        rec = telemetry.current()
+        aggregate.write_worker_snapshot(
+            self.metrics_dir, worker_id=self._worker_id,
+            snapshot=rec.snapshot(), sessions=self._live_sessions,
+            slow=list(self._slow))
+        rec.count("service.flushes")
+        rec.gauge("service.flush.last_ts", time.time())
+
+    def _clear_stale_flushes(self) -> None:
+        """Drop flush files left by a previous run sharing this
+        metrics dir, so aggregation only ever sees this run's fleet."""
+        root = self.metrics_dir
+        try:
+            names = os.listdir(root)
+        except OSError:
+            return
+        for name in names:
+            if name.startswith(aggregate.FLUSH_PREFIX) and \
+                    name.endswith(".json"):
+                try:
+                    os.unlink(os.path.join(root, name))
+                except OSError:
+                    pass
+
+    def _session_opened(self) -> None:
+        with self._cache_lock:
+            self._live_sessions += 1
+            live = self._live_sessions
+        telemetry.current().gauge("service.sessions.live", live)
+
+    def _session_closed(self, n: int = 1) -> None:
+        with self._cache_lock:
+            self._live_sessions = max(0, self._live_sessions - n)
+            live = self._live_sessions
+        telemetry.current().gauge("service.sessions.live", live)
+
+    def _log_line(self, entry: dict) -> None:
+        target = self._log_target
+        if target is None:
+            return
+        try:
+            with self._log_lock:
+                if self._log_fh is None:
+                    if target in ("1", "-", "stderr"):
+                        self._log_fh = sys.stderr
+                    else:
+                        self._log_fh = open(target, "a", buffering=1)
+                self._log_fh.write(
+                    json.dumps(entry, separators=(",", ":")) + "\n")
+        except OSError:
+            pass  # logging must never take a request down
 
     # -- request dispatch --------------------------------------------------
 
-    def _dispatch(self, req: dict, sessions: dict[str, _Session],
-                  worker_id: int) -> dict:
+    def _handle(self, req: dict, sessions: dict[str, _Session],
+                worker_id: int) -> dict:
+        """Tracing wrapper around :meth:`_dispatch`: request id, op
+        validation, per-op latency histogram, slow-request ring, and
+        the structured request log."""
         op = req.get("op")
-        telemetry.current().count(f"service.op.{op}")
+        known = op in self.KNOWN_OPS
+        opname = op if known else "unknown"
+        rid = f"w{worker_id}-{next(self._rid_seq)}"
+        trace = req.get("trace")
+        rec = telemetry.current()
+        observed = rec.enabled
+        logging = self._log_target is not None
+        rec.count(f"service.op.{opname}")
+        t0 = time.perf_counter() if (observed or logging) else 0.0
+        before = rec.counters() if observed else None
+        err_kind = None
+        try:
+            if not known:
+                raise ProtocolError(f"unknown op {op!r}")
+            resp = self._dispatch(op, req, sessions, worker_id)
+        except Exception as exc:  # noqa: BLE001 — wire boundary
+            err_kind = type(exc).__name__
+            resp = error_response(exc)
+        resp["rid"] = rid
+        if trace is not None:
+            resp["trace"] = trace
+        if observed or logging:
+            dt_us = (time.perf_counter() - t0) * 1e6
+            if observed:
+                rec.observe(f"service.op.{opname}.us", dt_us)
+                rec.count("service.requests")
+                if err_kind:
+                    rec.count("service.errors")
+                if dt_us >= self.slow_threshold_us:
+                    after = rec.counters()
+                    delta = {
+                        name: value - before.get(name, 0)
+                        for name, value in after.items()
+                        if value != before.get(name, 0)
+                        and not name.startswith("service.")
+                    }
+                    self._slow.append({
+                        "rid": rid, "trace": trace, "op": opname,
+                        "session": req.get("session"),
+                        "duration_us": round(dt_us, 1),
+                        "error": err_kind,
+                        "counters_delta": delta,
+                    })
+            if logging:
+                self._log_line({
+                    "ts": round(time.time(), 6), "rid": rid,
+                    "trace": trace, "worker": worker_id,
+                    "pid": os.getpid(), "op": opname,
+                    "session": req.get("session"),
+                    "duration_us": round(dt_us, 1),
+                    "ok": err_kind is None, "error": err_kind,
+                })
+        return resp
+
+    def _dispatch(self, op: str, req: dict,
+                  sessions: dict[str, _Session],
+                  worker_id: int) -> dict:
         if op == "ping":
             return {"ok": True, "protocol": PROTOCOL,
                     "pid": os.getpid(), "worker": worker_id}
         if op == "open":
             return self._op_open(req, sessions)
         if op == "stats":
-            return {"ok": True, "pid": os.getpid(),
-                    "worker": worker_id,
-                    "sessions": len(sessions),
-                    "analyses": sorted(self._analyses),
-                    "store": (str(self.store.root)
-                              if self.store else None)}
-        if op not in ("points", "allocate", "insert", "commit", "run",
-                      "rewrite", "close"):
-            raise ProtocolError(f"unknown op {op!r}")
+            return self._op_stats(sessions, worker_id)
+        if op == "metrics":
+            return self._op_metrics(worker_id)
+        if op == "healthz":
+            return self._op_healthz(worker_id)
         # every remaining op addresses a session
         session = sessions.get(req.get("session"))
         if session is None:
@@ -252,7 +499,82 @@ class SessionServer:
         # op == "close"
         session.edit.close()
         del sessions[req["session"]]
+        self._session_closed()
         return {"ok": True}
+
+    def _op_stats(self, sessions: dict[str, _Session],
+                  worker_id: int) -> dict:
+        """Per-accepting-worker statistics.  Deliberately *not* the
+        fleet view — this reports only the worker this connection
+        landed on (see the ``metrics`` op for cross-worker numbers) —
+        but honest about it: it now says so and carries the worker's
+        own live telemetry snapshot."""
+        return {"ok": True, "pid": os.getpid(),
+                "worker": worker_id,
+                "scope": "worker",
+                "sessions": len(sessions),
+                "worker_sessions": self._live_sessions,
+                "analyses": sorted(self._analyses),
+                "store": (str(self.store.root)
+                          if self.store else None),
+                "telemetry": telemetry.current().snapshot()}
+
+    def _op_metrics(self, worker_id: int) -> dict:
+        """Fleet-wide aggregation: flush this worker's snapshot, read
+        every live flush file, and merge (counters summed, histograms
+        bucket-wise, gauges last-write)."""
+        if self.metrics_dir:
+            self._flush_snapshot()
+            records = aggregate.read_worker_snapshots(self.metrics_dir)
+        else:
+            # no run directory: the accepting worker is the fleet
+            records = [{
+                "pid": os.getpid(), "worker": worker_id,
+                "ts": time.time(), "sessions": self._live_sessions,
+                "slow": list(self._slow),
+                "snapshot": telemetry.current().snapshot(),
+            }]
+        merged = aggregate.merge_snapshots(
+            [r["snapshot"] for r in records])
+        slow = sorted(
+            (entry for r in records for entry in r.get("slow", [])),
+            key=lambda e: e.get("duration_us", 0), reverse=True,
+        )[: self.SLOW_RING]
+        return {"ok": True, "pid": os.getpid(), "worker": worker_id,
+                "merged": merged,
+                "workers": [
+                    {"pid": r["pid"], "worker": r.get("worker"),
+                     "ts": r.get("ts"),
+                     "sessions": r.get("sessions", 0),
+                     "snapshot": r["snapshot"]}
+                    for r in records
+                ],
+                "slow": slow,
+                "exposition": aggregate.to_prometheus(merged)}
+
+    def _op_healthz(self, worker_id: int) -> dict:
+        """Worker liveness: every flush file's age and whether its pid
+        still exists.  Without a metrics dir, reports just the
+        accepting worker (trivially alive)."""
+        now = time.time()
+        workers = []
+        if self.metrics_dir:
+            for r in aggregate.read_worker_snapshots(self.metrics_dir):
+                workers.append({
+                    "pid": r["pid"], "worker": r.get("worker"),
+                    "sessions": r.get("sessions", 0),
+                    "age_s": round(max(0.0, now - r.get("ts", now)), 3),
+                    "alive": _pid_alive(r["pid"]),
+                })
+        else:
+            workers.append({"pid": os.getpid(), "worker": worker_id,
+                            "sessions": self._live_sessions,
+                            "age_s": 0.0, "alive": True})
+        healthy = bool(workers) and all(w["alive"] for w in workers)
+        return {"ok": True, "pid": os.getpid(), "worker": worker_id,
+                "healthy": healthy,
+                "uptime_s": round(now - self._started_at, 3),
+                "workers": workers}
 
     def _op_open(self, req: dict,
                  sessions: dict[str, _Session]) -> dict:
@@ -282,6 +604,7 @@ class SessionServer:
             sid = f"s{self._session_seq}"
         sessions[sid] = _Session(BinaryEdit(analysis, opts))
         telemetry.current().count("service.sessions")
+        self._session_opened()
         return {"ok": True, "session": sid, "key": analysis.key,
                 "revived": analysis.revived, "source": source,
                 "functions": sorted(

@@ -9,6 +9,10 @@ Metric names and the event schema are catalogued in
 ``docs/TELEMETRY.md``.
 """
 
+from .aggregate import (
+    merge_snapshots, read_worker_snapshots, to_prometheus,
+    write_worker_snapshot,
+)
 from .core import (
     SCHEMA, NullRecorder, Recorder, active, current, disable, enable,
     enabled,
@@ -20,4 +24,6 @@ __all__ = [
     "SCHEMA", "NullRecorder", "Recorder", "active", "current",
     "disable", "enable", "enabled", "format_report",
     "EVENT_SCHEMA", "EventStream", "estimate_percentile", "percentiles",
+    "merge_snapshots", "read_worker_snapshots", "to_prometheus",
+    "write_worker_snapshot",
 ]

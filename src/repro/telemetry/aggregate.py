@@ -1,0 +1,246 @@
+"""Cross-worker snapshot aggregation and metric exposition.
+
+The session service runs N forked workers, each with its own
+:class:`~repro.telemetry.core.Recorder` — a worker's counters die with
+its process and the ``stats`` op only ever sees the worker that
+accepted the connection.  This module is the fleet-wide view:
+
+* **flush files** — each worker periodically writes its snapshot to
+  ``<metrics_dir>/worker-<pid>.json`` with the same atomic-rename
+  discipline as :mod:`repro.artifacts` (temp file in the destination
+  directory + ``os.replace``), so concurrent flushes race benignly and
+  readers never observe a torn file;
+* **merge** — :func:`merge_snapshots` folds any number of
+  ``repro.telemetry/1`` snapshots into one: counters summed, gauges
+  last-write-wins (by flush order), spans combined (counts/totals
+  summed, min-of-mins, max-of-maxes), and power-of-two histograms
+  merged **bucket-wise**, so percentile estimates over the merged
+  histogram remain exact at the bucket resolution;
+* **exposition** — :func:`to_prometheus` renders a snapshot in the
+  Prometheus text format (dots become underscores; pow2 histograms
+  become cumulative ``_bucket{le="..."}`` series plus ``_sum`` /
+  ``_count``), the format every scraping stack already speaks.
+
+The ``metrics`` protocol op (see :mod:`repro.service.server`) flushes
+the accepting worker's own snapshot, reads every sibling's flush file,
+and serves the merged result as JSON and as exposition text;
+``tools/repro_top.py`` is the human consumer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+#: schema identifier for one worker's flush file
+FLUSH_SCHEMA = "repro.service.metrics/1"
+
+#: flush files are named worker-<pid>.json inside the metrics dir
+FLUSH_PREFIX = "worker-"
+
+
+def _empty_snapshot() -> dict:
+    return {"schema": "repro.telemetry/1", "enabled": True,
+            "counters": {}, "gauges": {}, "spans": {},
+            "histograms": {}}
+
+
+def merge_histograms(a: dict, b: dict) -> dict:
+    """Bucket-wise merge of two snapshot-form pow2 histograms.
+
+    Either side may be ``{}`` (identity).  Bucket keys are the snapshot
+    form ``"le_2^<b>"``; sets may differ — the union is taken, counts
+    summed per exponent.
+    """
+    if not a.get("count"):
+        return dict(b) if b else {}
+    if not b.get("count"):
+        return dict(a)
+    buckets = dict(a.get("buckets", {}))
+    for key, n in b.get("buckets", {}).items():
+        buckets[key] = buckets.get(key, 0) + n
+    return {
+        "count": a["count"] + b["count"],
+        "sum": a.get("sum", 0) + b.get("sum", 0),
+        "min": min(a.get("min", 0), b.get("min", 0)),
+        "max": max(a.get("max", 0), b.get("max", 0)),
+        "buckets": buckets,
+    }
+
+
+def merge_snapshots(snapshots: list[dict]) -> dict:
+    """Fold ``repro.telemetry/1`` snapshots into one fleet-wide view.
+
+    Counters sum, spans combine (count/total summed, min/max of the
+    extremes), histograms merge bucket-wise, and gauges are
+    last-write-wins in list order — callers pass snapshots ordered by
+    flush time so the newest observation survives.  Disabled or empty
+    snapshots contribute nothing.
+    """
+    out = _empty_snapshot()
+    for snap in snapshots:
+        if not isinstance(snap, dict):
+            continue
+        for name, n in snap.get("counters", {}).items():
+            out["counters"][name] = out["counters"].get(name, 0) + n
+        out["gauges"].update(snap.get("gauges", {}))
+        for name, s in snap.get("spans", {}).items():
+            cur = out["spans"].get(name)
+            if cur is None:
+                out["spans"][name] = dict(s)
+            else:
+                cur["count"] += s.get("count", 0)
+                cur["total_s"] += s.get("total_s", 0.0)
+                cur["min_s"] = min(cur["min_s"], s.get("min_s", cur["min_s"]))
+                cur["max_s"] = max(cur["max_s"], s.get("max_s", cur["max_s"]))
+        for name, h in snap.get("histograms", {}).items():
+            out["histograms"][name] = merge_histograms(
+                out["histograms"].get(name, {}), h)
+    return out
+
+
+# -- Prometheus text exposition --------------------------------------------
+
+def _prom_name(name: str, prefix: str) -> str:
+    safe = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"{prefix}_{safe}" if prefix else safe
+
+
+def _bucket_exponent(key) -> int:
+    # snapshot form "le_2^<b>" or recorder-internal int
+    if isinstance(key, str):
+        return int(key.rsplit("^", 1)[1])
+    return int(key)
+
+
+def to_prometheus(snapshot: dict, prefix: str = "repro") -> str:
+    """Render a snapshot in the Prometheus text exposition format.
+
+    Counters and gauges map directly; spans become ``_seconds_total`` /
+    ``_count`` pairs; pow2 histograms become cumulative
+    ``_bucket{le="2^b"}`` series (upper bound ``2^b``, as floats) with
+    the standard ``+Inf`` terminator, ``_sum``, and ``_count``.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        pn = _prom_name(name, prefix)
+        lines.append(f"# TYPE {pn} counter")
+        lines.append(f"{pn} {snapshot['counters'][name]}")
+    for name in sorted(snapshot.get("gauges", {})):
+        pn = _prom_name(name, prefix)
+        lines.append(f"# TYPE {pn} gauge")
+        lines.append(f"{pn} {snapshot['gauges'][name]}")
+    for name in sorted(snapshot.get("spans", {})):
+        s = snapshot["spans"][name]
+        pn = _prom_name(name, prefix)
+        lines.append(f"# TYPE {pn}_seconds_total counter")
+        lines.append(f"{pn}_seconds_total {s.get('total_s', 0.0)}")
+        lines.append(f"# TYPE {pn}_count counter")
+        lines.append(f"{pn}_count {s.get('count', 0)}")
+    for name in sorted(snapshot.get("histograms", {})):
+        h = snapshot["histograms"][name]
+        pn = _prom_name(name, prefix)
+        lines.append(f"# TYPE {pn} histogram")
+        cum = 0
+        for exp, n in sorted(
+                (_bucket_exponent(k), v)
+                for k, v in h.get("buckets", {}).items()):
+            cum += n
+            lines.append(f'{pn}_bucket{{le="{float(1 << exp)}"}} {cum}')
+        lines.append(f'{pn}_bucket{{le="+Inf"}} {h.get("count", 0)}')
+        lines.append(f"{pn}_sum {h.get('sum', 0)}")
+        lines.append(f"{pn}_count {h.get('count', 0)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse exposition text back to ``{series: value}`` (labels kept
+    verbatim in the series name).  Used by CI to assert the output is
+    well-formed; raises ``ValueError`` on a malformed sample line."""
+    out: dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.rsplit(None, 1)
+        if len(parts) != 2:
+            raise ValueError(f"malformed sample on line {lineno}: {line!r}")
+        out[parts[0]] = float(parts[1])
+    return out
+
+
+# -- worker flush files ----------------------------------------------------
+
+def flush_path(metrics_dir: str | os.PathLike, pid: int) -> Path:
+    return Path(metrics_dir) / f"{FLUSH_PREFIX}{pid}.json"
+
+
+def write_worker_snapshot(metrics_dir: str | os.PathLike, *,
+                          worker_id: int, snapshot: dict,
+                          sessions: int = 0,
+                          slow: list | None = None,
+                          pid: int | None = None) -> Path:
+    """Atomically publish one worker's snapshot (mkstemp + os.replace,
+    the :mod:`repro.artifacts` discipline — concurrent flushes of one
+    file race benignly, readers never see a torn write)."""
+    pid = os.getpid() if pid is None else pid
+    path = flush_path(metrics_dir, pid)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    blob = json.dumps({
+        "schema": FLUSH_SCHEMA,
+        "pid": pid,
+        "worker": worker_id,
+        "ts": time.time(),
+        "sessions": sessions,
+        "slow": slow or [],
+        "snapshot": snapshot,
+    }).encode()
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-",
+                               suffix=".json")
+    try:
+        with os.fdopen(fd, "wb") as f:
+            f.write(blob)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def read_worker_snapshots(metrics_dir: str | os.PathLike) -> list[dict]:
+    """Every readable worker flush record in *metrics_dir*, sorted by
+    flush timestamp (oldest first, so gauge merges keep the newest
+    observation).  Corrupt/torn/foreign files are skipped, never an
+    error — the same degrade-to-miss rule as the artifact store."""
+    root = Path(metrics_dir)
+    if not root.is_dir():
+        return []
+    records = []
+    for path in sorted(root.iterdir()):
+        if not path.name.startswith(FLUSH_PREFIX) or \
+                path.suffix != ".json":
+            continue
+        try:
+            data = json.loads(path.read_bytes())
+        except (OSError, ValueError):
+            continue
+        if not isinstance(data, dict) or \
+                data.get("schema") != FLUSH_SCHEMA or \
+                not isinstance(data.get("snapshot"), dict):
+            continue
+        records.append(data)
+    records.sort(key=lambda r: r.get("ts", 0.0))
+    return records
+
+
+__all__ = [
+    "FLUSH_PREFIX", "FLUSH_SCHEMA", "flush_path", "merge_histograms",
+    "merge_snapshots", "parse_prometheus", "read_worker_snapshots",
+    "to_prometheus", "write_worker_snapshot",
+]

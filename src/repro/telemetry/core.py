@@ -88,6 +88,9 @@ class NullRecorder:
                         end_s: float) -> None:
         pass
 
+    def counters(self) -> dict:
+        return {}
+
     def snapshot(self) -> dict:
         return {"schema": SCHEMA, "enabled": False, "counters": {},
                 "gauges": {}, "spans": {}, "histograms": {}}
@@ -208,6 +211,13 @@ class Recorder:
                 h[4][bucket] = h[4].get(bucket, 0) + 1
 
     # -- export ----------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        """A copy of just the counter family — the cheap view request
+        tracing uses to compute per-request deltas without paying for a
+        full :meth:`snapshot`."""
+        with self._lock:
+            return dict(self._counters)
 
     def snapshot(self) -> dict:
         """A point-in-time copy of every instrument, JSON-serialisable.

@@ -12,7 +12,8 @@ from __future__ import annotations
 import math
 
 #: phase display order; unknown prefixes sort after these
-PHASE_ORDER = ("parse", "liveness", "patch", "sim", "trace")
+PHASE_ORDER = ("parse", "liveness", "patch", "sim", "trace",
+               "artifacts", "service")
 
 
 def _parse_buckets(buckets: dict) -> list[tuple[int, int]]:
@@ -131,12 +132,15 @@ def format_report(snapshot: dict) -> str:
                  if _phase_of(n) == phase}
         for name in sorted(hists):
             h = hists[name]
-            mean = h["sum"] / h["count"] if h["count"] else 0.0
+            # merged/edge-case histograms may be empty or partial —
+            # render zeros rather than raise
+            count = h.get("count", 0)
+            mean = h.get("sum", 0) / count if count else 0.0
             pct = percentiles(h)
             out.append(
-                f"  {name:<40}{h['count']:>10}x"
+                f"  {name:<40}{count:>10}x"
                 f"  mean {mean:>8.1f}"
                 f"  p50 {pct['p50']:>8.1f}  p90 {pct['p90']:>8.1f}"
-                f"  p99 {pct['p99']:>8.1f}  max {h['max']:>8.1f}")
+                f"  p99 {pct['p99']:>8.1f}  max {h.get('max', 0):>8.1f}")
         out.append("")
     return "\n".join(out) + ("\n" if out else "")

@@ -1,0 +1,498 @@
+"""The service observability plane: snapshot merge + exposition,
+request tracing (ids, trace context, per-op latency histograms, the
+slow-request ring, structured logs), cross-worker aggregation through
+atomic flush files, and the metrics/healthz protocol ops.
+
+The acceptance bar: a ``metrics`` op against a server with >= 2 forked
+workers returns counters equal to the sum of the per-worker snapshots,
+with bucket-wise-merged latency histograms."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.elf.writer import write_program
+from repro.minicc import compile_source
+from repro.minicc.workloads import fib_source
+from repro.service import ServiceClient, ServiceError, SessionServer
+from repro.telemetry.aggregate import (
+    FLUSH_PREFIX, merge_histograms, merge_snapshots, parse_prometheus,
+    read_worker_snapshots, to_prometheus, write_worker_snapshot,
+)
+from repro.telemetry.report import percentiles
+from repro.tools.repro_top import render
+
+
+@pytest.fixture(scope="module")
+def fib_elf():
+    return write_program(compile_source(fib_source(8)))
+
+
+@pytest.fixture()
+def observed_server(fib_elf, tmp_path):
+    """workers=0 server with the metrics plane armed.  The in-thread
+    server installs a process-wide Recorder; restore the null recorder
+    afterwards so other tests stay unobserved."""
+    sock = os.fspath(tmp_path / "svc.sock")
+    try:
+        with SessionServer(sock, store=tmp_path / "store", workers=0,
+                           metrics_dir=tmp_path / "metrics",
+                           flush_interval=0.2) as srv:
+            yield srv
+    finally:
+        telemetry.disable()
+
+
+def _session_cycle(client, elf):
+    with client.open(elf) as s:
+        s.allocate("calls")
+        s.insert("fib", "FUNC_ENTRY",
+                 {"kind": "increment", "var": "calls"})
+        return s.run()
+
+
+class TestMerge:
+    def test_counters_sum(self):
+        merged = merge_snapshots([
+            {"counters": {"a": 1, "b": 2}},
+            {"counters": {"a": 3, "c": 4}},
+        ])
+        assert merged["counters"] == {"a": 4, "b": 2, "c": 4}
+
+    def test_gauges_last_write_wins(self):
+        merged = merge_snapshots([
+            {"gauges": {"g": 1.0, "h": 9.0}},
+            {"gauges": {"g": 2.5}},
+        ])
+        assert merged["gauges"] == {"g": 2.5, "h": 9.0}
+
+    def test_spans_combine(self):
+        merged = merge_snapshots([
+            {"spans": {"s": {"count": 2, "total_s": 1.0,
+                             "min_s": 0.25, "max_s": 0.75}}},
+            {"spans": {"s": {"count": 1, "total_s": 2.0,
+                             "min_s": 2.0, "max_s": 2.0}}},
+        ])
+        s = merged["spans"]["s"]
+        assert s == {"count": 3, "total_s": 3.0,
+                     "min_s": 0.25, "max_s": 2.0}
+
+    def test_histograms_merge_bucket_wise(self):
+        def snap_of(values):
+            rec = telemetry.Recorder()
+            for v in values:
+                rec.observe("h", v)
+            return rec.snapshot()
+
+        a, b = snap_of([1, 2, 3]), snap_of([100, 200])
+        merged = merge_snapshots([a, b])
+        h = merged["histograms"]["h"]
+        reference = snap_of([1, 2, 3, 100, 200])["histograms"]["h"]
+        assert h == reference  # bucket-wise merge is exact
+
+    def test_merge_histograms_identity_and_disjoint(self):
+        assert merge_histograms({}, {}) == {}
+        h = {"count": 1, "sum": 4, "min": 4, "max": 4,
+             "buckets": {"le_2^3": 1}}
+        assert merge_histograms({}, h) == h
+        assert merge_histograms(h, {}) == h
+        other = {"count": 2, "sum": 512, "min": 256, "max": 256,
+                 "buckets": {"le_2^9": 2}}
+        m = merge_histograms(h, other)
+        assert m["count"] == 3
+        assert m["buckets"] == {"le_2^3": 1, "le_2^9": 2}
+
+    def test_merged_percentiles_are_usable(self):
+        rec = telemetry.Recorder()
+        for v in (10, 20, 1000, 2000, 4000):
+            rec.observe("lat", v)
+        merged = merge_snapshots([rec.snapshot(), rec.snapshot()])
+        pct = percentiles(merged["histograms"]["lat"])
+        assert pct["p50"] <= pct["p90"] <= pct["p99"]
+        assert pct["p99"] <= 4000
+
+    def test_disabled_and_garbage_snapshots_contribute_nothing(self):
+        merged = merge_snapshots([
+            None, 17, {"counters": {"a": 1}}, {}])
+        assert merged["counters"] == {"a": 1}
+
+
+class TestExposition:
+    def test_round_trip_parses(self):
+        rec = telemetry.Recorder()
+        rec.count("service.op.open", 3)
+        rec.gauge("service.sessions.live", 2.0)
+        with rec.span("artifacts.revive"):
+            pass
+        for v in (5, 9, 1000):
+            rec.observe("service.op.run.us", v)
+        text = to_prometheus(rec.snapshot())
+        series = parse_prometheus(text)
+        assert series["repro_service_op_open"] == 3
+        assert series["repro_service_sessions_live"] == 2.0
+        assert series["repro_artifacts_revive_count"] == 1
+        assert series["repro_service_op_run_us_count"] == 3
+        assert series['repro_service_op_run_us_bucket{le="+Inf"}'] == 3
+
+    def test_histogram_buckets_are_cumulative(self):
+        rec = telemetry.Recorder()
+        for v in (1, 2, 3, 100):
+            rec.observe("h", v)
+        series = parse_prometheus(to_prometheus(rec.snapshot()))
+        buckets = sorted(
+            (float(k.split('le="')[1].rstrip('"}')), v)
+            for k, v in series.items()
+            if k.startswith("repro_h_bucket") and "+Inf" not in k)
+        counts = [v for _, v in buckets]
+        assert counts == sorted(counts), "buckets must be cumulative"
+        assert counts[-1] == 4
+
+    def test_malformed_exposition_rejected(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("just_a_name_no_value")
+
+
+class TestRequestTracing:
+    def test_every_response_carries_a_rid(self, observed_server):
+        with ServiceClient(observed_server.socket_path) as cl:
+            cl.ping()
+            first = cl.last_rid
+            cl.ping()
+            assert first.startswith("w0-")
+            assert cl.last_rid != first
+
+    def test_trace_context_is_echoed(self, observed_server):
+        with ServiceClient(observed_server.socket_path,
+                           trace="tenant-42") as cl:
+            resp = cl.ping()
+            assert resp["trace"] == "tenant-42"
+
+    def test_unknown_op_counter_cardinality_is_bounded(
+            self, observed_server):
+        """Garbage op names must not mint per-name counters — one
+        shared ``service.op.unknown`` and nothing else."""
+        with ServiceClient(observed_server.socket_path) as cl:
+            for bad in ("frobnicate", "p0wn", "open2"):
+                with pytest.raises(ServiceError, match="unknown op"):
+                    cl.request(bad)
+            counters = cl.metrics()["merged"]["counters"]
+        assert counters["service.op.unknown"] == 3
+        assert not any("frobnicate" in n or "p0wn" in n or "open2" in n
+                       for n in counters)
+
+    def test_op_latency_lands_in_pow2_histograms(self, observed_server,
+                                                 fib_elf):
+        with ServiceClient(observed_server.socket_path) as cl:
+            _session_cycle(cl, fib_elf)
+            hists = cl.metrics()["merged"]["histograms"]
+        for op in ("open", "run", "close"):
+            h = hists[f"service.op.{op}.us"]
+            assert h["count"] >= 1
+            assert h["buckets"]
+            pct = percentiles(h)
+            assert pct["p50"] <= pct["p99"]
+
+    def test_errors_are_counted(self, observed_server):
+        with ServiceClient(observed_server.socket_path) as cl:
+            with pytest.raises(ServiceError):
+                cl.request("commit", session="s999")
+            counters = cl.metrics()["merged"]["counters"]
+        assert counters.get("service.errors", 0) >= 1
+
+
+class TestSlowRing:
+    def test_slow_requests_recorded_with_counter_deltas(
+            self, fib_elf, tmp_path):
+        sock = os.fspath(tmp_path / "svc.sock")
+        try:
+            with SessionServer(sock, store=tmp_path / "store",
+                               workers=0,
+                               metrics_dir=tmp_path / "metrics",
+                               slow_threshold_us=0.0) as srv:
+                with ServiceClient(sock, trace="slowtest") as cl:
+                    _session_cycle(cl, fib_elf)
+                    slow = cl.metrics()["slow"]
+        finally:
+            telemetry.disable()
+        assert slow, "threshold 0 must catch every request"
+        by_op = {e["op"]: e for e in slow}
+        assert "open" in by_op and "run" in by_op
+        open_entry = by_op["open"]
+        assert open_entry["rid"].startswith("w0-")
+        assert open_entry["trace"] == "slowtest"
+        assert open_entry["duration_us"] > 0
+        # the open's span links to the pipeline telemetry it caused:
+        # a cold open parses, so parse.* counters moved under it
+        assert any(n.startswith("parse.")
+                   for n in open_entry["counters_delta"])
+        # ring order: slowest first
+        durations = [e["duration_us"] for e in slow]
+        assert durations == sorted(durations, reverse=True)
+
+    def test_ring_is_bounded(self, fib_elf, tmp_path):
+        sock = os.fspath(tmp_path / "svc.sock")
+        try:
+            with SessionServer(sock, store=tmp_path / "store",
+                               workers=0,
+                               metrics_dir=tmp_path / "metrics",
+                               slow_threshold_us=0.0) as srv:
+                with ServiceClient(sock) as cl:
+                    for _ in range(SessionServer.SLOW_RING + 40):
+                        cl.ping()
+                    slow = cl.metrics()["slow"]
+        finally:
+            telemetry.disable()
+        assert len(slow) <= SessionServer.SLOW_RING
+
+
+class TestStructuredLog:
+    def test_json_lines_with_rid_op_duration(self, tmp_path):
+        sock = os.fspath(tmp_path / "svc.sock")
+        log = tmp_path / "svc.log"
+        with SessionServer(sock, store=tmp_path / "store", workers=0,
+                           log=log) as srv:
+            with ServiceClient(sock, trace="logtest") as cl:
+                cl.ping()
+                with pytest.raises(ServiceError):
+                    cl.request("frobnicate")
+        lines = [json.loads(line)
+                 for line in log.read_text().splitlines()]
+        assert len(lines) == 2
+        ping, bad = lines
+        assert ping["op"] == "ping" and ping["ok"] is True
+        assert ping["rid"].startswith("w0-")
+        assert ping["trace"] == "logtest"
+        assert ping["duration_us"] >= 0
+        assert bad["op"] == "unknown" and bad["ok"] is False
+        assert bad["error"] == "ProtocolError"
+
+
+class TestStatsHonesty:
+    def test_stats_is_scoped_and_carries_telemetry(
+            self, observed_server, fib_elf):
+        with ServiceClient(observed_server.socket_path) as cl:
+            _session_cycle(cl, fib_elf)
+            stats = cl.stats()
+        assert stats["scope"] == "worker"
+        snap = stats["telemetry"]
+        assert snap["enabled"] is True
+        assert snap["counters"]["service.op.open"] >= 1
+
+    def test_stats_without_metrics_plane_still_works(self, fib_elf,
+                                                     tmp_path):
+        sock = os.fspath(tmp_path / "svc.sock")
+        with SessionServer(sock, store=tmp_path / "store",
+                           workers=0) as srv:
+            with ServiceClient(sock) as cl:
+                stats = cl.stats()
+        assert stats["scope"] == "worker"
+        # unobserved server: the null recorder's empty snapshot
+        assert stats["telemetry"]["enabled"] is False
+
+
+class TestMetricsOp:
+    def test_merged_equals_sum_of_workers_in_thread(
+            self, observed_server, fib_elf):
+        with ServiceClient(observed_server.socket_path) as cl:
+            for _ in range(3):
+                _session_cycle(cl, fib_elf)
+            resp = cl.metrics()
+        merged = resp["merged"]["counters"]
+        assert merged["service.op.open"] == 3
+        assert merged["service.op.run"] == 3
+        by_workers: dict[str, int] = {}
+        for w in resp["workers"]:
+            for name, n in w["snapshot"]["counters"].items():
+                by_workers[name] = by_workers.get(name, 0) + n
+        for name, total in merged.items():
+            assert by_workers.get(name) == total, name
+        series = parse_prometheus(resp["exposition"])
+        assert series["repro_service_op_open"] == 3
+
+    def test_healthz_in_thread(self, observed_server):
+        with ServiceClient(observed_server.socket_path) as cl:
+            h = cl.healthz()
+        assert h["healthy"] is True
+        assert h["uptime_s"] >= 0
+        assert any(w["pid"] == os.getpid() for w in h["workers"])
+
+    def test_metrics_without_metrics_dir_reports_own_worker(
+            self, fib_elf, tmp_path):
+        sock = os.fspath(tmp_path / "svc.sock")
+        with SessionServer(sock, store=tmp_path / "store",
+                           workers=0) as srv:
+            with ServiceClient(sock) as cl, \
+                    telemetry.enabled():
+                _session_cycle(cl, fib_elf)
+                resp = cl.metrics()
+        assert len(resp["workers"]) == 1
+        assert resp["merged"]["counters"]["service.op.open"] == 1
+
+
+class TestCrossWorkerAggregation:
+    """The acceptance criterion: >= 2 forked workers, merged counters
+    equal to the sum of the per-worker snapshots."""
+
+    CLIENTS = 8
+
+    def test_forked_fleet_aggregation(self, fib_elf, tmp_path):
+        import threading
+
+        sock = os.fspath(tmp_path / "mp.sock")
+        metrics_dir = tmp_path / "metrics"
+        with SessionServer(sock, store=tmp_path / "store", workers=2,
+                           metrics_dir=metrics_dir,
+                           flush_interval=0.2) as srv:
+            errors = []
+
+            def one():
+                try:
+                    with ServiceClient(sock) as cl:
+                        _session_cycle(cl, fib_elf)
+                except Exception as exc:  # noqa: BLE001 — surfaced
+                    errors.append(repr(exc))
+
+            threads = [threading.Thread(target=one)
+                       for _ in range(self.CLIENTS)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors, errors
+            # let every worker's periodic flusher publish the final
+            # state of the traffic burst
+            time.sleep(1.0)
+            with ServiceClient(sock) as cl:
+                resp = cl.metrics()
+                health = cl.healthz()
+
+        files = list(metrics_dir.glob(f"{FLUSH_PREFIX}*.json"))
+        assert len(files) >= 2, "each forked worker must flush"
+        assert len(resp["workers"]) >= 2
+        merged = resp["merged"]["counters"]
+        assert merged["service.op.open"] == self.CLIENTS
+        assert merged["service.op.run"] == self.CLIENTS
+        assert merged["service.sessions"] == self.CLIENTS
+        by_workers: dict[str, int] = {}
+        for w in resp["workers"]:
+            for name, n in w["snapshot"]["counters"].items():
+                by_workers[name] = by_workers.get(name, 0) + n
+        for name, total in merged.items():
+            assert by_workers.get(name) == total, name
+        # bucket-wise merged latency histograms, per op
+        hists = resp["merged"]["histograms"]
+        h = hists["service.op.open.us"]
+        assert h["count"] == self.CLIENTS
+        pct = percentiles(h)
+        assert 0 < pct["p50"] <= pct["p90"] <= pct["p99"]
+        series = parse_prometheus(resp["exposition"])
+        assert series["repro_service_op_open"] == self.CLIENTS
+        # healthz saw the whole fleet alive
+        alive = [w for w in health["workers"] if w["alive"]]
+        assert len(alive) >= 2 and health["healthy"]
+
+    def test_stale_flush_files_cleared_on_start(self, tmp_path):
+        metrics_dir = tmp_path / "metrics"
+        metrics_dir.mkdir()
+        stale = metrics_dir / f"{FLUSH_PREFIX}99999.json"
+        stale.write_text("{}")
+        sock = os.fspath(tmp_path / "svc.sock")
+        try:
+            with SessionServer(sock, workers=0,
+                               metrics_dir=metrics_dir,
+                               store=tmp_path / "store") as srv:
+                with ServiceClient(sock) as cl:
+                    resp = cl.metrics()
+        finally:
+            telemetry.disable()
+        assert not stale.exists()
+        assert all(w["pid"] == os.getpid() for w in resp["workers"])
+
+
+class TestReproTop:
+    def test_render_one_frame(self, observed_server, fib_elf):
+        with ServiceClient(observed_server.socket_path) as cl:
+            _session_cycle(cl, fib_elf)
+            resp = cl.metrics()
+        frame = render(resp)
+        assert "repro_top" in frame
+        assert "open" in frame and "run" in frame
+        assert "p50(us)" in frame
+        assert "caches: artifacts" in frame
+
+    def test_render_rates_from_two_frames(self, observed_server,
+                                          fib_elf):
+        with ServiceClient(observed_server.socket_path) as cl:
+            prev = cl.metrics()
+            _session_cycle(cl, fib_elf)
+            resp = cl.metrics()
+        frame = render(resp, prev, dt=2.0)
+        assert "req/s" in frame
+
+    def test_render_empty_metrics(self):
+        frame = render({"merged": {}, "workers": [], "slow": []})
+        assert "no per-op latency histograms" in frame
+
+
+def _flush_writer_main(root, writer_id, rounds):
+    blob = chr(ord("a") + writer_id) * 20_000
+    for seq in range(rounds):
+        write_worker_snapshot(
+            root, worker_id=writer_id,
+            snapshot={"counters": {"seq": seq}, "blob": blob},
+            sessions=writer_id, pid=424242)  # all hammer ONE file
+
+
+class TestConcurrentFlushes:
+    """Worker snapshot flushes follow the artifact store's atomic-
+    rename/no-torn-read discipline (the tests/test_artifacts.py
+    concurrent-writer fuzz pattern, pointed at one flush file)."""
+
+    WRITERS = 4
+    ROUNDS = 30
+
+    def test_no_torn_reads_last_writer_wins(self, tmp_path):
+        root = tmp_path / "metrics"
+        ctx = multiprocessing.get_context("fork")
+        procs = [ctx.Process(target=_flush_writer_main,
+                             args=(os.fspath(root), i, self.ROUNDS))
+                 for i in range(self.WRITERS)]
+        for p in procs:
+            p.start()
+        observed = 0
+        try:
+            while any(p.is_alive() for p in procs):
+                for rec in read_worker_snapshots(root):
+                    observed += 1
+                    expect = chr(ord("a") + rec["worker"]) * 20_000
+                    assert rec["snapshot"]["blob"] == expect, \
+                        "torn read"
+        finally:
+            for p in procs:
+                p.join()
+        assert all(p.exitcode == 0 for p in procs)
+        final = read_worker_snapshots(root)
+        assert len(final) == 1  # one pid -> one file
+        assert final[0]["snapshot"]["counters"]["seq"] == \
+            self.ROUNDS - 1
+        assert observed > 0  # the reader actually raced the writers
+        leftovers = [p for p in root.iterdir()
+                     if p.name.startswith(".tmp-")]
+        assert not leftovers
+
+    def test_corrupt_flush_files_are_skipped(self, tmp_path):
+        root = tmp_path / "metrics"
+        write_worker_snapshot(root, worker_id=0,
+                              snapshot={"counters": {}}, pid=1)
+        (root / f"{FLUSH_PREFIX}2.json").write_bytes(b"{ torn")
+        (root / f"{FLUSH_PREFIX}3.json").write_text(
+            json.dumps({"schema": "someone.else/9", "snapshot": {}}))
+        (root / "unrelated.txt").write_text("x")
+        records = read_worker_snapshots(root)
+        assert [r["pid"] for r in records] == [1]

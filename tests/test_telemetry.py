@@ -363,6 +363,59 @@ class TestPercentiles:
         assert "p50" in text and "p90" in text and "p99" in text
 
 
+class TestReportEdgeCases:
+    """estimate_percentile / format_report over the degenerate shapes
+    cross-worker aggregation can produce: empty histograms, single-
+    bucket histograms, and merges of histograms whose bucket sets
+    differ.  None of these may raise."""
+
+    @staticmethod
+    def _snapshot_with(hist):
+        return {"schema": telemetry.SCHEMA, "enabled": True,
+                "counters": {}, "gauges": {}, "spans": {},
+                "histograms": {"service.op.run.us": hist}}
+
+    def test_empty_histogram_renders(self):
+        for empty in ({}, {"count": 0, "buckets": {}}):
+            assert telemetry.estimate_percentile(empty, 99) == 0.0
+            text = telemetry.format_report(self._snapshot_with(empty))
+            assert "service.op.run.us" in text
+
+    def test_single_bucket_histogram_renders(self):
+        rec = Recorder()
+        rec.observe("h", 5)
+        rec.observe("h", 6)
+        h = rec.snapshot()["histograms"]["h"]
+        assert len(h["buckets"]) == 1
+        for q in (0, 50, 99, 100):
+            assert 5 <= telemetry.estimate_percentile(h, q) <= 6
+        assert telemetry.format_report(self._snapshot_with(h))
+
+    def test_merged_histograms_with_differing_bucket_sets(self):
+        from repro.telemetry.aggregate import merge_histograms
+
+        a_rec, b_rec = Recorder(), Recorder()
+        for v in (1, 2):
+            a_rec.observe("h", v)
+        for v in (10_000, 20_000):
+            b_rec.observe("h", v)
+        a = a_rec.snapshot()["histograms"]["h"]
+        b = b_rec.snapshot()["histograms"]["h"]
+        assert not set(a["buckets"]) & set(b["buckets"])
+        merged = merge_histograms(a, b)
+        p50 = telemetry.estimate_percentile(merged, 50)
+        p99 = telemetry.estimate_percentile(merged, 99)
+        assert 1 <= p50 <= p99 <= 20_000
+        text = telemetry.format_report(self._snapshot_with(merged))
+        assert "service.op.run.us" in text
+
+    def test_partial_histogram_dict_does_not_raise(self):
+        # a merged entry missing min/max/sum (hand-rolled snapshots)
+        h = {"count": 3, "buckets": {"le_2^4": 3}}
+        telemetry.estimate_percentile(h, 90)
+        assert telemetry.format_report(self._snapshot_with(h))
+
+
 class TestTimelineRecorder:
     def test_timeline_off_by_default(self):
         rec = Recorder()

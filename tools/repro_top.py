@@ -1,0 +1,19 @@
+#!/usr/bin/env python3
+"""Repository shim for the live service operator console.
+
+Runs :mod:`repro.tools.repro_top` from a source checkout without
+needing ``PYTHONPATH=src``::
+
+    python tools/repro_top.py --socket /tmp/repro.sock [--interval 2]
+    python tools/repro_top.py --socket /tmp/repro.sock --once [--json]
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.tools.repro_top import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,16 +7,25 @@ cycle against one shared binary, checking every result bit-identical
 to the in-process API::
 
     python tools/service_smoke.py [--clients 8] [--workers 2]
+        [--metrics-dump service-metrics.json]
 
-Exit status 0 when every client matched; 1 otherwise.  This is the CI
-job's proof that the service boots from the CLI, shards sessions
-across forked workers, and agrees with :func:`repro.api.open_binary`
-— the pytest suites cover the same properties in-process.
+The server boots with its observability plane armed; after the client
+burst the ``metrics`` op is scraped and checked: aggregated request
+counters must equal the sum of the per-worker snapshots, and the
+Prometheus exposition must parse.  ``--metrics-dump`` writes the raw
+metrics response to a file (the CI artifact).
+
+Exit status 0 when every client matched and the metrics checks held;
+1 otherwise.  This is the CI job's proof that the service boots from
+the CLI, shards sessions across forked workers, and agrees with
+:func:`repro.api.open_binary` — the pytest suites cover the same
+properties in-process.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import subprocess
 import sys
@@ -35,6 +44,7 @@ from repro.minicc import compile_source  # noqa: E402
 from repro.minicc.workloads import fib_source  # noqa: E402
 from repro.patch.points import PointType  # noqa: E402
 from repro.service import ServiceClient  # noqa: E402
+from repro.telemetry.aggregate import parse_prometheus  # noqa: E402
 
 
 def wait_for_socket(path: str, timeout: float = 15.0) -> None:
@@ -56,6 +66,8 @@ def main(argv: list[str] | None = None) -> int:
                     "concurrent clients, compare to in-process results")
     ap.add_argument("--clients", type=int, default=8)
     ap.add_argument("--workers", type=int, default=2)
+    ap.add_argument("--metrics-dump", default=None,
+                    help="write the scraped metrics response here")
     args = ap.parse_args(argv)
 
     elf = write_program(compile_source(fib_source(8)))
@@ -76,15 +88,20 @@ def main(argv: list[str] | None = None) -> int:
         server = subprocess.Popen(
             [sys.executable, "-m", "repro.service",
              "--socket", sock, "--store", os.path.join(td, "store"),
-             "--workers", str(args.workers)],
+             "--workers", str(args.workers),
+             "--metrics-dir", os.path.join(td, "metrics"),
+             "--flush-interval", "0.2"],
             env=env)
+        metrics = None
         try:
             wait_for_socket(sock)
             results, errors = [], []
 
             def one_client(i: int) -> None:
                 try:
-                    with ServiceClient(sock) as cl, cl.open(elf) as s:
+                    with ServiceClient(sock,
+                                       trace=f"smoke-{i}") as cl, \
+                            cl.open(elf) as s:
                         s.allocate("calls")
                         s.insert("fib", "FUNC_ENTRY",
                                  {"kind": "increment", "var": "calls"})
@@ -103,6 +120,11 @@ def main(argv: list[str] | None = None) -> int:
             for t in threads:
                 t.join()
             wall = time.perf_counter() - t0
+            # let every worker's periodic flusher publish the burst,
+            # then scrape the fleet-wide metrics op
+            time.sleep(1.0)
+            with ServiceClient(sock, trace="smoke-scrape") as cl:
+                metrics = cl.metrics()
         finally:
             server.terminate()
             server.wait(timeout=10)
@@ -117,12 +139,66 @@ def main(argv: list[str] | None = None) -> int:
             print(f"service_smoke: FAIL: client {i} diverged "
                   f"(reason={reason}, calls={calls})", file=sys.stderr)
             bad += 1
+    bad += check_metrics(metrics, args.clients)
+    if args.metrics_dump and metrics is not None:
+        Path(args.metrics_dump).write_text(
+            json.dumps(metrics, indent=2) + "\n")
+        print(f"service_smoke: metrics dumped to {args.metrics_dump}")
     if errors or bad or len(results) != args.clients:
         return 1
     print(f"service_smoke: OK — {args.clients} clients across "
           f"{len(pids)} worker pid(s) in {wall:.2f}s, all "
-          f"bit-identical to in-process")
+          f"bit-identical to in-process; metrics aggregation checked")
     return 0
+
+
+def check_metrics(metrics: dict | None, clients: int) -> int:
+    """The aggregation contract: merged counters equal the sum of the
+    per-worker snapshots, request totals match the traffic we sent,
+    and the exposition text parses.  Returns the failure count."""
+    bad = 0
+    if metrics is None:
+        print("service_smoke: FAIL: metrics scrape never ran",
+              file=sys.stderr)
+        return 1
+    merged = metrics["merged"]["counters"]
+    by_workers: dict[str, int] = {}
+    for w in metrics["workers"]:
+        for name, n in w["snapshot"]["counters"].items():
+            by_workers[name] = by_workers.get(name, 0) + n
+    for name, total in sorted(merged.items()):
+        if by_workers.get(name) != total:
+            print(f"service_smoke: FAIL: merged {name}={total} != "
+                  f"sum over workers {by_workers.get(name)}",
+                  file=sys.stderr)
+            bad += 1
+    if merged.get("service.op.open") != clients:
+        print(f"service_smoke: FAIL: aggregated "
+              f"service.op.open={merged.get('service.op.open')} "
+              f"(expected {clients})", file=sys.stderr)
+        bad += 1
+    try:
+        series = parse_prometheus(metrics["exposition"])
+    except ValueError as exc:
+        print(f"service_smoke: FAIL: exposition does not parse: "
+              f"{exc}", file=sys.stderr)
+        return bad + 1
+    if series.get("repro_service_op_open") != merged.get(
+            "service.op.open"):
+        print("service_smoke: FAIL: exposition disagrees with the "
+              "merged snapshot", file=sys.stderr)
+        bad += 1
+    hist = metrics["merged"]["histograms"].get("service.op.open.us")
+    if not hist or hist.get("count", 0) < clients:
+        print(f"service_smoke: FAIL: open-latency histogram missing "
+              f"or short: {hist!r}", file=sys.stderr)
+        bad += 1
+    if not bad:
+        workers = len(metrics["workers"])
+        print(f"service_smoke: metrics OK — {workers} worker "
+              f"snapshots, merged == per-worker sums, exposition "
+              f"parses ({len(series)} series)")
+    return bad
 
 
 if __name__ == "__main__":
