@@ -52,6 +52,7 @@ base.
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 
 from .errors import ReproError
@@ -81,13 +82,24 @@ class FaultPlan:
         n-th crossing of that name, 0-based).  Mutually composable with
         ``fire_at`` — whichever matches first fires; after one firing
         the plan is spent.
+    token:
+        Optional path to a *firing token* file.  Before firing, the
+        plan tries to create it exclusively (``O_CREAT | O_EXCL``);
+        if the file already exists the firing is skipped and the plan
+        is spent without firing.  This makes a schedule fire **once
+        per fleet** even when several processes (e.g. the session
+        service's forked — and respawned — workers) arm the same spec:
+        the first worker to reach the site claims the token, every
+        later worker and every respawned generation stays quiet.
     """
 
     def __init__(self, fire_at: int | None = None, *,
-                 site: str | None = None, occurrence: int = 0):
+                 site: str | None = None, occurrence: int = 0,
+                 token: str | os.PathLike | None = None):
         self.fire_at = fire_at
         self.site = site
         self.occurrence = occurrence
+        self.token = os.fspath(token) if token is not None else None
         #: every site crossing, in order (survives across scopes so one
         #: plan can span build and apply phases)
         self.hits: list[str] = []
@@ -104,9 +116,25 @@ class FaultPlan:
                 or (self.site == name and self.occurrence == occ))
         if not fire:
             return False
+        if self.token is not None and not self._claim_token():
+            # another process already fired this fleet-wide schedule;
+            # mark the plan spent without raising
+            self.fired = InjectedFault(name, idx)
+            return False
         self.fired = InjectedFault(name, idx)
         if raising:
             raise self.fired
+        return True
+
+    def _claim_token(self) -> bool:
+        try:
+            fd = os.open(self.token,
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError:
+            return False  # unreachable token dir: stay quiet
+        os.close(fd)
         return True
 
 
@@ -155,6 +183,50 @@ def active(plan: FaultPlan | None = None):
         _plan = previous
 
 
+def arm(plan: FaultPlan | None) -> FaultPlan | None:
+    """Arm *plan* for the rest of the process lifetime (no scope).
+
+    The scoped :func:`active` context manager is right for tests; a
+    long-lived serving process (a forked session-service worker armed
+    from ``REPRO_SERVICE_FAULTS``) has no enclosing scope — it arms
+    once at startup and stays armed.  Returns the previous plan.
+    """
+    global _plan
+    previous = _plan
+    _plan = plan
+    return previous
+
+
+def plan_from_spec(spec: str) -> FaultPlan:
+    """Build a :class:`FaultPlan` from a compact text spec.
+
+    Grammar: ``<site>[@<occurrence>][:<token-path>]`` — a named site,
+    the 0-based crossing of that name to fire at (default 0), and an
+    optional fleet-once token file (see :class:`FaultPlan`)::
+
+        service.worker.abort            # first crossing, every process
+        service.worker.abort@3          # fourth crossing
+        service.conn.drop@1:/tmp/tok    # once per fleet, via the token
+
+    Used by the session service's chaos harness to arm forked workers
+    through the environment.  Raises ``ValueError`` on an empty site
+    name or a non-integer occurrence.
+    """
+    body, sep, token = spec.partition(":")
+    name, _, occ = body.partition("@")
+    name = name.strip()
+    if not name:
+        raise ValueError(f"fault spec has no site name: {spec!r}")
+    try:
+        occurrence = int(occ) if occ else 0
+    except ValueError:
+        raise ValueError(
+            f"fault spec occurrence is not an integer: {spec!r}"
+        ) from None
+    return FaultPlan(site=name, occurrence=occurrence,
+                     token=token if sep and token else None)
+
+
 def enumerate_sites(fn) -> list[str]:
     """Run *fn* under a recording-only plan and return the ordered site
     crossings — the domain of the injection matrix."""
@@ -164,6 +236,6 @@ def enumerate_sites(fn) -> list[str]:
 
 
 __all__ = [
-    "FaultPlan", "InjectedFault", "active", "current",
-    "enumerate_sites", "pressure", "site",
+    "FaultPlan", "InjectedFault", "active", "arm", "current",
+    "enumerate_sites", "plan_from_spec", "pressure", "site",
 ]

@@ -40,10 +40,14 @@ monitoring guide.
 """
 
 from .client import RemoteSession, ServiceClient
-from .protocol import ProtocolError, ServiceError
+from .protocol import (
+    RETRYABLE_KINDS, DeadlineExceeded, Overloaded, ProtocolError,
+    ServiceError, ShuttingDown,
+)
 from .server import SessionServer
 
 __all__ = [
-    "ProtocolError", "RemoteSession", "ServiceClient", "ServiceError",
-    "SessionServer",
+    "DeadlineExceeded", "Overloaded", "ProtocolError",
+    "RETRYABLE_KINDS", "RemoteSession", "ServiceClient",
+    "ServiceError", "SessionServer", "ShuttingDown",
 ]

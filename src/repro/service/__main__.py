@@ -47,6 +47,27 @@ def main(argv: list[str] | None = None) -> int:
                         help="structured JSON request log: a file "
                              "path, or 'stderr' (default: "
                              "$REPRO_SERVICE_LOG, unset = off)")
+    parser.add_argument("--no-supervise", action="store_true",
+                        help="disable the parent supervisor loop "
+                             "(crashed workers are then not respawned)")
+    parser.add_argument("--max-connections", type=int, default=64,
+                        help="per-worker concurrent-connection cap; "
+                             "excess connections are shed with a "
+                             "retryable 'Overloaded' error")
+    parser.add_argument("--max-sessions", type=int, default=128,
+                        help="per-worker live-session cap; excess "
+                             "opens are shed")
+    parser.add_argument("--idle-timeout", type=float, default=None,
+                        help="seconds before an idle (or slowloris) "
+                             "connection is dropped (default: "
+                             "$REPRO_SERVICE_IDLE_S, unset = off)")
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="server-side wall-clock deadline for "
+                             "'run' requests in seconds (default: "
+                             "$REPRO_SERVICE_DEADLINE_S, unset = off)")
+    parser.add_argument("--drain-timeout", type=float, default=5.0,
+                        help="seconds a SIGTERM'd worker drains "
+                             "in-flight requests before a hard exit")
     args = parser.parse_args(argv)
 
     server = SessionServer(args.socket, store=args.store,
@@ -54,7 +75,13 @@ def main(argv: list[str] | None = None) -> int:
                            metrics_dir=args.metrics_dir,
                            flush_interval=args.flush_interval,
                            slow_threshold_us=args.slow_us,
-                           log=args.log)
+                           log=args.log,
+                           supervise=not args.no_supervise,
+                           max_connections=args.max_connections,
+                           max_sessions=args.max_sessions,
+                           idle_timeout=args.idle_timeout,
+                           deadline_s=args.deadline,
+                           drain_timeout=args.drain_timeout)
     stop = {"flag": False}
 
     def _shutdown(signum, frame):
@@ -65,11 +92,16 @@ def main(argv: list[str] | None = None) -> int:
     with server:
         root = server.store.root if server.store else "disabled"
         metrics = server.metrics_dir or "off"
+        sup = ("supervised" if server.supervise and args.workers
+               else "unsupervised")
         print(f"repro.service listening on {args.socket} "
-              f"({args.workers} workers, store={root}, "
+              f"({args.workers} workers, {sup}, store={root}, "
               f"metrics={metrics})", flush=True)
         while not stop["flag"]:
             signal.pause()
+        # context exit runs the graceful, escalating close(): workers
+        # drain in-flight requests, then SIGTERM/SIGKILL escalation
+        # reaps anything stuck — no zombie children survive
     return 0
 
 

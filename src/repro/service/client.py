@@ -17,20 +17,42 @@ Server-side failures re-raise as
 exception class name in ``.kind`` — still a
 :class:`~repro.errors.ReproError`, so one catch clause covers remote
 and in-process use alike.
+
+Resilience (docs/SERVICE.md, "Failure modes and recovery"): transport
+failures — ``socket.timeout``, ``ConnectionResetError``, a server that
+died mid-frame — never leak raw ``OSError``; they map onto typed
+*retryable* :class:`ServiceError`\\ s (kinds ``ServiceTimeout``,
+``ConnectionLost``, ``ConnectFailed``).  Connection-scoped idempotent
+ops (``ping``/``stats``/``metrics``/``healthz``/``open``) additionally
+retry automatically: the client reconnects and re-sends with capped
+exponential backoff plus jitter, honouring the server's
+``retry_after`` hint on load sheds.  Session-scoped ops are *not*
+auto-retried — a session dies with its connection, so the retryable
+error surfaces to the caller, who reopens and redoes the session
+(``err.retryable`` tells it whether that is worth doing).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import os
+import random
 import socket
 import threading
+import time
 
 from ..api.options import InstrumentOptions
 from .protocol import (
     ProtocolError, ServiceError, decode_bytes, encode_bytes,
     recv_message, send_message,
 )
+
+#: ops that are safe to re-send after a reconnect: they either read
+#: state or (``open``) leave nothing behind on the dead connection —
+#: the server reaps a connection's sessions when it drops
+IDEMPOTENT_OPS = frozenset({
+    "ping", "stats", "metrics", "healthz", "open",
+})
 
 
 def options_to_wire(options: InstrumentOptions | None) -> dict | None:
@@ -52,39 +74,134 @@ class ServiceClient:
 
     def __init__(self, socket_path: str | os.PathLike,
                  timeout: float | None = 30.0,
-                 trace: str | None = None):
+                 trace: str | None = None,
+                 retries: int = 2,
+                 retry_backoff: float = 0.05):
         self.socket_path = os.fspath(socket_path)
         self.trace = trace
+        self.timeout = timeout
+        #: automatic reconnect-and-retry attempts for idempotent ops
+        #: (0 disables); session-scoped ops never auto-retry
+        self.retries = retries
+        #: base of the capped exponential retry backoff (seconds);
+        #: each sleep adds uniform jitter of the same magnitude
+        self.retry_backoff = retry_backoff
         #: request id of the most recent response (server-assigned)
         self.last_rid: str | None = None
-        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        if timeout is not None:
-            self._sock.settimeout(timeout)
-        self._sock.connect(self.socket_path)
         self._lock = threading.Lock()
+        self._sock: socket.socket | None = None
+        #: bumped on every (re)connect; sessions record the generation
+        #: they were opened on, so a close() after the connection died
+        #: is skipped instead of confusing a fresh connection
+        self._conn_gen = 0
+        self._connect()
 
     # -- plumbing ----------------------------------------------------------
 
-    def request(self, op: str, **fields) -> dict:
-        """Send one request, wait for its response, unwrap errors."""
-        if self.trace is not None and "trace" not in fields:
-            fields["trace"] = self.trace
-        with self._lock:
+    def _connect(self) -> None:
+        """(Re)connect, mapping transport failures to a typed
+        retryable :class:`ServiceError` (kind ``ConnectFailed``)."""
+        self._drop_socket()
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            sock.settimeout(self.timeout)
+        try:
+            sock.connect(self.socket_path)
+        except OSError as exc:
+            try:
+                sock.close()
+            except OSError:
+                pass
+            raise ServiceError(
+                f"cannot connect to {self.socket_path}: {exc}",
+                kind="ConnectFailed") from exc
+        self._sock = sock
+        self._conn_gen += 1
+
+    def _drop_socket(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _call(self, op: str, fields: dict) -> dict:
+        """One request/response exchange on the live connection.
+
+        Raw transport failures never escape: ``socket.timeout``
+        becomes a retryable ``ServiceTimeout``, and a reset / closed /
+        mid-frame-dead peer becomes a retryable ``ConnectionLost``.
+        After either, the connection state is ambiguous (a response
+        may still be in flight), so the socket is dropped and the next
+        request reconnects.
+        """
+        if self._sock is None:
+            self._connect()
+        try:
             send_message(self._sock, {"op": op, **fields})
             resp = recv_message(self._sock)
+        except TimeoutError as exc:
+            self._drop_socket()
+            raise ServiceError(
+                f"no response to {op!r} within {self.timeout}s",
+                kind="ServiceTimeout") from exc
+        except OSError as exc:
+            self._drop_socket()
+            raise ServiceError(
+                f"connection lost during {op!r}: {exc}",
+                kind="ConnectionLost") from exc
+        except ProtocolError as exc:
+            # the server died mid-frame: a torn response, then EOF
+            self._drop_socket()
+            raise ServiceError(
+                f"connection lost during {op!r}: {exc}",
+                kind="ConnectionLost") from exc
         if resp is None:
-            raise ProtocolError("server closed the connection")
+            self._drop_socket()
+            raise ServiceError(
+                f"server closed the connection before answering "
+                f"{op!r}", kind="ConnectionLost")
         self.last_rid = resp.get("rid")
         if not resp.get("ok"):
-            raise ServiceError(resp.get("error", "unknown failure"),
-                               kind=resp.get("kind", "ServiceError"))
+            raise ServiceError(
+                resp.get("error", "unknown failure"),
+                kind=resp.get("kind", "ServiceError"),
+                retryable=resp.get("retryable"),
+                retry_after=resp.get("retry_after"))
         return resp
 
+    def request(self, op: str, **fields) -> dict:
+        """Send one request, wait for its response, unwrap errors.
+
+        Idempotent ops (:data:`IDEMPOTENT_OPS`) are retried up to
+        ``retries`` times across reconnects when the failure is
+        retryable — exponential backoff plus jitter, honouring the
+        server's ``retry_after`` hint on load sheds.  Session-scoped
+        ops surface their (typed) error immediately: their session
+        died with the connection, so the caller must reopen anyway.
+        """
+        if self.trace is not None and "trace" not in fields:
+            fields["trace"] = self.trace
+        attempts = 1 + (self.retries if op in IDEMPOTENT_OPS else 0)
+        with self._lock:
+            for attempt in range(attempts):
+                try:
+                    return self._call(op, fields)
+                except ServiceError as exc:
+                    last = attempt == attempts - 1
+                    if last or not exc.retryable or \
+                            exc.kind == "DeadlineExceeded":
+                        raise
+                    delay = exc.retry_after
+                    if delay is None:
+                        delay = self.retry_backoff * (2 ** attempt)
+                    time.sleep(delay +
+                               random.uniform(0, self.retry_backoff))
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def close(self) -> None:
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        self._drop_socket()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -139,6 +256,7 @@ class RemoteSession:
         #: True when the server revived the analysis from the store
         self.revived = opened["revived"]
         self.functions = opened["functions"]
+        self._conn_gen = client._conn_gen
         self._closed = False
 
     def _request(self, op: str, **fields) -> dict:
@@ -163,20 +281,47 @@ class RemoteSession:
         self._request("commit")
 
     def run(self, max_steps: int | None = None,
-            read: list[str] | None = None) -> dict:
+            read: list[str] | None = None,
+            deadline_ms: float | None = None) -> dict:
         """Commit (if needed), load, run; returns the stop event,
-        registers, and all variable values."""
-        return self._request("run", max_steps=max_steps,
-                             read=read or [])
+        registers, and all variable values.
+
+        *deadline_ms* asks the server to bound this run's wall-clock
+        time (it can only tighten a server-configured deadline, never
+        extend it).  On expiry the server rolls the machine back
+        through its transactional journal and raises a retryable
+        ``DeadlineExceeded`` — the session stays usable.
+        """
+        fields = {"max_steps": max_steps, "read": read or []}
+        if deadline_ms is not None:
+            fields["deadline_ms"] = deadline_ms
+        return self._request("run", **fields)
 
     def rewrite(self) -> bytes:
         """Static rewriting: the instrumented ELF image."""
         return decode_bytes(self._request("rewrite")["elf"])
 
     def close(self) -> None:
-        if not self._closed:
-            self._closed = True
+        if self._closed:
+            return
+        self._closed = True
+        if (self._client._conn_gen != self._conn_gen
+                or self._client._sock is None):
+            # the connection this session lived on is gone (replaced,
+            # or dropped after a transport error), and its sessions
+            # died with it; a close would lazily reconnect and only
+            # earn an unknown-session error from the new worker —
+            # masking whatever retryable error the caller is handling
+            return
+        try:
             self._request("close")
+        except ServiceError as exc:
+            # a session dies with its connection anyway: closing
+            # one whose worker/connection is already gone is not
+            # an error worth masking the caller's exception for
+            if exc.kind not in ("ConnectionLost", "ConnectFailed",
+                                "ServiceTimeout", "ShuttingDown"):
+                raise
 
     def __enter__(self) -> "RemoteSession":
         return self
@@ -186,4 +331,5 @@ class RemoteSession:
         return False
 
 
-__all__ = ["RemoteSession", "ServiceClient", "options_to_wire"]
+__all__ = ["IDEMPOTENT_OPS", "RemoteSession", "ServiceClient",
+           "options_to_wire"]

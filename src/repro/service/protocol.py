@@ -70,16 +70,65 @@ class ProtocolError(ReproError, RuntimeError):
     """Malformed framing or message content on the service socket."""
 
 
+#: error kinds a client may safely retry (possibly after reconnecting
+#: and reopening its session) — the transient half of the taxonomy.
+#: Anything else is permanent: retrying the same request will fail the
+#: same way.
+RETRYABLE_KINDS = frozenset({
+    "Overloaded",        # load shed: caps hit, retry after a backoff
+    "DeadlineExceeded",  # server-side request deadline fired
+    "ShuttingDown",      # worker draining: reconnect elsewhere
+    "ConnectionLost",    # peer/socket died mid-exchange (client-side)
+    "ConnectFailed",     # could not reach the server (client-side)
+    "ServiceTimeout",    # client-side response deadline fired
+    "InjectedFault",     # chaos testing: simulated transient failure
+})
+
+
 class ServiceError(ReproError, RuntimeError):
     """The server reported a failure for a request.
 
     ``kind`` carries the server-side exception class name (e.g.
     ``ApiError``), so clients can dispatch without parsing messages.
+    ``retryable`` splits the taxonomy: ``True`` means the failure is
+    transient (overload, deadline, lost worker) and the *same* request
+    may succeed on retry — after reconnecting and reopening the
+    session if the connection itself died.  ``retry_after`` optionally
+    carries the server's backoff hint in seconds (load shedding).
     """
 
-    def __init__(self, message: str, kind: str = "ServiceError"):
+    def __init__(self, message: str, kind: str = "ServiceError",
+                 retryable: bool | None = None,
+                 retry_after: float | None = None):
         super().__init__(message)
         self.kind = kind
+        self.retryable = (kind in RETRYABLE_KINDS
+                          if retryable is None else bool(retryable))
+        self.retry_after = retry_after
+
+
+class Overloaded(ReproError, RuntimeError):
+    """The server shed this request: a worker's connection or session
+    cap is full.  Retry after :attr:`retry_after` seconds (plus
+    jitter) — the typed, bounded alternative to queueing unbounded
+    work."""
+
+    def __init__(self, message: str, retry_after: float = 0.05):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class DeadlineExceeded(ReproError, RuntimeError):
+    """A server-side request deadline fired.  The session was rolled
+    back through the transactional journal (never a half-applied
+    patch) and remains usable — retry, raise the deadline, or bound
+    the work with ``max_steps``."""
+
+
+class ShuttingDown(ReproError, RuntimeError):
+    """The worker is draining for shutdown and no longer accepts new
+    work.  Reconnect: a surviving worker (or the respawned fleet) will
+    take the session."""
 
 
 # -- framing ---------------------------------------------------------------
@@ -166,5 +215,16 @@ def snippet_from_spec(spec: dict,
 
 
 def error_response(exc: BaseException) -> dict:
-    return {"ok": False, "error": str(exc),
-            "kind": type(exc).__name__}
+    """Map a server-side exception onto the wire error shape.
+
+    ``kind`` is the exception class name; ``retryable`` marks the
+    transient half of the taxonomy so clients need no kind table; load
+    sheds additionally carry the ``retry_after`` backoff hint.
+    """
+    kind = type(exc).__name__
+    resp = {"ok": False, "error": str(exc), "kind": kind,
+            "retryable": kind in RETRYABLE_KINDS}
+    retry_after = getattr(exc, "retry_after", None)
+    if retry_after is not None:
+        resp["retry_after"] = retry_after
+    return resp

@@ -51,10 +51,11 @@ import os
 import signal
 import socket
 import sys
+import tempfile
 import threading
 import time
 
-from .. import telemetry
+from .. import faults, telemetry
 from ..api.analysis import Analysis, analyze
 from ..api.bpatch import BinaryEdit
 from ..api.options import InstrumentOptions
@@ -62,14 +63,31 @@ from ..artifacts import ArtifactStore, artifact_key, content_digest
 from ..patch.points import PointType
 from ..telemetry import aggregate
 from .protocol import (
-    PROTOCOL, ProtocolError, decode_bytes, encode_bytes, error_response,
-    recv_message, send_message, snippet_from_spec,
+    PROTOCOL, DeadlineExceeded, Overloaded, ProtocolError, ShuttingDown,
+    decode_bytes, encode_bytes, error_response, recv_message,
+    send_message, snippet_from_spec,
 )
 
 #: environment variables configuring the observability plane
 ENV_METRICS = "REPRO_SERVICE_METRICS"
 ENV_LOG = "REPRO_SERVICE_LOG"
 ENV_SLOW_US = "REPRO_SERVICE_SLOW_US"
+
+#: environment variables configuring the resilience layer
+ENV_IDLE_S = "REPRO_SERVICE_IDLE_S"
+ENV_DEADLINE_S = "REPRO_SERVICE_DEADLINE_S"
+#: chaos harness: a fault spec (``site[@occurrence][:token]``, see
+#: :func:`repro.faults.plan_from_spec`) armed by every forked worker
+ENV_FAULTS = "REPRO_SERVICE_FAULTS"
+
+#: schema identifier for the supervisor's state file
+SUP_SCHEMA = "repro.service.supervisor/1"
+
+
+class _WorkerAbort(BaseException):
+    """Chaos-injected worker death in thread-serving mode (workers=0),
+    where ``os._exit`` would take the test process down: unwinds the
+    connection thread without a response, like a crash would."""
 
 
 def options_from_wire(data: dict | None) -> InstrumentOptions:
@@ -142,9 +160,53 @@ class SessionServer:
         Structured request-log target: a path to append JSON lines to,
         or ``"stderr"``/``"-"``/``"1"`` for stderr.  Defaults to
         ``REPRO_SERVICE_LOG``; ``None``/unset disables logging.
+    supervise:
+        With forked workers, run a supervisor loop in the parent that
+        ``waitpid``-reaps crashed workers and respawns them with
+        capped exponential backoff (default on).  Generation and
+        respawn counts surface through ``healthz``.
+    max_connections:
+        Per-worker cap on concurrently served connections.  Excess
+        connections are *shed*: they receive one ``Overloaded`` error
+        frame (kind ``Overloaded``, ``retryable: true``, a
+        ``retry_after`` hint) and are closed instead of spawning an
+        unbounded thread.
+    max_sessions:
+        Per-worker cap on live sessions; ``open`` beyond it sheds the
+        request the same way.
+    idle_timeout:
+        Seconds a connection may sit idle (including mid-frame — the
+        slowloris case) before the worker drops it.  ``None``/unset
+        disables (default; override with ``REPRO_SERVICE_IDLE_S``).
+    deadline_s:
+        Server-side wall-clock deadline for ``run`` requests.  The
+        simulator executes in bounded slices and checks the clock
+        between them; on expiry the machine is rolled back through the
+        transactional journal (bit-identical restore — never a
+        half-applied patch) and the client receives a retryable
+        ``DeadlineExceeded`` error, the session still usable.
+        ``None``/unset disables (default; override with
+        ``REPRO_SERVICE_DEADLINE_S``).  Requests may carry their own
+        ``deadline_ms``; the effective deadline is the minimum.
+    drain_timeout:
+        Seconds a SIGTERM'd worker (and :meth:`close`) waits for
+        in-flight requests before escalating to a hard exit.
     """
 
     BACKLOG = 64
+
+    #: simulator slice between deadline checks (bounded runs stay on
+    #: the interpreter, so slicing is only engaged when a deadline is)
+    RUN_SLICE = 200_000
+
+    #: capped exponential respawn backoff: base * 2^consecutive,
+    #: clamped to the max; consecutive resets after a healthy stretch
+    BACKOFF_BASE = 0.05
+    BACKOFF_MAX = 2.0
+    BACKOFF_RESET_S = 5.0
+
+    #: retry-after hint attached to shed responses (seconds)
+    RETRY_AFTER = 0.1
 
     #: the complete op vocabulary; anything else counts once under
     #: ``service.op.unknown`` (bounded counter cardinality) and fails
@@ -168,7 +230,13 @@ class SessionServer:
                  metrics_dir: str | os.PathLike | None = None,
                  flush_interval: float = 2.0,
                  slow_threshold_us: float | None = None,
-                 log: str | os.PathLike | None = None):
+                 log: str | os.PathLike | None = None,
+                 supervise: bool = True,
+                 max_connections: int = 64,
+                 max_sessions: int = 128,
+                 idle_timeout: float | None = None,
+                 deadline_s: float | None = None,
+                 drain_timeout: float = 5.0):
         self.socket_path = os.fspath(socket_path)
         if isinstance(store, ArtifactStore):
             self.store = store
@@ -191,9 +259,31 @@ class SessionServer:
         self._log_target = os.fspath(log) if log is not None else None
         self._log_fh = None
         self._log_lock = threading.Lock()
+        self.supervise = supervise
+        self.max_connections = max_connections
+        self.max_sessions = max_sessions
+        if idle_timeout is None:
+            env = os.environ.get(ENV_IDLE_S)
+            idle_timeout = float(env) if env else None
+        self.idle_timeout = idle_timeout
+        if deadline_s is None:
+            env = os.environ.get(ENV_DEADLINE_S)
+            deadline_s = float(env) if env else None
+        self.deadline_s = deadline_s
+        self.drain_timeout = drain_timeout
+        #: supervisor state file, written atomically by the parent and
+        #: read by workers to answer ``healthz``
+        self._sup_path = self.socket_path + ".sup.json"
+        self._sup_lock = threading.Lock()
+        self._sup_thread: threading.Thread | None = None
+        self._slots: list[dict] = []
+        self._respawns_total = 0
+        self._sup_written = 0.0
         self._procs: list[multiprocessing.Process] = []
         self._thread: threading.Thread | None = None
         self._closed = False
+        self._draining = False
+        self._is_forked_worker = False
         # worker-local state (each forked worker gets its own copies)
         self._worker_id = 0
         self._analyses: dict[str, Analysis] = {}
@@ -204,6 +294,9 @@ class SessionServer:
         self._slow: collections.deque = collections.deque(
             maxlen=self.SLOW_RING)
         self._started_at = time.time()
+        self._conn_lock = threading.Lock()
+        self._conns: set = set()
+        self._inflight = 0
 
         if os.path.exists(self.socket_path):
             os.unlink(self.socket_path)
@@ -218,12 +311,20 @@ class SessionServer:
         if self.metrics_dir:
             self._clear_stale_flushes()
         if self.workers:
-            ctx = multiprocessing.get_context("fork")
             for idx in range(self.workers):
-                p = ctx.Process(target=self._worker_main, args=(idx,),
-                                daemon=True, name=f"repro-svc-{idx}")
-                p.start()
-                self._procs.append(p)
+                self._slots.append({
+                    "slot": idx, "proc": None, "generation": 0,
+                    "respawns": 0, "consecutive": 0,
+                    "started_at": time.monotonic(),
+                    "respawn_at": None, "last_exitcode": None,
+                })
+                self._spawn_slot(self._slots[idx])
+            self._write_sup_state()
+            if self.supervise:
+                self._sup_thread = threading.Thread(
+                    target=self._supervise, daemon=True,
+                    name="repro-svc-supervisor")
+                self._sup_thread.start()
         else:
             self._thread = threading.Thread(
                 target=self._serve_forever, args=(0,), daemon=True,
@@ -232,17 +333,39 @@ class SessionServer:
         return self
 
     def close(self) -> None:
+        """Graceful, escalating shutdown: stop accepting, ask workers
+        to drain in-flight work (SIGTERM), then escalate — a second
+        SIGTERM forces exit, SIGKILL reaps anything still stuck — and
+        re-join so no zombie children survive."""
         if self._closed:
             return
-        self._closed = True
+        self._closed = True  # stops the supervisor from respawning
+        if self._sup_thread is not None:
+            self._sup_thread.join(timeout=2)
         try:
             self._listener.close()
         except OSError:
             pass
-        for p in self._procs:
-            p.terminate()
-        for p in self._procs:
-            p.join(timeout=5)
+        procs = [s["proc"] for s in self._slots if s["proc"] is not None]
+        procs += [p for p in self._procs if p not in procs]
+        for p in procs:          # round 1: drain request
+            if p.is_alive():
+                p.terminate()
+        deadline = time.monotonic() + self.drain_timeout + 1.0
+        for p in procs:
+            p.join(timeout=max(0.1, deadline - time.monotonic()))
+        for p in procs:          # round 2: immediate-exit request
+            if p.is_alive():
+                p.terminate()
+        for p in procs:
+            if p.is_alive():
+                p.join(timeout=2)
+        for p in procs:          # round 3: the kernel always wins
+            if p.is_alive():
+                p.kill()
+        for p in procs:
+            if p.is_alive():
+                p.join(timeout=5)
         with self._log_lock:
             if self._log_fh is not None and self._log_fh is not sys.stderr:
                 try:
@@ -250,11 +373,103 @@ class SessionServer:
                 except OSError:
                     pass
             self._log_fh = None
-        if os.path.exists(self.socket_path):
-            try:
-                os.unlink(self.socket_path)
-            except OSError:
-                pass
+        for path in (self.socket_path, self._sup_path):
+            if os.path.exists(path):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+
+    # -- supervision -------------------------------------------------------
+
+    def _spawn_slot(self, slot: dict) -> None:
+        ctx = multiprocessing.get_context("fork")
+        p = ctx.Process(
+            target=self._worker_main, args=(slot["slot"],),
+            daemon=True,
+            name=f"repro-svc-{slot['slot']}.g{slot['generation']}")
+        p.start()
+        slot["proc"] = p
+        slot["started_at"] = time.monotonic()
+        self._procs.append(p)
+
+    def _supervise(self) -> None:
+        """Parent-side supervisor: reap dead workers, respawn with
+        capped exponential backoff, publish fleet state."""
+        while not self._closed:
+            time.sleep(0.05)
+            now = time.monotonic()
+            changed = False
+            with self._sup_lock:
+                for slot in self._slots:
+                    p = slot["proc"]
+                    if self._closed or p is None or p.is_alive():
+                        continue
+                    if slot["respawn_at"] is None:
+                        # first sighting of this death: reap, schedule
+                        p.join(timeout=0)
+                        slot["last_exitcode"] = p.exitcode
+                        lived = now - slot["started_at"]
+                        slot["consecutive"] = (
+                            0 if lived >= self.BACKOFF_RESET_S
+                            else slot["consecutive"] + 1)
+                        delay = min(
+                            self.BACKOFF_MAX,
+                            self.BACKOFF_BASE *
+                            (2 ** min(slot["consecutive"], 16)))
+                        slot["respawn_at"] = now + delay
+                        changed = True
+                    elif now >= slot["respawn_at"]:
+                        slot["respawn_at"] = None
+                        slot["generation"] += 1
+                        slot["respawns"] += 1
+                        self._respawns_total += 1
+                        self._spawn_slot(slot)
+                        changed = True
+            if changed or time.monotonic() - self._sup_written > 1.0:
+                self._write_sup_state()
+
+    def _write_sup_state(self) -> None:
+        """Atomically publish the supervisor's fleet view (same
+        mkstemp + ``os.replace`` discipline as the metric flushes), so
+        any worker can answer ``healthz`` with respawn counts."""
+        with self._sup_lock:
+            state = {
+                "schema": SUP_SCHEMA, "pid": os.getpid(),
+                "ts": time.time(),
+                "respawns_total": self._respawns_total,
+                "supervising": bool(self.supervise and self.workers),
+                "workers": [
+                    {"slot": s["slot"],
+                     "pid": s["proc"].pid if s["proc"] else None,
+                     "generation": s["generation"],
+                     "respawns": s["respawns"],
+                     "alive": bool(s["proc"] and s["proc"].is_alive()),
+                     "last_exitcode": s["last_exitcode"]}
+                    for s in self._slots
+                ],
+            }
+        blob = json.dumps(state).encode()
+        d = os.path.dirname(self._sup_path) or "."
+        try:
+            fd, tmp = tempfile.mkstemp(dir=d, prefix=".sup-",
+                                       suffix=".json")
+            with os.fdopen(fd, "wb") as f:
+                f.write(blob)
+            os.replace(tmp, self._sup_path)
+        except OSError:
+            return  # disk hiccup: state is advisory, retry next round
+        self._sup_written = time.monotonic()
+
+    def _read_sup_state(self) -> dict | None:
+        try:
+            with open(self._sup_path, "rb") as f:
+                data = json.loads(f.read())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(data, dict) or data.get("schema") != SUP_SCHEMA:
+            return None
+        return data
 
     def __enter__(self) -> "SessionServer":
         return self.start()
@@ -266,9 +481,11 @@ class SessionServer:
     # -- worker side -------------------------------------------------------
 
     def _worker_main(self, worker_id: int) -> None:
-        # the parent may trap SIGTERM/SIGINT for its own shutdown
-        # loop; workers must stay terminable by Process.terminate()
-        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        # SIGTERM asks the worker to *drain*: stop accepting, let
+        # in-flight requests finish up to drain_timeout, then exit.  A
+        # second SIGTERM (the parent's escalation) forces exit now.
+        self._is_forked_worker = True
+        signal.signal(signal.SIGTERM, self._on_sigterm)
         signal.signal(signal.SIGINT, signal.SIG_DFL)
         # fresh post-fork state: caches must not alias the parent's
         self._analyses = {}
@@ -279,7 +496,55 @@ class SessionServer:
         self._slow = collections.deque(maxlen=self.SLOW_RING)
         self._log_fh = None
         self._log_lock = threading.Lock()
+        self._conn_lock = threading.Lock()
+        self._conns = set()
+        self._inflight = 0
+        self._draining = False
+        spec = os.environ.get(ENV_FAULTS)
+        if spec:  # chaos harness: arm this worker's injection plan
+            try:
+                faults.arm(faults.plan_from_spec(spec))
+            except ValueError:
+                pass
         self._serve_forever(worker_id)
+        if self._draining:
+            self._drain_and_exit()
+
+    def _on_sigterm(self, signum, frame) -> None:
+        if self._draining:
+            os._exit(0)  # escalation: second TERM means *now*
+        self._draining = True
+        try:
+            # unblocks the accept loop; in-flight threads keep going
+            self._listener.close()
+        except OSError:
+            pass
+
+    def _drain_and_exit(self) -> None:
+        """Serve out in-flight requests, then leave.  Idle connections
+        are closed as soon as nothing is mid-request; anything still
+        running at the timeout is abandoned (hard exit) — the client
+        sees a dropped connection, which is retryable."""
+        telemetry.current().gauge("service.draining", 1)
+        deadline = time.monotonic() + self.drain_timeout
+        while time.monotonic() < deadline:
+            with self._conn_lock:
+                inflight = self._inflight
+                conns = list(self._conns)
+            if inflight == 0:
+                for c in conns:
+                    try:
+                        c.shutdown(socket.SHUT_RDWR)
+                    except OSError:
+                        pass
+                break
+            time.sleep(0.02)
+        if self.metrics_dir:
+            try:
+                self._flush_snapshot()
+            except Exception:  # noqa: BLE001 — exiting anyway
+                pass
+        os._exit(0)
 
     def _serve_forever(self, worker_id: int) -> None:
         self._worker_id = worker_id
@@ -287,30 +552,96 @@ class SessionServer:
         while True:
             try:
                 conn, _ = self._listener.accept()
-            except OSError:
-                return  # listener closed: shutdown
+            except (OSError, ValueError):
+                return  # listener closed: shutdown or drain
+            if self._draining:
+                self._refuse(conn, ShuttingDown(
+                    "worker is draining for shutdown; reconnect"))
+                continue
+            with self._conn_lock:
+                live = len(self._conns)
+                if live < self.max_connections:
+                    self._conns.add(conn)
+            if live >= self.max_connections:
+                telemetry.current().count("service.shed.connections")
+                self._refuse(conn, Overloaded(
+                    f"worker at its {self.max_connections}-connection "
+                    f"cap", retry_after=self.RETRY_AFTER))
+                continue
             t = threading.Thread(
                 target=self._serve_connection, args=(conn, worker_id),
                 daemon=True)
             t.start()
 
+    def _refuse(self, conn: socket.socket, exc: Exception) -> None:
+        """Shed a connection: one typed, retryable error frame, then
+        close.  Runs in a short-lived thread (time-bounded, no session
+        state) so a slow peer cannot stall the accept loop."""
+        resp = error_response(exc)
+        resp["rid"] = f"w{self._worker_id}-shed"
+        threading.Thread(target=self._refuse_io, args=(conn, resp),
+                         daemon=True).start()
+
+    @staticmethod
+    def _refuse_io(conn: socket.socket, resp: dict) -> None:
+        try:
+            conn.settimeout(1.0)
+            send_message(conn, resp)
+            conn.shutdown(socket.SHUT_WR)
+            # drain what the peer already sent: closing with unread
+            # bytes would reset the connection and destroy the error
+            # frame before the client reads it
+            while conn.recv(65536):
+                pass
+        except (TimeoutError, OSError):
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
     def _serve_connection(self, conn: socket.socket,
                           worker_id: int) -> None:
         sessions: dict[str, _Session] = {}
+        rec = telemetry.current()
+        if self.idle_timeout is not None:
+            conn.settimeout(self.idle_timeout)
         try:
             while True:
                 try:
                     req = recv_message(conn)
+                except TimeoutError:
+                    # idle peer or slowloris mid-frame: reclaim the
+                    # thread; the peer can reconnect
+                    rec.count("service.conn.idle_timeouts")
+                    return
                 except ProtocolError:
-                    return  # unframeable peer: drop the connection
+                    # unframeable peer: drop the connection, the
+                    # worker (and its other connections) live on
+                    rec.count("service.conn.protocol_drops")
+                    return
+                except OSError:
+                    return  # peer reset mid-frame
                 if req is None:
                     return
                 resp = self._handle(req, sessions, worker_id)
+                if faults.pressure("service.conn.drop"):
+                    # chaos: die mid-frame — a torn response, then EOF
+                    try:
+                        conn.sendall(b"\x00\x00")
+                    except OSError:
+                        pass
+                    return
                 try:
                     send_message(conn, resp)
-                except OSError:
+                except (TimeoutError, OSError):
                     return
+        except _WorkerAbort:
+            return  # chaos: simulated worker crash (thread mode)
         finally:
+            with self._conn_lock:
+                self._conns.discard(conn)
             conn.close()
             if sessions:  # connection died with sessions still open
                 self._session_closed(len(sessions))
@@ -343,6 +674,12 @@ class SessionServer:
         if not self.metrics_dir:
             return
         rec = telemetry.current()
+        sup = self._read_sup_state()
+        if sup is not None and sup.get("supervising"):
+            rec.gauge("service.workers.respawns",
+                      sup.get("respawns_total", 0))
+            rec.gauge("service.workers.alive", sum(
+                1 for w in sup.get("workers", []) if w.get("alive")))
         aggregate.write_worker_snapshot(
             self.metrics_dir, worker_id=self._worker_id,
             snapshot=rec.snapshot(), sessions=self._live_sessions,
@@ -413,13 +750,25 @@ class SessionServer:
         t0 = time.perf_counter() if (observed or logging) else 0.0
         before = rec.counters() if observed else None
         err_kind = None
+        with self._conn_lock:
+            self._inflight += 1
         try:
+            if faults.pressure("service.worker.abort"):
+                # chaos: the worker dies mid-request.  Forked workers
+                # really exit (the supervisor's problem); the
+                # in-thread test mode only kills the connection.
+                if self._is_forked_worker:
+                    os._exit(86)
+                raise _WorkerAbort()
             if not known:
                 raise ProtocolError(f"unknown op {op!r}")
             resp = self._dispatch(op, req, sessions, worker_id)
         except Exception as exc:  # noqa: BLE001 — wire boundary
             err_kind = type(exc).__name__
             resp = error_response(exc)
+        finally:
+            with self._conn_lock:
+                self._inflight -= 1
         resp["rid"] = rid
         if trace is not None:
             resp["trace"] = trace
@@ -489,6 +838,11 @@ class SessionServer:
             session.edit.insert(pts, snip)
             return {"ok": True, "points": len(pts)}
         if op == "commit":
+            # chaos site: a handler exception mid-commit.  commit() is
+            # pure w.r.t. any machine (mutation happens only in the
+            # journaled apply), so the session survives and the retry
+            # succeeds.
+            faults.site("service.commit")
             session.edit.commit()
             return {"ok": True}
         if op == "run":
@@ -554,8 +908,9 @@ class SessionServer:
 
     def _op_healthz(self, worker_id: int) -> dict:
         """Worker liveness: every flush file's age and whether its pid
-        still exists.  Without a metrics dir, reports just the
-        accepting worker (trivially alive)."""
+        still exists, plus the supervisor's fleet view (generations,
+        respawn counts, backoff state).  Without a metrics dir,
+        reports just the accepting worker (trivially alive)."""
         now = time.time()
         workers = []
         if self.metrics_dir:
@@ -570,14 +925,38 @@ class SessionServer:
             workers.append({"pid": os.getpid(), "worker": worker_id,
                             "sessions": self._live_sessions,
                             "age_s": 0.0, "alive": True})
-        healthy = bool(workers) and all(w["alive"] for w in workers)
-        return {"ok": True, "pid": os.getpid(), "worker": worker_id,
+        sup = self._read_sup_state()
+        if sup is not None and sup.get("supervising"):
+            # the supervisor's view is authoritative: flush files from
+            # crashed-and-replaced generations linger (their counters
+            # still count), but capacity health is the live fleet
+            healthy = bool(sup["workers"]) and all(
+                w["alive"] for w in sup["workers"])
+        else:
+            healthy = bool(workers) and all(
+                w["alive"] for w in workers)
+        resp = {"ok": True, "pid": os.getpid(), "worker": worker_id,
                 "healthy": healthy,
                 "uptime_s": round(now - self._started_at, 3),
                 "workers": workers}
+        if sup is not None:
+            resp["supervisor"] = {
+                "respawns_total": sup.get("respawns_total", 0),
+                "supervising": sup.get("supervising", False),
+                "ts": sup.get("ts"),
+                "workers": sup.get("workers", []),
+            }
+        return resp
 
     def _op_open(self, req: dict,
                  sessions: dict[str, _Session]) -> dict:
+        with self._cache_lock:
+            live = self._live_sessions
+        if live >= self.max_sessions:
+            telemetry.current().count("service.shed.sessions")
+            raise Overloaded(
+                f"worker at its {self.max_sessions}-session cap "
+                f"({live} live)", retry_after=self.RETRY_AFTER)
         if "elf" in req:
             data = decode_bytes(req["elf"])
             path = req.get("path")
@@ -611,9 +990,25 @@ class SessionServer:
                     f.name for f in analysis.cfg.functions.values()
                     if f.name)}
 
+    def _effective_deadline(self, req: dict) -> float | None:
+        """Server default clamped by the request's own ``deadline_ms``
+        (a client may only tighten, never extend past the server's)."""
+        deadline = self.deadline_s
+        asked = req.get("deadline_ms")
+        if isinstance(asked, (int, float)) and asked > 0:
+            asked_s = float(asked) / 1000.0
+            deadline = (asked_s if deadline is None
+                        else min(deadline, asked_s))
+        return deadline
+
     def _op_run(self, req: dict, session: _Session) -> dict:
-        machine, event = session.edit.run_instrumented(
-            max_steps=req.get("max_steps"))
+        deadline_s = self._effective_deadline(req)
+        if deadline_s is None:
+            machine, event = session.edit.run_instrumented(
+                max_steps=req.get("max_steps"))
+        else:
+            machine, event = self._run_with_deadline(
+                session.edit, req.get("max_steps"), deadline_s)
         values = {name: session.edit.read_variable(machine, var)
                   for name, var in session.variables.items()}
         reads = {}
@@ -625,6 +1020,46 @@ class SessionServer:
         return {"ok": True, "reason": event.reason.name,
                 "pc": event.pc, "x": list(machine.x),
                 "variables": values, "read": reads}
+
+    def _run_with_deadline(self, edit: BinaryEdit,
+                           max_steps: int | None, deadline_s: float):
+        """Commit, load, and run in bounded slices, checking the wall
+        clock between them.  On expiry the applied instrumentation is
+        removed through the write-ahead journal (verified bit-identical
+        restore — never a half-applied patch), the slice machine is
+        discarded, and a retryable :class:`DeadlineExceeded` goes back
+        to the client; the session itself stays fully usable."""
+        from ..sim.machine import Machine, StopReason
+        from ..sim.timing import P550
+        m = Machine(P550)
+        edit.symtab.load_into(m)
+        result = None
+        if edit._patcher._requests or edit._result is not None:
+            result = edit.commit()
+            result.apply_to_machine(m)
+        deadline = time.monotonic() + deadline_s
+        remaining = max_steps
+        while True:
+            slice_n = (self.RUN_SLICE if remaining is None
+                       else min(self.RUN_SLICE, remaining))
+            event = m.run(slice_n)
+            if event.reason is not StopReason.STEPS_EXHAUSTED:
+                return m, event
+            if remaining is not None:
+                remaining -= slice_n
+                if remaining <= 0:
+                    return m, event  # the client's own step bound
+            if time.monotonic() >= deadline:
+                telemetry.current().count("service.deadline.exceeded")
+                if result is not None:
+                    # PR 4's transactional journal: verified rollback
+                    result.remove_from_machine(m)
+                raise DeadlineExceeded(
+                    f"run exceeded its {deadline_s:.3f}s deadline at "
+                    f"pc=0x{m.pc:x} after {m.instret} instructions; "
+                    "instrumentation rolled back, session still "
+                    "usable — retry, raise the deadline, or bound the "
+                    "run with max_steps")
 
 
 __all__ = ["SessionServer", "options_from_wire"]

@@ -15,11 +15,23 @@ counters must equal the sum of the per-worker snapshots, and the
 Prometheus exposition must parse.  ``--metrics-dump`` writes the raw
 metrics response to a file (the CI artifact).
 
-Exit status 0 when every client matched and the metrics checks held;
-1 otherwise.  This is the CI job's proof that the service boots from
-the CLI, shards sessions across forked workers, and agrees with
-:func:`repro.api.open_binary` — the pytest suites cover the same
-properties in-process.
+``--chaos`` runs the resilience acceptance instead (docs/SERVICE.md,
+"Failure modes and recovery"): against a live supervised multi-worker
+server, it
+
+* ``kill -9``\\ s a worker mid-load and checks that no capacity is
+  lost — every client finishes its cycles bit-identically, clients see
+  only *retryable* errors, and the respawn becomes visible through
+  ``healthz`` (``supervisor.respawns_total``, all workers alive);
+* replays the burst under each injected fault site
+  (``service.worker.abort``, ``service.conn.drop``,
+  ``service.commit``), armed fleet-once via ``REPRO_SERVICE_FAULTS``
+  token files, checking the same invariants.
+
+``--chaos-report`` writes the phase-by-phase JSON report (the CI
+chaos-smoke artifact).
+
+Exit status 0 when every check held; 1 otherwise.
 """
 
 from __future__ import annotations
@@ -27,6 +39,8 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import random
+import signal
 import subprocess
 import sys
 import tempfile
@@ -43,8 +57,12 @@ from repro.elf.writer import write_program  # noqa: E402
 from repro.minicc import compile_source  # noqa: E402
 from repro.minicc.workloads import fib_source  # noqa: E402
 from repro.patch.points import PointType  # noqa: E402
-from repro.service import ServiceClient  # noqa: E402
+from repro.service import ServiceClient, ServiceError  # noqa: E402
 from repro.telemetry.aggregate import parse_prometheus  # noqa: E402
+
+#: fault sites the chaos mode injects, one server boot each
+CHAOS_SITES = ("service.worker.abort", "service.conn.drop",
+               "service.commit")
 
 
 def wait_for_socket(path: str, timeout: float = 15.0) -> None:
@@ -54,10 +72,21 @@ def wait_for_socket(path: str, timeout: float = 15.0) -> None:
             try:
                 ServiceClient(path, timeout=2.0).close()
                 return
-            except OSError:
-                pass
+            except (OSError, ServiceError):
+                pass  # not accepting yet (ConnectFailed) — keep waiting
         time.sleep(0.05)
     raise TimeoutError(f"server socket {path} never came up")
+
+
+def build_reference() -> tuple[bytes, tuple]:
+    """The shared mutatee and its in-process ground truth."""
+    elf = write_program(compile_source(fib_source(8)))
+    edit = open_binary(elf)
+    c = edit.allocate_variable("calls")
+    edit.insert(edit.points("fib", PointType.FUNC_ENTRY),
+                IncrementVar(c))
+    m, ev = edit.run_instrumented()
+    return elf, (ev.reason.name, list(m.x), edit.read_variable(m, c))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -68,16 +97,22 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--workers", type=int, default=2)
     ap.add_argument("--metrics-dump", default=None,
                     help="write the scraped metrics response here")
+    ap.add_argument("--chaos", action="store_true",
+                    help="run the resilience acceptance: kill -9 a "
+                         "worker mid-load, then replay under each "
+                         "injected fault site")
+    ap.add_argument("--chaos-report", default=None,
+                    help="write the chaos phase report (JSON) here")
     args = ap.parse_args(argv)
+    if args.chaos:
+        return chaos_main(args)
+    return smoke_main(args)
 
-    elf = write_program(compile_source(fib_source(8)))
 
-    edit = open_binary(elf)
-    c = edit.allocate_variable("calls")
-    edit.insert(edit.points("fib", PointType.FUNC_ENTRY),
-                IncrementVar(c))
-    m, ev = edit.run_instrumented()
-    reference = (ev.reason.name, list(m.x), edit.read_variable(m, c))
+# -- plain smoke mode ------------------------------------------------------
+
+def smoke_main(args: argparse.Namespace) -> int:
+    elf, reference = build_reference()
     print(f"in-process reference: {reference[0]}, "
           f"calls={reference[2]}")
 
@@ -199,6 +234,258 @@ def check_metrics(metrics: dict | None, clients: int) -> int:
               f"snapshots, merged == per-worker sums, exposition "
               f"parses ({len(series)} series)")
     return bad
+
+
+# -- chaos mode ------------------------------------------------------------
+
+def boot_server(td: str, tag: str, workers: int,
+                extra_env: dict | None = None):
+    """Boot one supervised server subprocess; returns (proc, socket)."""
+    sock = os.path.join(td, f"{tag}.sock")
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    if extra_env:
+        env.update(extra_env)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.service",
+         "--socket", sock, "--store", os.path.join(td, "store"),
+         "--workers", str(workers),
+         "--metrics-dir", os.path.join(td, f"{tag}-metrics"),
+         "--flush-interval", "0.2"],
+        env=env)
+    wait_for_socket(sock)
+    return proc, sock
+
+
+def stop_server(proc: subprocess.Popen) -> None:
+    proc.terminate()
+    try:
+        proc.wait(timeout=15)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait(timeout=10)
+
+
+def run_cycle(sock: str, elf: bytes, trace: str,
+              attempts: int = 10) -> tuple[tuple, int]:
+    """One full session cycle (open/allocate/insert/commit/run),
+    redone from scratch — fresh client, fresh session — every time a
+    *retryable* failure lands.  Returns (result, retries); permanent
+    errors propagate."""
+    last: ServiceError | None = None
+    for attempt in range(attempts):
+        try:
+            with ServiceClient(sock, timeout=15.0, trace=trace,
+                               retries=2) as cl, cl.open(elf) as s:
+                s.allocate("calls")
+                s.insert("fib", "FUNC_ENTRY",
+                         {"kind": "increment", "var": "calls"})
+                s.commit()
+                r = s.run()
+                return ((r["reason"], r["x"], r["variables"]["calls"]),
+                        attempt)
+        except ServiceError as exc:
+            if not exc.retryable:
+                raise
+            last = exc
+            time.sleep((exc.retry_after or 0.05) +
+                       random.uniform(0.0, 0.05))
+    raise RuntimeError(
+        f"cycle {trace} still failing after {attempts} attempts: "
+        f"{last!r}")
+
+
+def healthz_snapshot(sock: str) -> dict:
+    with ServiceClient(sock, timeout=5.0, retries=4) as cl:
+        return cl.healthz()
+
+
+def pick_worker_pid(sock: str) -> int:
+    sup = healthz_snapshot(sock).get("supervisor") or {}
+    alive = [w["pid"] for w in sup.get("workers", [])
+             if w.get("alive") and w.get("pid")]
+    if not alive:
+        raise RuntimeError("no alive supervised worker to kill")
+    return alive[0]
+
+
+def wait_for_respawn(sock: str, min_respawns: int,
+                     timeout: float = 15.0) -> dict:
+    """Poll ``healthz`` until the supervisor reports the respawn and a
+    fully-alive fleet; returns the final supervisor view."""
+    deadline = time.monotonic() + timeout
+    last: dict = {}
+    while time.monotonic() < deadline:
+        try:
+            resp = healthz_snapshot(sock)
+        except (ServiceError, OSError):
+            time.sleep(0.1)
+            continue
+        last = resp.get("supervisor") or {}
+        workers = last.get("workers", [])
+        if (last.get("respawns_total", 0) >= min_respawns
+                and workers and all(w.get("alive") for w in workers)
+                and resp.get("healthy")):
+            return last
+        time.sleep(0.1)
+    raise TimeoutError(
+        f"fleet never recovered (last supervisor view: {last!r})")
+
+
+def chaos_burst(sock: str, elf: bytes, reference: tuple, tag: str,
+                clients: int, cycles: int,
+                mid_burst=None) -> dict:
+    """Run *clients* threads through *cycles* session cycles each,
+    optionally firing *mid_burst()* once traffic is flowing.  Every
+    cycle must finish bit-identically to *reference*; only retryable
+    errors may surface (the cycle runner redoes those)."""
+    started = threading.Event()
+    retries = [0]
+    failures: list[str] = []
+    lock = threading.Lock()
+
+    def one_client(i: int) -> None:
+        for cycle in range(cycles):
+            try:
+                result, attempts = run_cycle(
+                    sock, elf, trace=f"{tag}-{i}.{cycle}")
+            except Exception as exc:  # noqa: BLE001 — reported
+                with lock:
+                    failures.append(
+                        f"client {i} cycle {cycle}: {exc!r}")
+                return
+            with lock:
+                retries[0] += attempts
+                if result != reference:
+                    failures.append(
+                        f"client {i} cycle {cycle} diverged: "
+                        f"reason={result[0]} calls={result[2]}")
+            if cycle == 0:
+                started.set()
+
+    t0 = time.perf_counter()
+    threads = [threading.Thread(target=one_client, args=(i,))
+               for i in range(clients)]
+    for t in threads:
+        t.start()
+    if mid_burst is not None:
+        started.wait(timeout=30)
+        try:
+            mid_burst()
+        except Exception as exc:  # noqa: BLE001 — reported
+            with lock:
+                failures.append(f"mid-burst action: {exc!r}")
+    for t in threads:
+        t.join()
+    return {"clients": clients, "cycles_per_client": cycles,
+            "retries": retries[0], "failures": failures,
+            "wall_s": round(time.perf_counter() - t0, 2)}
+
+
+def chaos_kill_phase(td: str, elf: bytes, reference: tuple,
+                     clients: int, workers: int) -> dict:
+    """Phase 1: ``kill -9`` a worker mid-load.  No capacity may be
+    lost — every cycle completes bit-identically (possibly after
+    retryable errors), and the respawn shows up in ``healthz``."""
+    proc, sock = boot_server(td, "kill9", workers)
+    phase = {"name": "kill9", "ok": False}
+    try:
+        victim = {"pid": None}
+
+        def kill_one() -> None:
+            victim["pid"] = pick_worker_pid(sock)
+            os.kill(victim["pid"], signal.SIGKILL)
+
+        burst = chaos_burst(sock, elf, reference, "kill9",
+                            clients=clients, cycles=4,
+                            mid_burst=kill_one)
+        phase.update(burst)
+        phase["killed_pid"] = victim["pid"]
+        sup = wait_for_respawn(sock, min_respawns=1)
+        phase["respawns_total"] = sup.get("respawns_total", 0)
+        phase["fleet_alive"] = all(
+            w.get("alive") for w in sup.get("workers", []))
+        phase["ok"] = (not burst["failures"]
+                       and phase["respawns_total"] >= 1
+                       and phase["fleet_alive"])
+    except Exception as exc:  # noqa: BLE001 — reported
+        phase.setdefault("failures", []).append(repr(exc))
+    finally:
+        stop_server(proc)
+    return phase
+
+
+def chaos_fault_phase(td: str, elf: bytes, reference: tuple,
+                      site: str, workers: int) -> dict:
+    """One injected-fault phase: boot a fleet with *site* armed
+    (fleet-once via a token file, on its third occurrence so healthy
+    traffic flows first), hammer it, and require the same invariants
+    as the kill phase — plus proof the fault actually fired."""
+    token = os.path.join(td, f"{site}.token")
+    proc, sock = boot_server(
+        td, site.replace(".", "-"), workers,
+        extra_env={"REPRO_SERVICE_FAULTS": f"{site}@3:{token}"})
+    phase = {"name": site, "ok": False}
+    try:
+        burst = chaos_burst(sock, elf, reference, site,
+                            clients=max(4, workers * 2), cycles=3)
+        phase.update(burst)
+        phase["fired"] = os.path.exists(token)
+        if site == "service.worker.abort":
+            # the injected abort really exits the worker: the
+            # supervisor must have respawned it
+            sup = wait_for_respawn(sock, min_respawns=1)
+            phase["respawns_total"] = sup.get("respawns_total", 0)
+            recovered = phase["respawns_total"] >= 1
+        else:
+            recovered = healthz_snapshot(sock).get("healthy", False)
+        phase["ok"] = (not burst["failures"] and phase["fired"]
+                       and burst["retries"] >= 1 and recovered)
+    except Exception as exc:  # noqa: BLE001 — reported
+        phase.setdefault("failures", []).append(repr(exc))
+    finally:
+        stop_server(proc)
+    return phase
+
+
+def chaos_main(args: argparse.Namespace) -> int:
+    workers = max(2, args.workers)
+    elf, reference = build_reference()
+    print(f"chaos: in-process reference: {reference[0]}, "
+          f"calls={reference[2]}; {workers} workers, "
+          f"{args.clients} clients")
+    report = {"mode": "chaos", "workers": workers,
+              "reference": {"reason": reference[0],
+                            "calls": reference[2]},
+              "phases": []}
+    with tempfile.TemporaryDirectory() as td:
+        report["phases"].append(
+            chaos_kill_phase(td, elf, reference,
+                             clients=args.clients, workers=workers))
+        for site in CHAOS_SITES:
+            report["phases"].append(
+                chaos_fault_phase(td, elf, reference, site,
+                                  workers=workers))
+    ok = all(p.get("ok") for p in report["phases"])
+    report["ok"] = ok
+    for p in report["phases"]:
+        status = "OK" if p.get("ok") else "FAIL"
+        extra = ""
+        if "respawns_total" in p:
+            extra = f", respawns={p['respawns_total']}"
+        print(f"chaos: {status}: {p['name']} — "
+              f"retries={p.get('retries')}{extra}, "
+              f"wall={p.get('wall_s')}s")
+        for msg in p.get("failures", []):
+            print(f"chaos:   {p['name']}: {msg}", file=sys.stderr)
+    if args.chaos_report:
+        Path(args.chaos_report).write_text(
+            json.dumps(report, indent=2) + "\n")
+        print(f"chaos: report written to {args.chaos_report}")
+    if ok:
+        print("chaos: OK — kill -9 lost no capacity, every injected "
+              "fault surfaced as a retryable error, all results "
+              "bit-identical")
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":
